@@ -1,0 +1,55 @@
+// Command experiments regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	experiments [-run T1,T2,...|all] [-full] [-o report.txt]
+//
+// Each experiment prints its table or figure alongside the values the
+// paper reports. -full selects paper-scale inputs (the NAS class A
+// problem, order-15000 matrices, n=10^6 sweeps) and can take minutes;
+// the default reduced scale finishes in seconds and preserves every
+// qualitative conclusion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"multiprefix/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	run := flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+	full := flag.Bool("full", false, "paper-scale inputs (slow)")
+	out := flag.String("o", "", "write the report to a file instead of stdout")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-4s %-12s %s\n", e.ID, e.PaperRef, e.Title)
+		}
+		return
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+	if err := exp.RunByIDs(w, *run, *full); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Command mp computes a multiprefix operation over values and labels
+// read from stdin: one "label value" pair per line (labels 0-based
+// integers, values int64). It prints the per-element multiprefix sums
+// and the per-label reductions — a direct CLI rendering of the paper's
+// Figure 1.
+//
+// Usage:
+//
+//	echo "1 1
+//	1 2
+//	2 1
+//	1 2" | mp [-op add|mul|max|min] [-engine auto|serial|spinetree|parallel|chunked] [-reduce]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"multiprefix"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mp: ")
+	opName := flag.String("op", "add", "operator: add, mul, max, min, or, and, xor")
+	engineName := flag.String("engine", "auto", "engine: auto, serial, spinetree, parallel, chunked")
+	reduceOnly := flag.Bool("reduce", false, "print only the per-label reductions (multireduce)")
+	flag.Parse()
+
+	ops := map[string]multiprefix.Op[int64]{
+		"add": multiprefix.AddInt64,
+		"mul": multiprefix.MulInt64,
+		"max": multiprefix.MaxInt64,
+		"min": multiprefix.MinInt64,
+		"or":  multiprefix.OrInt64,
+		"and": multiprefix.AndInt64,
+		"xor": multiprefix.XorInt64,
+	}
+	op, ok := ops[*opName]
+	if !ok {
+		log.Fatalf("unknown operator %q", *opName)
+	}
+
+	var values []int64
+	var labels []int
+	m := 0
+	sc := bufio.NewScanner(os.Stdin)
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		if len(text) == 0 {
+			continue
+		}
+		var l int
+		var v int64
+		if _, err := fmt.Sscan(text, &l, &v); err != nil {
+			log.Fatalf("line %d: want 'label value', got %q: %v", line, text, err)
+		}
+		if l < 0 {
+			log.Fatalf("line %d: negative label %d", line, l)
+		}
+		labels = append(labels, l)
+		values = append(values, v)
+		if l+1 > m {
+			m = l + 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	var engine multiprefix.Engine[int64]
+	switch *engineName {
+	case "auto":
+		engine = func(op multiprefix.Op[int64], values []int64, labels []int, m int) (multiprefix.Result[int64], error) {
+			return multiprefix.Compute(op, values, labels, m)
+		}
+	case "serial":
+		engine = multiprefix.SerialEngine[int64]()
+	case "spinetree":
+		engine = multiprefix.SpinetreeEngine[int64](multiprefix.Config{})
+	case "parallel":
+		engine = multiprefix.ParallelEngine[int64](multiprefix.Config{})
+	case "chunked":
+		engine = multiprefix.ChunkedEngine[int64](multiprefix.Config{})
+	default:
+		log.Fatalf("unknown engine %q", *engineName)
+	}
+
+	res, err := engine(op, values, labels, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if !*reduceOnly {
+		fmt.Fprintln(w, "# i label value multiprefix")
+		for i := range values {
+			fmt.Fprintf(w, "%d %d %d %d\n", i, labels[i], values[i], res.Multi[i])
+		}
+	}
+	fmt.Fprintln(w, "# label reduction")
+	for k, r := range res.Reductions {
+		fmt.Fprintf(w, "%d %d\n", k, r)
+	}
+}

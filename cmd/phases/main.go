@@ -1,0 +1,26 @@
+// Command phases characterizes the four vectorized multiprefix loops
+// (paper Table 3) and sweeps input size against bucket load (paper
+// Figure 10) on the simulated vector machine.
+//
+// Usage:
+//
+//	phases [-full]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"multiprefix/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("phases: ")
+	full := flag.Bool("full", false, "extend the sweeps to n = 10^6")
+	flag.Parse()
+	if err := exp.RunByIDs(os.Stdout, "T3,F10,S42", *full); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,29 @@
+// Command pramsim runs the theoretical-model experiments on the
+// simulated PRAM: the step/work complexity accounting of paper §3 and
+// the CRCW-PLUS-on-CRCW-ARB simulation of §1.2. The simulator enforces
+// the paper's policy discipline — the SPINETREE phase runs under
+// CRCW-ARB, everything after it under strict EREW — so a successful
+// run is itself a check of Theorems 1-2.
+//
+// Usage:
+//
+//	pramsim [-full]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"multiprefix/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pramsim: ")
+	full := flag.Bool("full", false, "larger sizes and processor counts")
+	flag.Parse()
+	if err := exp.RunByIDs(os.Stdout, "S3,S12", *full); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,26 @@
+// Command rowlen runs the row-length ablation of paper §4.4: total
+// time as a function of the grid row length, showing the flat optimum
+// near sqrt(n) and the spikes at memory-bank multiples.
+//
+// Usage:
+//
+//	rowlen [-full]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"multiprefix/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rowlen: ")
+	full := flag.Bool("full", false, "sweep at n = 2^20")
+	flag.Parse()
+	if err := exp.RunByIDs(os.Stdout, "S44", *full); err != nil {
+		log.Fatal(err)
+	}
+}

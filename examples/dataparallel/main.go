@@ -1,0 +1,75 @@
+// Dataparallel writes three small programs in the scan-vector style
+// the paper's conclusion advocates — no explicit loops over elements
+// or goroutines in user code, only composable primitives with
+// multiprefix among them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multiprefix/internal/core"
+	"multiprefix/internal/dpl"
+)
+
+func main() {
+	// 1. Split-radix sort (Blelloch's classic): one stable Split per bit.
+	keys := []int64{170, 45, 75, 90, 2, 802, 24, 66}
+	sorted, err := dpl.SplitRadixSort(keys, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("split-radix sort: %v\n             ->   %v\n\n", keys, sorted)
+
+	// 2. The paper's Figure 11 rank sort, in six primitive calls.
+	ranked, err := dpl.RankSort(keys, 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("multiprefix rank sort -> %v\n\n", ranked)
+
+	// 3. Segment-parallel quicksort: every partition splits at once,
+	//    with multiprefix supplying the stable in-class ranks.
+	qs, rounds, err := dpl.QuickSortRounds(keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("segmented quicksort   -> %v  (%d rounds)\n\n", qs, rounds)
+
+	// 4. Average points per player from an interleaved game log —
+	//    a multireduce over labels plus elementwise division.
+	players := []int{0, 1, 0, 2, 1, 0, 2, 2}
+	points := []int64{7, 3, 2, 11, 5, 1, 0, 4}
+	totals, err := dpl.MultiReduce(core.AddInt64, points, players, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts, err := dpl.MultiReduce(core.AddInt64, dpl.Dist(int64(1), len(players)), players, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	averages, err := dpl.Map2(totals, counts, func(t, c int64) float64 {
+		if c == 0 {
+			return 0
+		}
+		return float64(t) / float64(c)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("player  games  points  average")
+	for p := range totals {
+		fmt.Printf("%6d  %5d  %6d  %7.2f\n", p, counts[p], totals[p], averages[p])
+	}
+
+	// 5. Running score per player, in reading order: the multiprefix
+	//    sums themselves.
+	res, err := dpl.MultiPrefix(core.AddInt64, points, players, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nevent  player  points  score-before")
+	for i := range points {
+		fmt.Printf("%5d  %6d  %6d  %12d\n", i, players[i], points[i], res.Multi[i])
+	}
+}

@@ -1,0 +1,77 @@
+// Histogram demonstrates the multireduce operation as histogramming —
+// the "Vector Update Loop" workload of the paper's §1 — by computing
+// word-length and first-letter frequencies over a text, and compares
+// the multireduce against a plain loop.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"multiprefix"
+)
+
+const gettysburg = `Four score and seven years ago our fathers brought forth on this
+continent a new nation conceived in Liberty and dedicated to the proposition
+that all men are created equal Now we are engaged in a great civil war testing
+whether that nation or any nation so conceived and so dedicated can long endure`
+
+func main() {
+	words := strings.Fields(strings.ToLower(gettysburg))
+
+	// First-letter frequency via the public Histogram (multireduce of ones).
+	letters := make([]int, len(words))
+	for i, w := range words {
+		letters[i] = int(w[0] - 'a')
+	}
+	counts, err := multiprefix.Histogram(letters, 26)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("first-letter frequencies:")
+	for c := 0; c < 26; c++ {
+		if counts[c] > 0 {
+			fmt.Printf("  %c: %s (%d)\n", 'a'+c, strings.Repeat("#", int(counts[c])), counts[c])
+		}
+	}
+
+	// Weighted multireduce: total characters contributed per length class.
+	lengths := make([]int, len(words))
+	chars := make([]int64, len(words))
+	maxLen := 0
+	for i, w := range words {
+		lengths[i] = len(w)
+		chars[i] = int64(len(w))
+		if len(w) > maxLen {
+			maxLen = len(w)
+		}
+	}
+	totals, err := multiprefix.Reduce(multiprefix.AddInt64, chars, lengths, maxLen+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncharacters contributed by words of each length:")
+	for l, t := range totals {
+		if t > 0 {
+			fmt.Printf("  len %2d: %d chars\n", l, t)
+		}
+	}
+
+	// The multiprefix sums give each word its running index among
+	// same-initial words — fetch-and-op without locks.
+	ranks, _, err := multiprefix.Enumerate(letters, 26, multiprefix.SerialEngine[int64]())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfirst three words starting with each of a, c, n:")
+	for _, target := range []int{0, 2, 13} {
+		var picks []string
+		for i, w := range words {
+			if letters[i] == target && ranks[i] < 3 {
+				picks = append(picks, w)
+			}
+		}
+		fmt.Printf("  %c: %v\n", 'a'+target, picks)
+	}
+}

@@ -1,0 +1,41 @@
+// Quickstart: the multiprefix operation on the example of the paper's
+// Figure 1 — values with integer labels, producing per-element running
+// sums within each label class plus per-label totals.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multiprefix"
+)
+
+func main() {
+	// Eight values; labels pick which "bucket" each belongs to.
+	values := []int64{1, 2, 1, 2, 1, 1, 2, 3}
+	labels := []int{1, 1, 2, 1, 2, 1, 2, 1}
+
+	res, err := multiprefix.Compute(multiprefix.AddInt64, values, labels, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("i  label  value  multiprefix (sum of preceding same-label values)")
+	for i := range values {
+		fmt.Printf("%d  %5d  %5d  %d\n", i, labels[i], values[i], res.Multi[i])
+	}
+	fmt.Println("\nlabel  reduction (total per label)")
+	for k, r := range res.Reductions {
+		fmt.Printf("%5d  %d\n", k, r)
+	}
+
+	// Any associative operator works, and combines happen in vector
+	// order, so non-commutative operators are safe:
+	words := []string{"to", "be", "or", "not", "to", "be"}
+	who := []int{0, 1, 0, 1, 0, 1}
+	r2, err := multiprefix.Compute(multiprefix.ConcatString, words, who, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconcat by speaker: %q\n", r2.Reductions)
+}

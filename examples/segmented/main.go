@@ -1,0 +1,51 @@
+// Segmented demonstrates segmented scans built on multiprefix (the
+// paper's §1: "a segmented-scan is simulated by distributing the same
+// label to each element in a segment"): running totals that reset at
+// segment boundaries, here used for per-trip odometer readings and a
+// classic line-offsets computation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multiprefix"
+)
+
+func main() {
+	// Distances of individual legs; `true` starts a new trip.
+	legs := []int64{12, 7, 31, 5, 5, 5, 40, 2}
+	trips := []bool{true, false, false, true, false, false, true, false}
+
+	scans, totals, err := multiprefix.SegmentedScan(
+		multiprefix.AddInt64, legs, trips, multiprefix.SerialEngine[int64]())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("leg  starts-trip  distance  odometer-at-start")
+	for i := range legs {
+		fmt.Printf("%3d  %11v  %8d  %d\n", i, trips[i], legs[i], scans[i])
+	}
+	fmt.Printf("trip totals: %v\n", totals)
+
+	// Line offsets: lengths of lines -> byte offset of each line, the
+	// segmented-scan formulation with one segment.
+	lineLens := []int64{5, 0, 12, 7}
+	one := make([]bool, len(lineLens)) // single segment
+	offsets, _, err := multiprefix.SegmentedScan(
+		multiprefix.AddInt64, lineLens, one, multiprefix.SerialEngine[int64]())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nline lengths %v -> byte offsets %v\n", lineLens, offsets)
+
+	// Segmented MAX: running maximum that resets per segment.
+	vals := []int64{3, 9, 2, -4, 1, 7}
+	segs := []bool{true, false, false, true, false, false}
+	runMax, segMax, err := multiprefix.SegmentedScan(
+		multiprefix.MaxInt64, vals, segs, multiprefix.SerialEngine[int64]())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsegmented running max of %v: %v (per segment: %v)\n", vals, runMax[1:], segMax)
+}

@@ -1,0 +1,77 @@
+// Vectorsim drives the simulated CRAY Y-MP directly: it runs the
+// vectorized multiprefix on inputs of the user's size, prints the
+// per-phase clock breakdown the paper's §4.3 discusses, and shows how
+// the same input behaves under heavy, moderate and light bucket loads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"multiprefix/internal/core"
+	"multiprefix/internal/vecmp"
+	"multiprefix/internal/vector"
+)
+
+func main() {
+	n := flag.Int("n", 100000, "element count")
+	flag.Parse()
+
+	cfg := vector.DefaultConfig()
+	fmt.Printf("simulated machine: VL=%d, %d banks (busy %d clk), %.0f ns clock\n\n",
+		cfg.VL, cfg.Banks, cfg.BankBusy, cfg.ClockNS)
+
+	rng := rand.New(rand.NewSource(1))
+	values := make([]int64, *n)
+	for i := range values {
+		values[i] = int64(rng.Intn(100)) + 1
+	}
+
+	for _, load := range []struct {
+		name    string
+		buckets int
+	}{
+		{"light (one bucket per element)", *n},
+		{"moderate (load 16)", *n / 16},
+		{"heavy (a single bucket)", 1},
+	} {
+		if load.buckets < 1 {
+			load.buckets = 1
+		}
+		labels := vecmp.RandomLabels(rng, *n, load.buckets)
+		m := vector.New(cfg)
+		res, err := vecmp.Multiprefix(m, core.AddInt64, values, labels, load.buckets, vecmp.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fn := float64(*n)
+		fmt.Printf("%s — %.1f clk/elt, %.3f simulated ms\n", load.name, m.Cycles()/fn, m.Seconds()*1e3)
+		fmt.Printf("  phases (clk/elt): init %.1f  spinetree %.1f  rowsums %.1f  spinesums %.1f  multisums %.1f  reduce %.1f\n",
+			res.Phases.Init/fn, res.Phases.Spinetree/fn, res.Phases.Rowsums/fn,
+			res.Phases.Spinesums/fn, res.Phases.Multisums/fn, res.Phases.Reduce/fn)
+		fmt.Printf("  grid: %d rows x %d columns (row length avoids bank multiples)\n", res.Grid.Rows, res.Grid.P)
+		fmt.Printf("  instruction-kind breakdown (cycles):\n")
+		for _, line := range splitLines(m.Breakdown(), 4) {
+			fmt.Printf("    %s\n", line)
+		}
+		fmt.Println()
+	}
+	fmt.Println("note how the extremes trade off: heavy load inflates SPINETREE")
+	fmt.Println("(hot-spot scatter) but collapses SPINESUMS (all-false strips exit")
+	fmt.Println("early), while light load pays dummy-location contention in")
+	fmt.Println("SPINESUMS — the §4.3 story, with totals within a small factor.")
+}
+
+func splitLines(s string, max int) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s) && len(out) < max; i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package multiprefix
+
+// Native Go fuzz targets. `go test` runs the seed corpus; run
+// `go test -fuzz=FuzzEnginesAgree` for open-ended fuzzing.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"multiprefix/internal/core"
+	"multiprefix/internal/intsort"
+)
+
+// decodeInput derives (values, labels, m) from raw fuzz bytes.
+func decodeInput(data []byte) (values []int64, labels []int, m int) {
+	if len(data) < 2 {
+		return nil, nil, 1
+	}
+	m = int(data[0])%37 + 1
+	data = data[1:]
+	for len(data) >= 3 {
+		labels = append(labels, int(data[0])%m)
+		values = append(values, int64(int16(binary.LittleEndian.Uint16(data[1:3]))))
+		data = data[3:]
+	}
+	return values, labels, m
+}
+
+func FuzzEnginesAgree(f *testing.F) {
+	f.Add([]byte{5, 0, 1, 0, 3, 255, 127, 2, 9, 9})
+	f.Add([]byte{1, 1, 1, 1})
+	f.Add(bytes.Repeat([]byte{7, 3, 3, 3}, 50))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		values, labels, m := decodeInput(data)
+		want, err := core.Serial(AddInt64, values, labels, m)
+		if err != nil {
+			t.Fatalf("serial rejected derived input: %v", err)
+		}
+		st, err := core.Spinetree(AddInt64, values, labels, m, Config{RowLength: len(values)%7 + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck, err := core.Chunked(AddInt64, values, labels, m, Config{Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Multi {
+			if st.Multi[i] != want.Multi[i] {
+				t.Fatalf("spinetree Multi[%d] = %d, want %d", i, st.Multi[i], want.Multi[i])
+			}
+			if ck.Multi[i] != want.Multi[i] {
+				t.Fatalf("chunked Multi[%d] = %d, want %d", i, ck.Multi[i], want.Multi[i])
+			}
+		}
+		for k := range want.Reductions {
+			if st.Reductions[k] != want.Reductions[k] || ck.Reductions[k] != want.Reductions[k] {
+				t.Fatalf("reductions disagree at %d", k)
+			}
+		}
+	})
+}
+
+func FuzzRankIsStableSort(f *testing.F) {
+	f.Add([]byte{3, 1, 4, 1, 5, 9, 2, 6})
+	f.Add([]byte{0})
+	f.Add(bytes.Repeat([]byte{42}, 100))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		keys := make([]int32, len(data))
+		for i, b := range data {
+			keys[i] = int32(b)
+		}
+		ranks, err := Rank(keys, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := intsort.VerifyRanks(keys, ranks); err != nil {
+			t.Fatal(err)
+		}
+		// Stability: equal keys rank in input order.
+		last := map[int32]int64{}
+		for i, k := range keys {
+			if prev, ok := last[k]; ok && ranks[i] < prev {
+				t.Fatalf("instability at %d", i)
+			}
+			last[k] = ranks[i]
+		}
+	})
+}
+
+func FuzzSegmentedScan(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 1, 0}, []byte{5, 4, 3, 2, 1})
+	f.Fuzz(func(t *testing.T, segRaw, valRaw []byte) {
+		n := len(segRaw)
+		if len(valRaw) < n {
+			n = len(valRaw)
+		}
+		segs := make([]bool, n)
+		values := make([]int64, n)
+		for i := 0; i < n; i++ {
+			segs[i] = segRaw[i]%2 == 1
+			values[i] = int64(valRaw[i]) - 128
+		}
+		scans, totals, err := SegmentedScan(AddInt64, values, segs, SpinetreeEngine[int64](Config{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Oracle: direct segmented scan.
+		run := int64(0)
+		ti := -1
+		var wantTotals []int64
+		for i := 0; i < n; i++ {
+			if segs[i] || i == 0 {
+				if i > 0 {
+					wantTotals = append(wantTotals, run)
+				}
+				run = 0
+				ti++
+			}
+			if scans[i] != run {
+				t.Fatalf("scan[%d] = %d, want %d", i, scans[i], run)
+			}
+			run += values[i]
+		}
+		if n > 0 {
+			wantTotals = append(wantTotals, run)
+		}
+		if len(totals) != len(wantTotals) {
+			t.Fatalf("%d totals, want %d", len(totals), len(wantTotals))
+		}
+		for i := range totals {
+			if totals[i] != wantTotals[i] {
+				t.Fatalf("totals[%d] = %d, want %d", i, totals[i], wantTotals[i])
+			}
+		}
+		_ = ti
+	})
+}

@@ -1,0 +1,3 @@
+module multiprefix
+
+go 1.24

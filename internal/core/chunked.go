@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sync"
+
+	"multiprefix/internal/par"
+)
+
+// Chunked computes the multiprefix operation with the practical
+// multicore decomposition (not from the paper; included as the modern
+// baseline the spinetree engines are benchmarked against):
+//
+//  1. split the vector into one contiguous chunk per worker;
+//  2. in parallel, run the serial algorithm on each chunk with local
+//     buckets, recording which labels the chunk touched;
+//  3. sequentially combine the per-chunk reductions in chunk order into
+//     per-chunk label offsets (an exclusive scan over chunks, per label);
+//  4. in parallel, add each chunk's offsets onto its local prefix sums.
+//
+// Work is O(n + W·L) where L is the number of distinct labels a chunk
+// touches; combines happen strictly in vector order, so non-commutative
+// operators are safe. Space is O(W·m) dense bucket storage, which is
+// the right trade for m up to a few million.
+func Chunked[T any](op Op[T], values []T, labels []int, m int, cfg Config) (Result[T], error) {
+	if err := checkInputs(op, values, labels, m); err != nil {
+		return Result[T]{}, err
+	}
+	n := len(values)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	multi := make([]T, n)
+	local := make([][]T, workers)     // per-chunk buckets, reused as offsets
+	touched := make([][]int, workers) // labels each chunk saw, in first-touch order
+
+	// Pass 1+2: local serial multiprefix per chunk.
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := par.Range(n, workers, w)
+			buckets := make([]T, m)
+			seen := make([]bool, m)
+			var order []int
+			for i := lo; i < hi; i++ {
+				l := labels[i]
+				if !seen[l] {
+					seen[l] = true
+					buckets[l] = op.Identity
+					order = append(order, l)
+				}
+				multi[i] = buckets[l]
+				buckets[l] = op.Combine(buckets[l], values[i])
+			}
+			local[w] = buckets
+			touched[w] = order
+		}(w)
+	}
+	wg.Wait()
+
+	// Pass 3: exclusive scan across chunks, per label. running[l] holds
+	// the combine of chunks 0..w-1 for label l; each chunk's bucket slot
+	// is replaced by its offset (the exclusive prefix).
+	running := make([]T, m)
+	fillIdentity(running, op.Identity)
+	for w := 0; w < workers; w++ {
+		for _, l := range touched[w] {
+			offset := running[l]
+			running[l] = op.Combine(running[l], local[w][l])
+			local[w][l] = offset
+		}
+	}
+
+	// Pass 4: apply offsets. Chunk 0 needs no fix-up (offsets are the
+	// identity), so start at chunk 1.
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := par.Range(n, workers, w)
+			offsets := local[w]
+			for i := lo; i < hi; i++ {
+				multi[i] = op.Combine(offsets[labels[i]], multi[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	return Result[T]{Multi: multi, Reductions: running}, nil
+}
+
+// ChunkedReduce is the multireduce counterpart of Chunked: per-chunk
+// local reductions combined across chunks in vector order.
+func ChunkedReduce[T any](op Op[T], values []T, labels []int, m int, cfg Config) ([]T, error) {
+	if err := checkInputs(op, values, labels, m); err != nil {
+		return nil, err
+	}
+	n := len(values)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	local := make([][]T, workers)
+	touched := make([][]int, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := par.Range(n, workers, w)
+			buckets := make([]T, m)
+			seen := make([]bool, m)
+			var order []int
+			for i := lo; i < hi; i++ {
+				l := labels[i]
+				if !seen[l] {
+					seen[l] = true
+					buckets[l] = op.Identity
+					order = append(order, l)
+				}
+				buckets[l] = op.Combine(buckets[l], values[i])
+			}
+			local[w] = buckets
+			touched[w] = order
+		}(w)
+	}
+	wg.Wait()
+	out := make([]T, m)
+	fillIdentity(out, op.Identity)
+	for w := 0; w < workers; w++ {
+		for _, l := range touched[w] {
+			out[l] = op.Combine(out[l], local[w][l])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCombiningSend(t *testing.T) {
+	dst := []int64{100, 200, 300}
+	dest := []int{0, 2, 0, 2, 2}
+	values := []int64{1, 2, 3, 4, 5}
+	if err := CombiningSend(AddInt64, dst, dest, values, SerialEngine[int64]()); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{104, 200, 311}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("dst[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+	if err := CombiningSend(AddInt64, dst, []int{9}, []int64{1}, SerialEngine[int64]()); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+}
+
+func TestCombiningSendVectorOrder(t *testing.T) {
+	dst := []string{"<", "("}
+	dest := []int{0, 1, 0, 1}
+	values := []string{"a", "b", "c", "d"}
+	if err := CombiningSend(ConcatString, dst, dest, values, SpinetreeEngine[string](Config{})); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != "<ac" || dst[1] != "(bd" {
+		t.Errorf("dst = %v; combining order must be vector order", dst)
+	}
+}
+
+func TestBeta(t *testing.T) {
+	values := []int64{5, 7, 11, 13}
+	keys := []int{3, 1, 3, 3}
+	got, err := Beta(AddInt64, values, keys, 6, SerialEngine[int64]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[3] != 29 || got[1] != 7 {
+		t.Errorf("Beta = %v", got)
+	}
+	if _, present := got[0]; present {
+		t.Error("absent key reported")
+	}
+}
+
+func TestInclusiveMulti(t *testing.T) {
+	values := []int64{3, 1, 4, 1}
+	labels := []int{0, 1, 0, 1}
+	res, err := Serial(AddInt64, values, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := InclusiveMulti(AddInt64, res.Multi, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{3, 1, 7, 2}
+	for i := range want {
+		if inc[i] != want[i] {
+			t.Errorf("inc[%d] = %d, want %d", i, inc[i], want[i])
+		}
+	}
+	if _, err := InclusiveMulti(AddInt64, res.Multi[:1], values); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// TestInclusiveLastEqualsReduction: the inclusive sum of the last
+// element of each class equals that class's reduction.
+func TestInclusiveLastEqualsReduction(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300)
+		m := 1 + rng.Intn(10)
+		values := make([]int64, n)
+		labels := make([]int, n)
+		for i := range values {
+			values[i] = int64(rng.Intn(100) - 50)
+			labels[i] = rng.Intn(m)
+		}
+		res, err := Serial(AddInt64, values, labels, m)
+		if err != nil {
+			return false
+		}
+		inc, err := InclusiveMulti(AddInt64, res.Multi, values)
+		if err != nil {
+			return false
+		}
+		lastOf := make(map[int]int)
+		for i, l := range labels {
+			lastOf[l] = i
+		}
+		for l, i := range lastOf {
+			if inc[i] != res.Reductions[l] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

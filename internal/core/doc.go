@@ -1,0 +1,50 @@
+// Package core implements the multiprefix operation of
+// Sheffler, "Implementing the Multiprefix Operation on Parallel and
+// Vector Computers" (CMU-CS-92-173 / SPAA 1993).
+//
+// For an ordered set of n values A = (a_0, ..., a_{n-1}), each with an
+// integer label l_i in [0, m), and a binary associative operator ⊕ with
+// identity e, the multiprefix operation computes
+//
+//	s_i = ⊕ { a_j : l_j == l_i and j < i }      (the multiprefix sums)
+//	r_k = ⊕ { a_j : l_j == k }                  (the per-label reductions)
+//
+// with both combines performed in vector (index) order, so the operator
+// need not be commutative. The first element of every label class receives
+// the identity. Labels here are 0-based; the paper numbers them from 1.
+//
+// The package provides four interchangeable engines:
+//
+//   - Serial: the obvious one-pass bucket algorithm (paper Figure 2).
+//     The reference implementation everything else is tested against.
+//   - Spinetree: the paper's four-phase O(√n)-step algorithm
+//     (SPINETREE, ROWSUMS, SPINESUMS, MULTISUMS) executed sequentially
+//     in the array-index "pivot" form of paper §4. Used to validate the
+//     algorithm itself and to drive traces of the worked example.
+//   - Parallel: the same four-phase algorithm executed by a pool of
+//     goroutines in barrier-synchronous steps, with the CRCW-ARB
+//     arbitrary concurrent write modeled by atomic stores
+//     (last-writer-wins is a legal ARB outcome).
+//   - Chunked: a practical multicore engine (not from the paper) that
+//     splits the vector into per-worker chunks, runs the serial algorithm
+//     locally, and stitches chunks together with an exclusive scan over
+//     per-chunk reductions. Included as the "what you would write today"
+//     baseline for benchmarks.
+//
+// On top of multiprefix the package derives the operations the paper
+// lists as subsumed: multireduce (reductions only), segmented scans,
+// fetch-and-op, and stable integer ranking (see package intsort).
+//
+// # A note on the paper's spine test
+//
+// The SPINESUMS phase must identify spine elements (elements with
+// children). The paper tests rowsum != 0, which is only correct when no
+// nonempty subset of same-class, same-row values combines to the
+// identity — true for counting workloads (all values 1) but wrong in
+// general (PLUS over {+1,-1} breaks it). This package instead marks
+// parents explicitly during ROWSUMS (one extra EREW write per element,
+// same asymptotics). The paper's test is available as an option,
+// SpineTestNonzero, for ops that declare an IsIdentity predicate; the
+// test suite demonstrates both its validity on positive values and its
+// failure mode on mixed-sign values.
+package core

@@ -1,0 +1,393 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestEnginesMatchSerial drives every engine over the shared case set
+// and a spread of grid shapes and worker counts, comparing bit-exactly
+// against the serial reference.
+func TestEnginesMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range genCases(rng) {
+		want := mustSerial(t, tc.values, tc.labels, tc.m)
+		rowLens := []int{0, 1, 2, 3, 5, len(tc.values)} // 0 = auto
+		for _, p := range rowLens {
+			cfg := Config{RowLength: p}
+			got, err := Spinetree(AddInt64, tc.values, tc.labels, tc.m, cfg)
+			if err != nil {
+				t.Fatalf("%s/p=%d: Spinetree: %v", tc.name, p, err)
+			}
+			checkAgainstSerial(t, tc.name+"/spinetree", got, want)
+		}
+		for _, w := range []int{1, 2, 3, 8} {
+			cfg := Config{Workers: w}
+			got, err := Parallel(AddInt64, tc.values, tc.labels, tc.m, cfg)
+			if err != nil {
+				t.Fatalf("%s/w=%d: Parallel: %v", tc.name, w, err)
+			}
+			checkAgainstSerial(t, tc.name+"/parallel", got, want)
+
+			got, err = Chunked(AddInt64, tc.values, tc.labels, tc.m, cfg)
+			if err != nil {
+				t.Fatalf("%s/w=%d: Chunked: %v", tc.name, w, err)
+			}
+			checkAgainstSerial(t, tc.name+"/chunked", got, want)
+		}
+	}
+}
+
+// TestEnginesMatchSerialQuick is the property-based form: arbitrary
+// labels/values, engines must agree with Serial.
+func TestEnginesMatchSerialQuick(t *testing.T) {
+	prop := func(raw []int16, labelSeed int64) bool {
+		n := len(raw)
+		values := make([]int64, n)
+		labels := make([]int, n)
+		rng := rand.New(rand.NewSource(labelSeed))
+		m := rng.Intn(2*n+3) + 1
+		for i, r := range raw {
+			values[i] = int64(r)
+			labels[i] = rng.Intn(m)
+		}
+		want, err := Serial(AddInt64, values, labels, m)
+		if err != nil {
+			return false
+		}
+		st, err := Spinetree(AddInt64, values, labels, m, Config{RowLength: 1 + rng.Intn(n+2)})
+		if err != nil || !equalInt64(st.Multi, want.Multi) || !equalInt64(st.Reductions, want.Reductions) {
+			return false
+		}
+		pl, err := Parallel(AddInt64, values, labels, m, Config{Workers: 1 + rng.Intn(4)})
+		if err != nil || !equalInt64(pl.Multi, want.Multi) || !equalInt64(pl.Reductions, want.Reductions) {
+			return false
+		}
+		ck, err := Chunked(AddInt64, values, labels, m, Config{Workers: 1 + rng.Intn(4)})
+		return err == nil && equalInt64(ck.Multi, want.Multi) && equalInt64(ck.Reductions, want.Reductions)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnginesNonCommutative checks that every engine combines strictly
+// in vector order, using string concatenation.
+func TestEnginesNonCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, m := 64, 5
+	values := make([]string, n)
+	labels := make([]int, n)
+	for i := range values {
+		values[i] = string(rune('a' + i%26))
+		labels[i] = rng.Intn(m)
+	}
+	want, err := Serial(ConcatString, values, labels, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := map[string]Engine[string]{
+		"spinetree": SpinetreeEngine[string](Config{RowLength: 7}),
+		"parallel":  ParallelEngine[string](Config{Workers: 3}),
+		"chunked":   ChunkedEngine[string](Config{Workers: 3}),
+	}
+	for name, eng := range engines {
+		got, err := eng(ConcatString, values, labels, m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range want.Multi {
+			if got.Multi[i] != want.Multi[i] {
+				t.Fatalf("%s: Multi[%d] = %q, want %q", name, i, got.Multi[i], want.Multi[i])
+			}
+		}
+		for k := range want.Reductions {
+			if got.Reductions[k] != want.Reductions[k] {
+				t.Fatalf("%s: Reductions[%d] = %q, want %q", name, k, got.Reductions[k], want.Reductions[k])
+			}
+		}
+	}
+}
+
+// TestEnginesAllOps exercises every standard int64 operator through the
+// spinetree and parallel engines.
+func TestEnginesAllOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n, m := 200, 9
+	values := make([]int64, n)
+	labels := make([]int, n)
+	for i := range values {
+		values[i] = int64(rng.Intn(41) - 20)
+		labels[i] = rng.Intn(m)
+	}
+	for _, op := range []Op[int64]{AddInt64, MaxInt64, MinInt64, OrInt64, AndInt64, XorInt64} {
+		want, err := Serial(op, values, labels, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := Spinetree(op, values, labels, m, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", op.Name, err)
+		}
+		checkAgainstSerial(t, "spinetree/"+op.Name, st, want)
+		pl, err := Parallel(op, values, labels, m, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", op.Name, err)
+		}
+		checkAgainstSerial(t, "parallel/"+op.Name, pl, want)
+	}
+}
+
+// TestReduceVariantsMatch checks the multireduce fast paths.
+func TestReduceVariantsMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range genCases(rng) {
+		want := mustSerial(t, tc.values, tc.labels, tc.m).Reductions
+		st, err := SpinetreeReduce(AddInt64, tc.values, tc.labels, tc.m, Config{})
+		if err != nil {
+			t.Fatalf("%s: SpinetreeReduce: %v", tc.name, err)
+		}
+		if !equalInt64(st, want) {
+			t.Errorf("%s: SpinetreeReduce = %v, want %v", tc.name, st, want)
+		}
+		pl, err := ParallelReduce(AddInt64, tc.values, tc.labels, tc.m, Config{Workers: 3})
+		if err != nil {
+			t.Fatalf("%s: ParallelReduce: %v", tc.name, err)
+		}
+		if !equalInt64(pl, want) {
+			t.Errorf("%s: ParallelReduce = %v, want %v", tc.name, pl, want)
+		}
+		ck, err := ChunkedReduce(AddInt64, tc.values, tc.labels, tc.m, Config{Workers: 3})
+		if err != nil {
+			t.Fatalf("%s: ChunkedReduce: %v", tc.name, err)
+		}
+		if !equalInt64(ck, want) {
+			t.Errorf("%s: ChunkedReduce = %v, want %v", tc.name, ck, want)
+		}
+	}
+}
+
+// TestSpineTestNonzeroOnPositiveValues: the paper's rowsum != 0
+// shortcut is exact when all values are strictly positive.
+func TestSpineTestNonzeroOnPositiveValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, m := 300, 7
+	values := make([]int64, n)
+	labels := make([]int, n)
+	for i := range values {
+		values[i] = int64(1 + rng.Intn(50))
+		labels[i] = rng.Intn(m)
+	}
+	want := mustSerial(t, values, labels, m)
+	got, err := Spinetree(AddInt64, values, labels, m, Config{SpineTest: SpineTestNonzero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstSerial(t, "nonzero/positive", got, want)
+}
+
+// TestSpineTestNonzeroFailureMode documents why this package defaults
+// to SpineTestMarker: with mixed-sign values, a middle spine element
+// whose children sum to zero is skipped by the paper's test and drops
+// the running prefix for everything above it. The construction needs a
+// spine chain of length >= 3 (P=2, four rows) with the middle chain
+// link's children summing to zero.
+func TestSpineTestNonzeroFailureMode(t *testing.T) {
+	values := []int64{10, 20, 1, -1, 7, 7, 7, 7}
+	labels := []int{0, 0, 0, 0, 0, 0, 0, 0}
+	want := mustSerial(t, values, labels, 1)
+
+	good, err := Spinetree(AddInt64, values, labels, 1, Config{RowLength: 2, SpineTest: SpineTestMarker})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstSerial(t, "marker", good, want)
+
+	bad, err := Spinetree(AddInt64, values, labels, 1, Config{RowLength: 2, SpineTest: SpineTestNonzero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if equalInt64(bad.Multi, want.Multi) {
+		t.Fatalf("expected the paper's rowsum!=0 test to fail on this input; it produced correct results %v", bad.Multi)
+	}
+}
+
+// TestSpineTestNonzeroRequiresIsIdentity: ops without the predicate are
+// rejected up front.
+func TestSpineTestNonzeroRequiresIsIdentity(t *testing.T) {
+	op := Op[int64]{Name: "bare", Combine: func(a, b int64) int64 { return a + b }}
+	_, err := Spinetree(op, []int64{1}, []int{0}, 1, Config{SpineTest: SpineTestNonzero})
+	if err == nil {
+		t.Fatal("expected error for SpineTestNonzero without IsIdentity")
+	}
+}
+
+// TestIndirectInitMatches: the theoretical label-driven initialization
+// produces identical results.
+func TestIndirectInitMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, tc := range genCases(rng) {
+		want := mustSerial(t, tc.values, tc.labels, tc.m)
+		got, err := Spinetree(AddInt64, tc.values, tc.labels, tc.m, Config{IndirectInit: true})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		// Indirect init leaves untouched buckets' spine dangling, but
+		// reductions of untouched buckets must still be the identity.
+		checkAgainstSerial(t, tc.name+"/indirect", got, want)
+	}
+}
+
+// TestFloat64Engines: float addition is only associative up to
+// rounding; with small integers stored in float64 the comparison is
+// exact.
+func TestFloat64Engines(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n, m := 500, 11
+	values := make([]float64, n)
+	labels := make([]int, n)
+	for i := range values {
+		values[i] = float64(rng.Intn(100))
+		labels[i] = rng.Intn(m)
+	}
+	want, err := Serial(AddFloat64, values, labels, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Spinetree(AddFloat64, values, labels, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Multi {
+		if st.Multi[i] != want.Multi[i] {
+			t.Fatalf("Multi[%d] = %v, want %v", i, st.Multi[i], want.Multi[i])
+		}
+	}
+}
+
+// TestMutexArbMatches: the striped-mutex arbitration ablation must
+// agree with the atomic-store default (any winner is a legal ARB
+// outcome and the algorithm is winner-independent).
+func TestMutexArbMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, tc := range genCases(rng) {
+		want := mustSerial(t, tc.values, tc.labels, tc.m)
+		got, err := Parallel(AddInt64, tc.values, tc.labels, tc.m, Config{Workers: 4, MutexArb: true})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		checkAgainstSerial(t, tc.name+"/mutex-arb", got, want)
+		red, err := ParallelReduce(AddInt64, tc.values, tc.labels, tc.m, Config{Workers: 4, MutexArb: true})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !equalInt64(red, want.Reductions) {
+			t.Errorf("%s: mutex-arb reduce = %v, want %v", tc.name, red, want.Reductions)
+		}
+	}
+}
+
+// TestBoolOps drives the boolean operators through the engines: the
+// paper's BOOLEAN type with AND/OR (plus XOR).
+func TestBoolOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n, m := 300, 6
+	values := make([]bool, n)
+	labels := make([]int, n)
+	for i := range values {
+		values[i] = rng.Intn(2) == 0
+		labels[i] = rng.Intn(m)
+	}
+	for _, op := range []Op[bool]{AndBool, OrBool, XorBool} {
+		want, err := Serial(op, values, labels, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, eng := range map[string]Engine[bool]{
+			"spinetree": SpinetreeEngine[bool](Config{}),
+			"parallel":  ParallelEngine[bool](Config{Workers: 3}),
+			"chunked":   ChunkedEngine[bool](Config{Workers: 3}),
+		} {
+			got, err := eng(op, values, labels, m)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", op.Name, name, err)
+			}
+			for i := range want.Multi {
+				if got.Multi[i] != want.Multi[i] {
+					t.Fatalf("%s/%s: Multi[%d] = %v, want %v", op.Name, name, i, got.Multi[i], want.Multi[i])
+				}
+			}
+			for k := range want.Reductions {
+				if got.Reductions[k] != want.Reductions[k] {
+					t.Fatalf("%s/%s: Reductions[%d] mismatch", op.Name, name, k)
+				}
+			}
+		}
+	}
+}
+
+// TestMulOverflowConsistency: multiplication overflows wrap mod 2^64,
+// which stays associative, so engines must still agree bit-for-bit.
+func TestMulOverflowConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	n, m := 200, 4
+	values := make([]int64, n)
+	labels := make([]int, n)
+	for i := range values {
+		values[i] = rng.Int63() | 1 // odd, large
+		labels[i] = rng.Intn(m)
+	}
+	want := mustSerialOp(t, MulInt64, values, labels, m)
+	got, err := Spinetree(MulInt64, values, labels, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstSerial(t, "mul-overflow", got, want)
+}
+
+// TestPointerFormulationMatches: the original Figure 3/4 pointer-based
+// algorithm agrees with the serial reference and with the §4 pivot
+// (array-index) port on every case — making the paper's Cray
+// transformation itself a tested refactoring.
+func TestPointerFormulationMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, tc := range genCases(rng) {
+		want := mustSerial(t, tc.values, tc.labels, tc.m)
+		for _, p := range []int{0, 1, 3} {
+			got, err := SpinetreePointers(AddInt64, tc.values, tc.labels, tc.m, Config{RowLength: p})
+			if err != nil {
+				t.Fatalf("%s/p=%d: %v", tc.name, p, err)
+			}
+			checkAgainstSerial(t, tc.name+"/pointers", got, want)
+			idx, err := Spinetree(AddInt64, tc.values, tc.labels, tc.m, Config{RowLength: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalInt64(got.Multi, idx.Multi) || !equalInt64(got.Reductions, idx.Reductions) {
+				t.Fatalf("%s/p=%d: pointer and pivot formulations disagree", tc.name, p)
+			}
+		}
+	}
+	// Non-commutative order preserved by the pointer formulation too.
+	values := []string{"a", "b", "c", "d", "e", "f"}
+	labels := []int{0, 1, 0, 1, 0, 1}
+	want, err := Serial(ConcatString, values, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SpinetreePointers(ConcatString, values, labels, 2, Config{RowLength: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range want.Reductions {
+		if got.Reductions[k] != want.Reductions[k] {
+			t.Fatalf("Reductions[%d] = %q, want %q", k, got.Reductions[k], want.Reductions[k])
+		}
+	}
+	// The paper's nonzero spine test needs IsIdentity here as well.
+	bare := Op[int64]{Name: "bare", Combine: func(a, b int64) int64 { return a + b }}
+	if _, err := SpinetreePointers(bare, []int64{1}, []int{0}, 1, Config{SpineTest: SpineTestNonzero}); err == nil {
+		t.Error("SpineTestNonzero without IsIdentity accepted")
+	}
+}

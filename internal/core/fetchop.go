@@ -1,0 +1,95 @@
+package core
+
+// FetchOp provides the fetch-and-op primitive of the NYU Ultracomputer
+// in deterministic, vector-ordered form (paper §1): cells[addrs[i]] is
+// a shared variable; each request i atomically fetches its current
+// value and combines increments[i] into it. Unlike hardware
+// fetch-and-add, evaluation order is the vector index order, so the
+// result is reproducible. Returns the fetched (pre-update) values and
+// mutates cells in place.
+//
+// This is exactly a multiprefix whose labels are the addresses, with
+// the initial cell contents folded in front of each class.
+func FetchOp[T any](op Op[T], cells []T, addrs []int, increments []T, engine Engine[T]) ([]T, error) {
+	if len(addrs) != len(increments) {
+		return nil, wrapBadInput("len(addrs)=%d, len(increments)=%d", len(addrs), len(increments))
+	}
+	res, err := engine(op, increments, addrs, len(cells))
+	if err != nil {
+		return nil, err
+	}
+	fetched := res.Multi
+	for i, a := range addrs {
+		fetched[i] = op.Combine(cells[a], fetched[i])
+	}
+	for a := range cells {
+		cells[a] = op.Combine(cells[a], res.Reductions[a])
+	}
+	return fetched, nil
+}
+
+// CombiningSend performs the Connection Machine's combining send
+// (paper §1): each value is "sent" to dst[dest[i]]; values arriving at
+// the same destination are combined with op, in vector order, on top
+// of the destination's existing contents. As the paper notes, "a
+// combining-send operation is provided directly by multiprefix, but
+// only the reduction values are used" — so this delegates to the
+// engine's multireduce and is deterministic, unlike the hardware.
+func CombiningSend[T any](op Op[T], dst []T, dest []int, values []T, engine Engine[T]) error {
+	res, err := engine(op, values, dest, len(dst))
+	if err != nil {
+		return err
+	}
+	for k := range dst {
+		dst[k] = op.Combine(dst[k], res.Reductions[k])
+	}
+	return nil
+}
+
+// Beta is CM-Lisp's β operation (paper §1): combine the values sharing
+// each key and report which keys occurred. Keys that never occur do
+// not appear in the output map.
+func Beta[T any](op Op[T], values []T, keys []int, m int, engine Engine[T]) (map[int]T, error) {
+	res, err := engine(op, values, keys, m)
+	if err != nil {
+		return nil, err
+	}
+	present := make(map[int]T)
+	for _, k := range keys {
+		if _, done := present[k]; !done {
+			present[k] = res.Reductions[k]
+		}
+	}
+	return present, nil
+}
+
+// InclusiveMulti converts the exclusive multiprefix sums of a Result
+// into inclusive ones (each element's sum includes its own value):
+// inclusive_i = multi_i ⊕ a_i. A separate helper because the paper's
+// definition — and every engine here — is exclusive.
+func InclusiveMulti[T any](op Op[T], multi, values []T) ([]T, error) {
+	if len(multi) != len(values) {
+		return nil, wrapBadInput("len(multi)=%d, len(values)=%d", len(multi), len(values))
+	}
+	out := make([]T, len(multi))
+	for i := range multi {
+		out[i] = op.Combine(multi[i], values[i])
+	}
+	return out, nil
+}
+
+// Enumerate assigns consecutive ranks 0,1,2,... to the elements of each
+// label class, in vector order — multiprefix-PLUS over a vector of
+// ones, the paper's canonical example (Figure 7's final state). Also
+// returns the per-label counts (a histogram).
+func Enumerate(labels []int, m int, engine Engine[int64]) (ranks []int64, counts []int64, err error) {
+	ones := make([]int64, len(labels))
+	for i := range ones {
+		ones[i] = 1
+	}
+	res, err := engine(AddInt64, ones, labels, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Multi, res.Reductions, nil
+}

@@ -1,0 +1,143 @@
+package core
+
+import "math"
+
+// Grid is the conceptual row/column arrangement of the n elements
+// (paper §2.2 and Figure 8). Element i lives in row i/P and column i%P.
+// Rows are numbered from the bottom (row 0 holds the first P elements in
+// vector order); columns from the left. The paper assumes n is a perfect
+// square; this implementation allows any P >= 1 and a ragged top row,
+// which preserves every property the correctness proofs rely on (each
+// element is in exactly one row and one column).
+type Grid struct {
+	N    int // number of elements
+	P    int // row length == number of columns
+	Rows int // ceil(N / P)
+}
+
+// NewGrid builds a grid over n elements with row length p.
+// p <= 0 selects ceil(sqrt(n)).
+func NewGrid(n, p int) Grid {
+	if n < 0 {
+		n = 0
+	}
+	if p <= 0 {
+		p = int(math.Ceil(math.Sqrt(float64(n))))
+		if p < 1 {
+			p = 1
+		}
+	}
+	rows := 0
+	if n > 0 {
+		rows = (n + p - 1) / p
+	}
+	return Grid{N: n, P: p, Rows: rows}
+}
+
+// Row returns the half-open element range [lo, hi) of row r.
+func (g Grid) Row(r int) (lo, hi int) {
+	lo = r * g.P
+	hi = lo + g.P
+	if hi > g.N {
+		hi = g.N
+	}
+	return lo, hi
+}
+
+// ColumnLen reports how many elements column c holds.
+func (g Grid) ColumnLen(c int) int {
+	if c >= g.N {
+		return 0
+	}
+	return (g.N - c + g.P - 1) / g.P
+}
+
+// VectorParams hold the (t_e, n_1/2) characterization of one vectorized
+// loop (paper §4.1, Hockney–Jesshope model): the asymptotic time per
+// element and the half-performance length, so that a loop over k
+// elements costs about t_e * (k + n_1/2).
+type VectorParams struct {
+	TE    float64 // clocks per element, asymptotic
+	NHalf float64 // half-performance length, elements
+}
+
+// Time evaluates the loop model for a vector of length k.
+func (v VectorParams) Time(k int) float64 {
+	return v.TE * (float64(k) + v.NHalf)
+}
+
+// PhaseParams are the per-phase loop parameters in paper Table 3 order:
+// SPINETREE, ROWSUM, SPINESUM, PREFIXSUM.
+type PhaseParams [4]VectorParams
+
+// PaperPhaseParams reproduces paper Table 3 (CRAY Y-MP, 6 ns clocks).
+var PaperPhaseParams = PhaseParams{
+	{TE: 5.3, NHalf: 20}, // SPINETREE
+	{TE: 4.1, NHalf: 40}, // ROWSUM
+	{TE: 7.4, NHalf: 20}, // SPINESUM
+	{TE: 6.9, NHalf: 40}, // PREFIXSUM
+}
+
+// TotalTime evaluates the four-phase cost model of paper §4.4 for n
+// elements and row length p: row phases (1 and 3) issue one vector
+// operation per row of length p; column phases (2 and 4) issue one per
+// column of length n/p.
+func (pp PhaseParams) TotalTime(n int, p float64) float64 {
+	if p < 1 {
+		p = 1
+	}
+	rows := float64(n) / p
+	return pp[0].TE*(p+pp[0].NHalf)*rows +
+		pp[1].TE*(rows+pp[1].NHalf)*p +
+		pp[2].TE*(p+pp[2].NHalf)*rows +
+		pp[3].TE*(rows+pp[3].NHalf)*p
+}
+
+// OptimalRowLength returns the row length minimizing TotalTime:
+// p* = sqrt(n) * sqrt((t1*h1 + t3*h3) / (t2*h2 + t4*h4)).
+// With the paper's Table 3 parameters the skew factor is ~0.76,
+// matching the paper's reported p = 0.749*sqrt(n) (§4.4).
+func (pp PhaseParams) OptimalRowLength(n int) float64 {
+	num := pp[0].TE*pp[0].NHalf + pp[2].TE*pp[2].NHalf
+	den := pp[1].TE*pp[1].NHalf + pp[3].TE*pp[3].NHalf
+	if den == 0 {
+		return math.Sqrt(float64(n))
+	}
+	return math.Sqrt(float64(n)) * math.Sqrt(num/den)
+}
+
+// ChooseRowLength picks a practical row length near sqrt(n) that is not
+// a multiple of the memory bank count nor of the bank cycle time
+// (paper §4.4: the row length is the stride of column access, and
+// stride patterns that hit the same banks serialize). banks <= 0 and
+// bankBusy <= 0 default to the CRAY Y-MP-ish 64 and 4.
+func ChooseRowLength(n, banks, bankBusy int) int {
+	if banks <= 0 {
+		banks = 64
+	}
+	if bankBusy <= 0 {
+		bankBusy = 4
+	}
+	target := int(math.Round(math.Sqrt(float64(n))))
+	if target < 1 {
+		target = 1
+	}
+	ok := func(p int) bool {
+		if p < 1 {
+			return false
+		}
+		// A modulus of 1 divides everything and aliases nothing.
+		if p > 1 && ((banks > 1 && p%banks == 0) || (bankBusy > 1 && p%bankBusy == 0)) {
+			return false
+		}
+		return true
+	}
+	for d := 0; ; d++ {
+		if ok(target + d) {
+			return target + d
+		}
+		if ok(target - d) {
+			return target - d
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestGridPartition: rows and columns each partition [0, n) exactly.
+func TestGridPartition(t *testing.T) {
+	prop := func(nRaw, pRaw uint16) bool {
+		n := int(nRaw % 2000)
+		p := int(pRaw%100) + 1
+		g := NewGrid(n, p)
+		seen := make([]int, n)
+		for r := 0; r < g.Rows; r++ {
+			lo, hi := g.Row(r)
+			if hi-lo > g.P || (r < g.Rows-1 && hi-lo != g.P) {
+				return false
+			}
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		// Columns partition too.
+		total := 0
+		for c := 0; c < g.P; c++ {
+			total += g.ColumnLen(c)
+		}
+		return total == n
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridAutoRowLength(t *testing.T) {
+	g := NewGrid(100, 0)
+	if g.P != 10 || g.Rows != 10 {
+		t.Errorf("NewGrid(100, 0) = %+v, want 10x10", g)
+	}
+	g = NewGrid(101, 0)
+	if g.P != 11 || g.Rows != 10 {
+		t.Errorf("NewGrid(101, 0) = %+v, want P=11 Rows=10", g)
+	}
+	g = NewGrid(0, 0)
+	if g.Rows != 0 {
+		t.Errorf("NewGrid(0, 0) = %+v, want 0 rows", g)
+	}
+}
+
+// TestOptimalRowLengthPaperValue: with Table 3 parameters the optimal
+// skew is about 0.75-0.76 of sqrt(n) (the paper reports 0.749).
+func TestOptimalRowLengthPaperValue(t *testing.T) {
+	n := 1000000
+	p := PaperPhaseParams.OptimalRowLength(n)
+	ratio := p / math.Sqrt(float64(n))
+	if ratio < 0.70 || ratio > 0.80 {
+		t.Errorf("optimal row length ratio = %.3f, want ~0.75 (paper: 0.749)", ratio)
+	}
+}
+
+// TestRowLengthSensitivity: paper §4.4 reports that using sqrt(n)
+// instead of the optimum costs < 2% at n = 1000 and less for larger n.
+func TestRowLengthSensitivity(t *testing.T) {
+	for _, n := range []int{1000, 10000, 1000000} {
+		opt := PaperPhaseParams.OptimalRowLength(n)
+		tOpt := PaperPhaseParams.TotalTime(n, opt)
+		tSqrt := PaperPhaseParams.TotalTime(n, math.Sqrt(float64(n)))
+		excess := (tSqrt - tOpt) / tOpt
+		if excess < 0 {
+			t.Errorf("n=%d: sqrt(n) beat the 'optimal' row length by %.2f%%", n, -100*excess)
+		}
+		if excess > 0.02 {
+			t.Errorf("n=%d: sqrt(n) row length costs %.2f%% over optimal, paper says < 2%%", n, 100*excess)
+		}
+	}
+	// The optimum really is a local minimum.
+	n := 10000
+	opt := PaperPhaseParams.OptimalRowLength(n)
+	tOpt := PaperPhaseParams.TotalTime(n, opt)
+	for _, f := range []float64{0.5, 0.8, 1.25, 2.0} {
+		if PaperPhaseParams.TotalTime(n, opt*f) < tOpt {
+			t.Errorf("TotalTime(%d, %.1f*opt) < TotalTime at opt", n, f)
+		}
+	}
+}
+
+func TestChooseRowLength(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 100, 1024, 4096, 65536, 1 << 20} {
+		p := ChooseRowLength(n, 64, 4)
+		if p < 1 {
+			t.Fatalf("ChooseRowLength(%d) = %d", n, p)
+		}
+		if p > 1 && (p%64 == 0 || p%4 == 0) {
+			t.Errorf("ChooseRowLength(%d) = %d is a multiple of 64 or 4", n, p)
+		}
+		root := math.Sqrt(float64(n))
+		if float64(p) < root-5 || float64(p) > root+5 {
+			t.Errorf("ChooseRowLength(%d) = %d, too far from sqrt=%.1f", n, p, root)
+		}
+	}
+	if p := ChooseRowLength(0, 0, 0); p != 1 {
+		t.Errorf("ChooseRowLength(0) = %d, want 1", p)
+	}
+}
+
+func TestVectorParamsTime(t *testing.T) {
+	v := VectorParams{TE: 2, NHalf: 10}
+	if got := v.Time(90); got != 200 {
+		t.Errorf("Time(90) = %v, want 200", got)
+	}
+	// Half-performance property: at k = n_1/2 the loop runs at half the
+	// asymptotic rate (time per element is twice t_e).
+	perElt := v.Time(10) / 10
+	if math.Abs(perElt-2*v.TE) > 1e-9 {
+		t.Errorf("time per element at n_1/2 = %v, want %v", perElt, 2*v.TE)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// inputCase is one randomized multiprefix input shared by the
+// cross-engine tests.
+type inputCase struct {
+	name   string
+	values []int64
+	labels []int
+	m      int
+}
+
+// genCases builds a spread of label distributions: uniform, all-equal,
+// one-per-element, heavily skewed, sparse label space (m > n), and the
+// degenerate sizes the paper's grid logic must survive.
+func genCases(rng *rand.Rand) []inputCase {
+	sizes := []int{0, 1, 2, 3, 7, 9, 16, 100, 257, 1000}
+	var cases []inputCase
+	for _, n := range sizes {
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(2001) - 1000)
+		}
+		addCase := func(name string, labels []int, m int) {
+			cases = append(cases, inputCase{name: name, values: vals, labels: labels, m: m})
+		}
+		if n == 0 {
+			addCase("empty/m0", nil, 0)
+			addCase("empty/m5", nil, 5)
+			continue
+		}
+		uniform := make([]int, n)
+		m := n/2 + 1
+		for i := range uniform {
+			uniform[i] = rng.Intn(m)
+		}
+		addCase("uniform", uniform, m)
+
+		same := make([]int, n)
+		addCase("all-equal", same, 1)
+
+		distinct := make([]int, n)
+		for i := range distinct {
+			distinct[i] = i
+		}
+		addCase("one-per-element", distinct, n)
+
+		skew := make([]int, n)
+		for i := range skew {
+			if rng.Intn(10) < 8 {
+				skew[i] = 0
+			} else {
+				skew[i] = 1 + rng.Intn(4)
+			}
+		}
+		addCase("skewed", skew, 5)
+
+		sparse := make([]int, n)
+		big := 4*n + 17
+		for i := range sparse {
+			sparse[i] = rng.Intn(big)
+		}
+		addCase("sparse-m>n", sparse, big)
+	}
+	return cases
+}
+
+// mustSerial computes the reference result or fails the test.
+func mustSerial(t *testing.T, values []int64, labels []int, m int) Result[int64] {
+	t.Helper()
+	want, err := Serial(AddInt64, values, labels, m)
+	if err != nil {
+		t.Fatalf("Serial: %v", err)
+	}
+	return want
+}
+
+// equalInt64 compares two int64 slices, treating nil and empty alike.
+func equalInt64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAgainstSerial verifies an engine result against the reference.
+func checkAgainstSerial(t *testing.T, name string, got Result[int64], want Result[int64]) {
+	t.Helper()
+	if !equalInt64(got.Multi, want.Multi) {
+		t.Errorf("%s: Multi mismatch\n got %v\nwant %v", name, got.Multi, want.Multi)
+	}
+	if !equalInt64(got.Reductions, want.Reductions) {
+		t.Errorf("%s: Reductions mismatch\n got %v\nwant %v", name, got.Reductions, want.Reductions)
+	}
+}
+
+// mustSerialOp is mustSerial for an arbitrary int64 operator.
+func mustSerialOp(t *testing.T, op Op[int64], values []int64, labels []int, m int) Result[int64] {
+	t.Helper()
+	want, err := Serial(op, values, labels, m)
+	if err != nil {
+		t.Fatalf("Serial: %v", err)
+	}
+	return want
+}

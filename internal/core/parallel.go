@@ -1,0 +1,215 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"multiprefix/internal/par"
+)
+
+// Parallel computes the multiprefix operation with the paper's
+// four-phase algorithm executed by a pool of goroutines in
+// barrier-synchronous steps — the closest Go analogue of the
+// p = sqrt(n) processor PRAM execution.
+//
+// The CRCW-ARB arbitrary concurrent write of the SPINETREE phase is
+// modeled with atomic stores: when several goroutines store different
+// element indices into the same bucket's spine slot, the one whose
+// store lands last wins, which is a legal ARB outcome. Every read of a
+// concurrently-written slot happens on the far side of a barrier, so
+// the implementation is race-detector clean. All other phases write
+// distinct addresses within each step (Theorems 1–2 of the paper), so
+// they need no synchronization beyond the barriers.
+//
+// Each pardo step in the paper touches one row or column (sqrt(n)
+// elements); running one goroutine per element would drown in barrier
+// costs, so each step's elements are partitioned across cfg.Workers
+// goroutines instead — the standard processor-virtualization argument
+// (each worker simulates sqrt(n)/W virtual processors per step).
+func Parallel[T any](op Op[T], values []T, labels []int, m int, cfg Config) (Result[T], error) {
+	if err := checkInputs(op, values, labels, m); err != nil {
+		return Result[T]{}, err
+	}
+	a, err := newArena(op, labels, m, cfg)
+	if err != nil {
+		return Result[T]{}, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	if workers > a.grid.P {
+		workers = a.grid.P // no point exceeding the widest pardo
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	multi := make([]T, len(values))
+	run := parRunner[T]{a: a, op: op, values: values, labels: labels, multi: multi, workers: workers, test: cfg.SpineTest}
+	if cfg.MutexArb {
+		run.locks = make([]sync.Mutex, arbLockStripes)
+	}
+	run.spinetree()
+	run.rowsums()
+	run.spinesums()
+	red := a.reductions(op)
+	run.multisums()
+	return Result[T]{Multi: multi, Reductions: red}, nil
+}
+
+// ParallelReduce is the multireduce counterpart of Parallel.
+func ParallelReduce[T any](op Op[T], values []T, labels []int, m int, cfg Config) ([]T, error) {
+	if err := checkInputs(op, values, labels, m); err != nil {
+		return nil, err
+	}
+	a, err := newArena(op, labels, m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	if workers > a.grid.P {
+		workers = a.grid.P
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	run := parRunner[T]{a: a, op: op, values: values, labels: labels, workers: workers, test: cfg.SpineTest}
+	if cfg.MutexArb {
+		run.locks = make([]sync.Mutex, arbLockStripes)
+	}
+	run.spinetree()
+	run.rowsums()
+	run.spinesums()
+	return a.reductions(op), nil
+}
+
+// arbLockStripes is the stripe count for the MutexArb ablation.
+const arbLockStripes = 64
+
+type parRunner[T any] struct {
+	a       *arena[T]
+	op      Op[T]
+	values  []T
+	labels  []int
+	multi   []T
+	workers int
+	test    SpineTest
+	locks   []sync.Mutex // nil => atomic-store arbitration
+}
+
+// launch runs body on every worker and waits. body receives the worker
+// id and a barrier shared by exactly the workers.
+func (r *parRunner[T]) launch(body func(w int, bar *par.Barrier)) {
+	if r.workers == 1 {
+		body(0, par.NewBarrier(1))
+		return
+	}
+	bar := par.NewBarrier(r.workers)
+	var wg sync.WaitGroup
+	wg.Add(r.workers)
+	for w := 0; w < r.workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			body(w, bar)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// spinetree runs the SPINETREE phase: for each row, top to bottom, a
+// gather half-step (concurrent read of bucket spines) and a scatter
+// half-step (ARB concurrent write), separated by barriers so that PRAM
+// read-before-write semantics hold within the step.
+func (r *parRunner[T]) spinetree() {
+	a, m := r.a, r.a.m
+	r.launch(func(w int, bar *par.Barrier) {
+		for row := a.grid.Rows - 1; row >= 0; row-- {
+			lo, hi := a.grid.Row(row)
+			wlo, whi := par.Range(hi-lo, r.workers, w)
+			for i := lo + wlo; i < lo+whi; i++ {
+				a.spine[m+i] = atomic.LoadInt32(&a.spine[r.labels[i]])
+			}
+			bar.Await()
+			if r.locks == nil {
+				for i := lo + wlo; i < lo+whi; i++ {
+					atomic.StoreInt32(&a.spine[r.labels[i]], int32(m+i))
+				}
+			} else {
+				for i := lo + wlo; i < lo+whi; i++ {
+					l := r.labels[i]
+					mu := &r.locks[l%arbLockStripes]
+					mu.Lock()
+					a.spine[l] = int32(m + i)
+					mu.Unlock()
+				}
+			}
+			bar.Await()
+		}
+	})
+}
+
+// rowsums runs the ROWSUMS phase column by column. Within a column all
+// parents are distinct (Corollary 1), so plain writes suffice; the
+// barrier between columns orders sibling updates so that a parent's
+// rowsum accumulates in vector order even for non-commutative ops.
+func (r *parRunner[T]) rowsums() {
+	a, m, op := r.a, r.a.m, r.op
+	r.launch(func(w int, bar *par.Barrier) {
+		for c := 0; c < a.grid.P; c++ {
+			colLen := a.grid.ColumnLen(c)
+			wlo, whi := par.Range(colLen, r.workers, w)
+			for k := wlo; k < whi; k++ {
+				i := c + k*a.grid.P
+				p := a.spine[m+i]
+				a.rowsum[p] = op.Combine(a.rowsum[p], r.values[i])
+				if a.isSpine != nil {
+					a.isSpine[p] = true
+				}
+			}
+			bar.Await()
+		}
+	})
+}
+
+// spinesums runs the SPINESUMS phase row by row, bottom to top. At most
+// one spine element per class per row and distinct parents across
+// classes make each step EREW.
+func (r *parRunner[T]) spinesums() {
+	a, m, op := r.a, r.a.m, r.op
+	r.launch(func(w int, bar *par.Barrier) {
+		for row := 0; row < a.grid.Rows; row++ {
+			lo, hi := a.grid.Row(row)
+			wlo, whi := par.Range(hi-lo, r.workers, w)
+			for i := lo + wlo; i < lo+whi; i++ {
+				if !a.spineElement(m+i, r.test) {
+					continue
+				}
+				p := a.spine[m+i]
+				a.spinesum[p] = op.Combine(a.spinesum[m+i], a.rowsum[m+i])
+			}
+			bar.Await()
+		}
+	})
+}
+
+// multisums runs the MULTISUMS phase column by column; same EREW
+// argument as rowsums.
+func (r *parRunner[T]) multisums() {
+	a, m, op := r.a, r.a.m, r.op
+	r.launch(func(w int, bar *par.Barrier) {
+		for c := 0; c < a.grid.P; c++ {
+			colLen := a.grid.ColumnLen(c)
+			wlo, whi := par.Range(colLen, r.workers, w)
+			for k := wlo; k < whi; k++ {
+				i := c + k*a.grid.P
+				p := a.spine[m+i]
+				r.multi[i] = a.spinesum[p]
+				a.spinesum[p] = op.Combine(a.spinesum[p], r.values[i])
+			}
+			bar.Await()
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package core
+
+// This file implements the multiprefix algorithm in its ORIGINAL
+// pointer-based formulation (paper Figures 3 and 4): a spinerec record
+// per element and per bucket, with a spine *pointer* linking children
+// to parents. The paper's §4 port to the CRAY replaced pointers with
+// array indices and unpacked the record into separate vectors (the
+// pivot layout of spinetree.go); keeping the pointer version alive
+// gives a third independent implementation to cross-check, and makes
+// the §4 transformation itself testable rather than narrative.
+
+// spineRec is the paper's Figure 3 record type.
+type spineRec[T any] struct {
+	spine    *spineRec[T]
+	rowsum   T
+	spinesum T
+	isSpine  bool
+}
+
+// SpinetreePointers computes the multiprefix operation with the
+// pointer-based algorithm, sequentially. Results are bit-identical to
+// Serial and to the index-based Spinetree for every input (tested).
+func SpinetreePointers[T any](op Op[T], values []T, labels []int, m int, cfg Config) (Result[T], error) {
+	if err := checkInputs(op, values, labels, m); err != nil {
+		return Result[T]{}, err
+	}
+	if cfg.SpineTest == SpineTestNonzero && op.IsIdentity == nil {
+		return Result[T]{}, wrapBadInput("SpineTestNonzero requires Op.IsIdentity (op %q has none)", op.Name)
+	}
+	n := len(values)
+	grid := NewGrid(n, cfg.RowLength)
+
+	// INITIALIZATION (Figure 3): clear temporaries; bucket spine
+	// pointers to themselves; element spine pointers to their bucket.
+	buckets := make([]spineRec[T], m)
+	temp := make([]spineRec[T], n)
+	for b := range buckets {
+		buckets[b] = spineRec[T]{spine: &buckets[b], rowsum: op.Identity, spinesum: op.Identity}
+	}
+	for i := range temp {
+		temp[i] = spineRec[T]{spine: &buckets[labels[i]], rowsum: op.Identity, spinesum: op.Identity}
+	}
+
+	// SPINETREE (Figure 4): rows top to bottom; within a row, all
+	// concurrent reads precede the arbitrary concurrent write (here:
+	// two sequential half-sweeps, last writer wins).
+	for r := grid.Rows - 1; r >= 0; r-- {
+		lo, hi := grid.Row(r)
+		for i := lo; i < hi; i++ {
+			temp[i].spine = buckets[labels[i]].spine
+		}
+		for i := lo; i < hi; i++ {
+			buckets[labels[i]].spine = &temp[i]
+		}
+	}
+
+	// ROWSUMS: columns left to right; each element updates its parent.
+	for c := 0; c < grid.P; c++ {
+		for i := c; i < n; i += grid.P {
+			p := temp[i].spine
+			p.rowsum = op.Combine(p.rowsum, values[i])
+			p.isSpine = true
+		}
+	}
+
+	// SPINESUMS: rows bottom to top; spine elements forward
+	// spinesum ⊕ rowsum to their parent.
+	useMarker := cfg.SpineTest == SpineTestMarker
+	for r := 0; r < grid.Rows; r++ {
+		lo, hi := grid.Row(r)
+		for i := lo; i < hi; i++ {
+			participates := temp[i].isSpine
+			if !useMarker {
+				participates = !op.IsIdentity(temp[i].rowsum)
+			}
+			if participates {
+				temp[i].spine.spinesum = op.Combine(temp[i].spinesum, temp[i].rowsum)
+			}
+		}
+	}
+
+	// Reductions per bucket (§4.2), before MULTISUMS mutates spinesums.
+	reductions := make([]T, m)
+	for b := range buckets {
+		reductions[b] = op.Combine(buckets[b].spinesum, buckets[b].rowsum)
+	}
+
+	// MULTISUMS: columns left to right.
+	multi := make([]T, n)
+	for c := 0; c < grid.P; c++ {
+		for i := c; i < n; i += grid.P {
+			p := temp[i].spine
+			multi[i] = p.spinesum
+			p.spinesum = op.Combine(p.spinesum, values[i])
+		}
+	}
+	return Result[T]{Multi: multi, Reductions: reductions}, nil
+}

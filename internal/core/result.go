@@ -1,0 +1,52 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Result holds the two outputs of a multiprefix operation.
+type Result[T any] struct {
+	// Multi[i] is the combine, in vector order, of all values preceding
+	// element i that carry the same label as element i; the identity for
+	// the first element of each class. len(Multi) == n.
+	Multi []T
+	// Reductions[k] is the combine of all values labeled k; the identity
+	// for labels that never appear. len(Reductions) == m.
+	Reductions []T
+}
+
+// ErrBadInput is wrapped by every input-validation failure in this package.
+var ErrBadInput = errors.New("multiprefix: bad input")
+
+// checkInputs validates the common (values, labels, m) contract shared by
+// all engines: equal lengths, m >= 0, and every label in [0, m).
+func checkInputs[T any](op Op[T], values []T, labels []int, m int) error {
+	if !op.Valid() {
+		return fmt.Errorf("%w: operator has nil Combine", ErrBadInput)
+	}
+	if len(values) != len(labels) {
+		return fmt.Errorf("%w: len(values)=%d, len(labels)=%d", ErrBadInput, len(values), len(labels))
+	}
+	if m < 0 {
+		return fmt.Errorf("%w: m=%d < 0", ErrBadInput, m)
+	}
+	for i, l := range labels {
+		if l < 0 || l >= m {
+			return fmt.Errorf("%w: labels[%d]=%d outside [0, %d)", ErrBadInput, i, l, m)
+		}
+	}
+	return nil
+}
+
+// wrapBadInput formats a validation error wrapping ErrBadInput.
+func wrapBadInput(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadInput, fmt.Sprintf(format, args...))
+}
+
+// fillIdentity sets every element of dst to the operator identity.
+func fillIdentity[T any](dst []T, identity T) {
+	for i := range dst {
+		dst[i] = identity
+	}
+}

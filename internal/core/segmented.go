@@ -1,0 +1,71 @@
+package core
+
+// SegmentedScan computes an exclusive segmented scan: for each element,
+// the combine of all preceding values in its segment. segments marks
+// segment starts with true (element 0 starts a segment implicitly).
+// As the paper observes (§1), a segmented scan is a multiprefix in
+// which every element of a segment carries the same label; this
+// function materializes those labels and delegates to engine.
+//
+// Returns the per-element exclusive scans and the per-segment totals
+// (in segment order).
+func SegmentedScan[T any](op Op[T], values []T, segments []bool, engine Engine[T]) (scans []T, totals []T, err error) {
+	if len(values) != len(segments) {
+		return nil, nil, wrapBadInput("len(values)=%d, len(segments)=%d", len(values), len(segments))
+	}
+	labels, m := SegmentLabels(segments)
+	res, err := engine(op, values, labels, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Multi, res.Reductions, nil
+}
+
+// SegmentLabels converts start-flags into the label vector the paper's
+// reduction uses: element i gets the index of its segment. Returns the
+// labels and the segment count m.
+func SegmentLabels(segments []bool) ([]int, int) {
+	labels := make([]int, len(segments))
+	seg := -1
+	for i, start := range segments {
+		if start || i == 0 {
+			seg++
+		}
+		labels[i] = seg
+	}
+	return labels, seg + 1
+}
+
+// Engine is any multiprefix implementation with the common signature;
+// Serial, Spinetree (curried with a Config), Parallel and Chunked all
+// fit. It lets the derived operations and the tests treat engines
+// uniformly.
+type Engine[T any] func(op Op[T], values []T, labels []int, m int) (Result[T], error)
+
+// SerialEngine adapts Serial to the Engine signature.
+func SerialEngine[T any]() Engine[T] {
+	return func(op Op[T], values []T, labels []int, m int) (Result[T], error) {
+		return Serial(op, values, labels, m)
+	}
+}
+
+// SpinetreeEngine adapts Spinetree with a fixed Config.
+func SpinetreeEngine[T any](cfg Config) Engine[T] {
+	return func(op Op[T], values []T, labels []int, m int) (Result[T], error) {
+		return Spinetree(op, values, labels, m, cfg)
+	}
+}
+
+// ParallelEngine adapts Parallel with a fixed Config.
+func ParallelEngine[T any](cfg Config) Engine[T] {
+	return func(op Op[T], values []T, labels []int, m int) (Result[T], error) {
+		return Parallel(op, values, labels, m, cfg)
+	}
+}
+
+// ChunkedEngine adapts Chunked with a fixed Config.
+func ChunkedEngine[T any](cfg Config) Engine[T] {
+	return func(op Op[T], values []T, labels []int, m int) (Result[T], error) {
+		return Chunked(op, values, labels, m, cfg)
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentLabels(t *testing.T) {
+	segs := []bool{false, false, true, false, true, true}
+	labels, m := SegmentLabels(segs)
+	want := []int{0, 0, 1, 1, 2, 3}
+	if m != 4 {
+		t.Fatalf("m = %d, want 4", m)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Errorf("labels[%d] = %d, want %d", i, labels[i], want[i])
+		}
+	}
+	if l, m := SegmentLabels(nil); len(l) != 0 || m != 0 {
+		t.Errorf("empty: %v %d", l, m)
+	}
+}
+
+func TestSegmentedScanMatchesDirect(t *testing.T) {
+	prop := func(raw []int8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := len(raw)
+		values := make([]int64, n)
+		segs := make([]bool, n)
+		for i := range raw {
+			values[i] = int64(raw[i])
+			segs[i] = rng.Intn(4) == 0
+		}
+		scans, totals, err := SegmentedScan(AddInt64, values, segs, SpinetreeEngine[int64](Config{}))
+		if err != nil {
+			return false
+		}
+		// Direct computation.
+		run := int64(0)
+		seg := 0
+		var wantTotals []int64
+		for i := 0; i < n; i++ {
+			if segs[i] || i == 0 {
+				if i > 0 {
+					wantTotals = append(wantTotals, run)
+					seg++
+				}
+				run = 0
+			}
+			if scans[i] != run {
+				return false
+			}
+			run += values[i]
+		}
+		if n > 0 {
+			wantTotals = append(wantTotals, run)
+		}
+		if len(totals) != len(wantTotals) {
+			return false
+		}
+		for i := range totals {
+			if totals[i] != wantTotals[i] {
+				return false
+			}
+		}
+		_ = seg
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentedScanLengthMismatch(t *testing.T) {
+	_, _, err := SegmentedScan(AddInt64, []int64{1, 2}, []bool{true}, SerialEngine[int64]())
+	if err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestFetchOpVectorOrder(t *testing.T) {
+	cells := []int64{100, 200}
+	addrs := []int{0, 1, 0, 0, 1}
+	incs := []int64{1, 2, 3, 4, 5}
+	fetched, err := FetchOp(AddInt64, cells, addrs, incs, SerialEngine[int64]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFetched := []int64{100, 200, 101, 104, 202}
+	for i := range wantFetched {
+		if fetched[i] != wantFetched[i] {
+			t.Errorf("fetched[%d] = %d, want %d", i, fetched[i], wantFetched[i])
+		}
+	}
+	if cells[0] != 108 || cells[1] != 207 {
+		t.Errorf("cells = %v, want [108 207]", cells)
+	}
+}
+
+func TestFetchOpValidation(t *testing.T) {
+	cells := []int64{0}
+	if _, err := FetchOp(AddInt64, cells, []int{0, 0}, []int64{1}, SerialEngine[int64]()); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+	if _, err := FetchOp(AddInt64, cells, []int{5}, []int64{1}, SerialEngine[int64]()); err == nil {
+		t.Fatal("expected out-of-range address error")
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	labels := []int{2, 0, 2, 2, 0}
+	ranks, counts, err := Enumerate(labels, 3, SpinetreeEngine[int64](Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRanks := []int64{0, 0, 1, 2, 1}
+	for i := range wantRanks {
+		if ranks[i] != wantRanks[i] {
+			t.Errorf("ranks[%d] = %d, want %d", i, ranks[i], wantRanks[i])
+		}
+	}
+	if counts[0] != 2 || counts[1] != 0 || counts[2] != 3 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+// TestFetchOpQuick: property-based check against a naive sequential
+// fetch-and-op oracle.
+func TestFetchOpQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nCells := 1 + rng.Intn(8)
+		n := rng.Intn(200)
+		cells := make([]int64, nCells)
+		oracleCells := make([]int64, nCells)
+		for i := range cells {
+			cells[i] = int64(rng.Intn(1000))
+			oracleCells[i] = cells[i]
+		}
+		addrs := make([]int, n)
+		incs := make([]int64, n)
+		for i := range addrs {
+			addrs[i] = rng.Intn(nCells)
+			incs[i] = int64(rng.Intn(21) - 10)
+		}
+		wantFetched := make([]int64, n)
+		for i, a := range addrs {
+			wantFetched[i] = oracleCells[a]
+			oracleCells[a] += incs[i]
+		}
+		fetched, err := FetchOp(AddInt64, cells, addrs, incs, ChunkedEngine[int64](Config{}))
+		if err != nil {
+			return false
+		}
+		for i := range wantFetched {
+			if fetched[i] != wantFetched[i] {
+				return false
+			}
+		}
+		for a := range cells {
+			if cells[a] != oracleCells[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+// Serial computes the multiprefix operation with the straightforward
+// one-pass bucket algorithm of paper Figure 2. It is the reference
+// implementation: O(n + m) time, O(m) extra space, and trivially
+// combines in vector order.
+//
+// Values carry labels in [0, m). The returned Result has Multi of
+// length len(values) and Reductions of length m.
+func Serial[T any](op Op[T], values []T, labels []int, m int) (Result[T], error) {
+	if err := checkInputs(op, values, labels, m); err != nil {
+		return Result[T]{}, err
+	}
+	multi := make([]T, len(values))
+	buckets := make([]T, m)
+	fillIdentity(buckets, op.Identity)
+	for i, v := range values {
+		l := labels[i]
+		multi[i] = buckets[l]
+		buckets[l] = op.Combine(buckets[l], v)
+	}
+	return Result[T]{Multi: multi, Reductions: buckets}, nil
+}
+
+// SerialReduce computes only the per-label reductions (the multireduce
+// operation of paper §4.2) with a single pass. It is the reference for
+// every multireduce engine and for histogramming (op = AddInt64,
+// values all 1).
+func SerialReduce[T any](op Op[T], values []T, labels []int, m int) ([]T, error) {
+	if err := checkInputs(op, values, labels, m); err != nil {
+		return nil, err
+	}
+	buckets := make([]T, m)
+	fillIdentity(buckets, op.Identity)
+	for i, v := range values {
+		l := labels[i]
+		buckets[l] = op.Combine(buckets[l], v)
+	}
+	return buckets, nil
+}
+
+// SerialInto is Serial writing into caller-provided storage, for
+// allocation-free benchmarking. multi must have length len(values) and
+// buckets length m; both are overwritten.
+func SerialInto[T any](op Op[T], values []T, labels []int, multi, buckets []T) error {
+	m := len(buckets)
+	if err := checkInputs(op, values, labels, m); err != nil {
+		return err
+	}
+	if len(multi) != len(values) {
+		return errLen("multi", len(multi), len(values))
+	}
+	fillIdentity(buckets, op.Identity)
+	for i, v := range values {
+		l := labels[i]
+		multi[i] = buckets[l]
+		buckets[l] = op.Combine(buckets[l], v)
+	}
+	return nil
+}
+
+func errLen(name string, got, want int) error {
+	return wrapBadInput("len(%s)=%d, want %d", name, got, want)
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestSerialPaperFigure1 reproduces the worked example of paper
+// Figure 1 (translated to 0-based labels: the paper's labels 2 and 3
+// become 1 and 2 over m=4 buckets 1..4 -> 0..3).
+//
+// Paper: A = (1, 2, 1, 2, 1, 1, 2, 3), L = (2, 2, 3, 2, 3, 2, 3, 2)
+// gives S = (0, 1, 0, 3, 1, 5, 3, 6) and R with 10 at label 2 and 4 at
+// label 3 (values here chosen to match the structure of the figure).
+func TestSerialPaperFigure1(t *testing.T) {
+	values := []int64{1, 2, 1, 2, 1, 1, 2, 3}
+	labels := []int{1, 1, 2, 1, 2, 1, 2, 1}
+	m := 4
+	res, err := Serial(AddInt64, values, labels, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMulti := []int64{0, 1, 0, 3, 1, 5, 2, 6}
+	wantRed := []int64{0, 9, 4, 0}
+	if !equalInt64(res.Multi, wantMulti) {
+		t.Errorf("Multi = %v, want %v", res.Multi, wantMulti)
+	}
+	if !equalInt64(res.Reductions, wantRed) {
+		t.Errorf("Reductions = %v, want %v", res.Reductions, wantRed)
+	}
+}
+
+func TestSerialFirstOfClassGetsIdentity(t *testing.T) {
+	values := []int64{5, 7, 11}
+	labels := []int{0, 1, 0}
+	res, err := Serial(AddInt64, values, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Multi[0] != 0 || res.Multi[1] != 0 {
+		t.Errorf("first elements of classes should get identity, got %v", res.Multi)
+	}
+	if res.Multi[2] != 5 {
+		t.Errorf("Multi[2] = %d, want 5", res.Multi[2])
+	}
+}
+
+func TestSerialEmptyInput(t *testing.T) {
+	res, err := Serial(AddInt64, nil, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Multi) != 0 {
+		t.Errorf("Multi = %v, want empty", res.Multi)
+	}
+	if !equalInt64(res.Reductions, []int64{0, 0, 0}) {
+		t.Errorf("Reductions = %v, want identities", res.Reductions)
+	}
+}
+
+func TestSerialValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		values []int64
+		labels []int
+		m      int
+	}{
+		{"length mismatch", []int64{1, 2}, []int{0}, 1},
+		{"negative m", nil, nil, -1},
+		{"label too big", []int64{1}, []int{3}, 3},
+		{"label negative", []int64{1}, []int{-1}, 3},
+		{"label with m=0", []int64{1}, []int{0}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Serial(AddInt64, tc.values, tc.labels, tc.m); !errors.Is(err, ErrBadInput) {
+				t.Errorf("err = %v, want ErrBadInput", err)
+			}
+		})
+	}
+	var invalid Op[int64]
+	if _, err := Serial(invalid, []int64{1}, []int{0}, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("invalid op: err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestSerialNonCommutativeOrder(t *testing.T) {
+	values := []string{"a", "b", "c", "d", "e"}
+	labels := []int{0, 1, 0, 1, 0}
+	res, err := Serial(ConcatString, values, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMulti := []string{"", "", "a", "b", "ac"}
+	for i, w := range wantMulti {
+		if res.Multi[i] != w {
+			t.Errorf("Multi[%d] = %q, want %q", i, res.Multi[i], w)
+		}
+	}
+	if res.Reductions[0] != "ace" || res.Reductions[1] != "bd" {
+		t.Errorf("Reductions = %v", res.Reductions)
+	}
+}
+
+func TestSerialReduceMatchesSerial(t *testing.T) {
+	values := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	labels := []int{0, 1, 2, 0, 1, 2, 0, 1}
+	full, err := Serial(AddInt64, values, labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := SerialReduce(AddInt64, values, labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInt64(red, full.Reductions) {
+		t.Errorf("SerialReduce = %v, want %v", red, full.Reductions)
+	}
+}
+
+func TestSerialIntoMatchesSerial(t *testing.T) {
+	values := []int64{3, 1, 4, 1, 5}
+	labels := []int{0, 1, 0, 1, 0}
+	want := mustSerial(t, values, labels, 2)
+	multi := make([]int64, len(values))
+	buckets := make([]int64, 2)
+	if err := SerialInto(AddInt64, values, labels, multi, buckets); err != nil {
+		t.Fatal(err)
+	}
+	if !equalInt64(multi, want.Multi) || !equalInt64(buckets, want.Reductions) {
+		t.Errorf("SerialInto: got %v/%v want %v/%v", multi, buckets, want.Multi, want.Reductions)
+	}
+	if err := SerialInto(AddInt64, values, labels, multi[:1], buckets); !errors.Is(err, ErrBadInput) {
+		t.Errorf("short multi: err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestOpsSatisfyIdentityAndAssociativity(t *testing.T) {
+	ops := []Op[int64]{AddInt64, MulInt64, MaxInt64, MinInt64, OrInt64, AndInt64, XorInt64}
+	samples := []int64{-5, -1, 0, 1, 2, 7, 1 << 40, -(1 << 40)}
+	for _, op := range ops {
+		for _, x := range samples {
+			if got := op.Combine(op.Identity, x); got != x {
+				t.Errorf("%s: Combine(e, %d) = %d", op.Name, x, got)
+			}
+			if got := op.Combine(x, op.Identity); got != x {
+				t.Errorf("%s: Combine(%d, e) = %d", op.Name, x, got)
+			}
+			if !op.IsIdentity(op.Identity) {
+				t.Errorf("%s: IsIdentity(Identity) = false", op.Name)
+			}
+		}
+		for _, a := range samples {
+			for _, b := range samples {
+				for _, c := range samples {
+					l := op.Combine(op.Combine(a, b), c)
+					r := op.Combine(a, op.Combine(b, c))
+					if l != r && op.Name != "*int64" { // int64 mult overflow is still associative mod 2^64
+						t.Errorf("%s: associativity fails on (%d,%d,%d): %d vs %d", op.Name, a, b, c, l, r)
+					}
+				}
+			}
+		}
+	}
+	boolOps := []Op[bool]{AndBool, OrBool, XorBool}
+	bools := []bool{false, true}
+	for _, op := range boolOps {
+		for _, x := range bools {
+			if op.Combine(op.Identity, x) != x || op.Combine(x, op.Identity) != x {
+				t.Errorf("%s: identity law fails for %v", op.Name, x)
+			}
+		}
+	}
+}

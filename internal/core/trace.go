@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Trace is a phase-by-phase record of one spinetree multiprefix run,
+// used by the theorem-checking tests and by examples/paperexample to
+// regenerate the paper's Figures 5–7 and 9. Arena indexing follows the
+// pivot layout: bucket b at index b, element i at index m+i.
+type Trace[T any] struct {
+	N, M int
+	Grid Grid
+	// SpineSteps[k] is the spine vector after the k-th SPINETREE row
+	// update (rows processed top to bottom); SpineSteps[0] is the
+	// initial state. Each snapshot has length m+n (paper Figure 6).
+	SpineSteps [][]int32
+	// Spine is the final spine vector (paper Figure 9, right side).
+	Spine []int32
+	// Rowsum after ROWSUMS (paper Figure 7, top).
+	Rowsum []T
+	// Spinesum after SPINESUMS (paper Figure 7, middle).
+	Spinesum []T
+	// Multi and Reductions are the results (paper Figure 1).
+	Multi      []T
+	Reductions []T
+}
+
+// TraceSpinetree runs the sequential spinetree engine, snapshotting the
+// intermediate state after every phase (and every SPINETREE row).
+func TraceSpinetree[T any](op Op[T], values []T, labels []int, m int, cfg Config) (*Trace[T], error) {
+	if err := checkInputs(op, values, labels, m); err != nil {
+		return nil, err
+	}
+	a, err := newArena(op, labels, m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace[T]{N: a.n, M: a.m, Grid: a.grid}
+	snap := func() []int32 { return append([]int32(nil), a.spine...) }
+	t.SpineSteps = append(t.SpineSteps, snap())
+
+	// SPINETREE with per-row snapshots (same fission as phaseSpinetree).
+	for r := a.grid.Rows - 1; r >= 0; r-- {
+		lo, hi := a.grid.Row(r)
+		for i := lo; i < hi; i++ {
+			a.spine[m+i] = a.spine[labels[i]]
+		}
+		for i := lo; i < hi; i++ {
+			a.spine[labels[i]] = int32(m + i)
+		}
+		t.SpineSteps = append(t.SpineSteps, snap())
+	}
+	t.Spine = snap()
+
+	a.phaseRowsums(op, values)
+	t.Rowsum = append([]T(nil), a.rowsum...)
+
+	a.phaseSpinesums(op, cfg.SpineTest)
+	t.Spinesum = append([]T(nil), a.spinesum...)
+
+	t.Reductions = a.reductions(op)
+	multi := make([]T, a.n)
+	a.phaseMultisums(op, values, multi)
+	t.Multi = multi
+	return t, nil
+}
+
+// Parent returns element i's parent as an arena index (bucket b if < M,
+// otherwise element index Parent-M).
+func (t *Trace[T]) Parent(i int) int { return int(t.Spine[t.M+i]) }
+
+// IsSpineElement reports whether element i acquired children.
+func (t *Trace[T]) IsSpineElement(i int) bool {
+	target := int32(t.M + i)
+	for j := 0; j < t.N; j++ {
+		if t.Spine[t.M+j] == target {
+			return true
+		}
+	}
+	return false
+}
+
+// Children returns the element indices whose parent is arena index p.
+func (t *Trace[T]) Children(p int) []int {
+	var kids []int
+	for j := 0; j < t.N; j++ {
+		if int(t.Spine[t.M+j]) == p {
+			kids = append(kids, j)
+		}
+	}
+	return kids
+}
+
+// FormatSpine renders a spine snapshot like paper Figure 9: a line of
+// arena indices over a line of spine values, with the bucket/element
+// pivot marked.
+func FormatSpine(spine []int32, m int) string {
+	var idx, val strings.Builder
+	for i, s := range spine {
+		if i == m {
+			idx.WriteString(" |")
+			val.WriteString(" |")
+		}
+		fmt.Fprintf(&idx, " %3d", i)
+		fmt.Fprintf(&val, " %3d", s)
+	}
+	return "index:" + idx.String() + "\nspine:" + val.String()
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestTracePaperExample reproduces the 9-element worked example of
+// paper §2.2 (Figures 5–7): nine values of 1, all labeled 2 (1-based),
+// arranged 3x3. The expected structure, translated to 0-based labels
+// over m=4: the spine is element 3 -> element 6 -> bucket 1, multi
+// enumerates 0..8 and the reduction is 9.
+func TestTracePaperExample(t *testing.T) {
+	values := make([]int64, 9)
+	labels := make([]int, 9)
+	for i := range values {
+		values[i] = 1
+		labels[i] = 1
+	}
+	tr, err := TraceSpinetree(AddInt64, values, labels, 4, Config{RowLength: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Grid.Rows != 3 || tr.Grid.P != 3 {
+		t.Fatalf("grid = %+v, want 3x3", tr.Grid)
+	}
+	// Figure 6: after processing the top row, the bucket points at one
+	// of elements 6..8; middle-row elements point at it; etc. The
+	// sequential ARB winner is the last element of each row.
+	// Parents (0-based): elements 0-2 -> element 3, elements 3-5 ->
+	// element 6, elements 6-8 -> bucket 1.
+	m := tr.M
+	for i := 0; i <= 2; i++ {
+		if tr.Parent(i) < m+3 || tr.Parent(i) >= m+6 {
+			t.Errorf("element %d parent = %d, want a middle-row element", i, tr.Parent(i))
+		}
+	}
+	for i := 3; i <= 5; i++ {
+		if tr.Parent(i) < m+6 || tr.Parent(i) >= m+9 {
+			t.Errorf("element %d parent = %d, want a top-row element", i, tr.Parent(i))
+		}
+	}
+	for i := 6; i <= 8; i++ {
+		if tr.Parent(i) != 1 {
+			t.Errorf("element %d parent = %d, want bucket 1", i, tr.Parent(i))
+		}
+	}
+	// Figure 7 final state: multiprefix enumerates the ones.
+	for i := range values {
+		if tr.Multi[i] != int64(i) {
+			t.Errorf("Multi[%d] = %d, want %d", i, tr.Multi[i], i)
+		}
+	}
+	if tr.Reductions[1] != 9 {
+		t.Errorf("Reductions[1] = %d, want 9", tr.Reductions[1])
+	}
+	// SPINETREE snapshots: initial + one per row.
+	if len(tr.SpineSteps) != 1+tr.Grid.Rows {
+		t.Errorf("got %d spine snapshots, want %d", len(tr.SpineSteps), 1+tr.Grid.Rows)
+	}
+	// All buckets start pointing at themselves (Figure 5).
+	for b := 0; b < tr.M; b++ {
+		if tr.SpineSteps[0][b] != int32(b) {
+			t.Errorf("initial spine[%d] = %d, want self", b, tr.SpineSteps[0][b])
+		}
+	}
+	out := FormatSpine(tr.Spine, tr.M)
+	if !strings.Contains(out, "|") {
+		t.Errorf("FormatSpine missing pivot marker:\n%s", out)
+	}
+}
+
+// checkTheorems verifies paper §3.1 on a trace:
+//
+//	Theorem 1: elements have the same parent iff same label and same row.
+//	Corollary 1: children of a spine element are in different columns.
+//	Theorem 2: at most one spine element per class per row.
+//	Corollary 2: a spine element has at most one spine-element child.
+func checkTheorems(t *testing.T, tr *Trace[int64], labels []int) {
+	t.Helper()
+	g := tr.Grid
+	row := func(i int) int { return i / g.P }
+	col := func(i int) int { return i % g.P }
+
+	// Theorem 1.
+	byParent := map[int][]int{}
+	for i := 0; i < tr.N; i++ {
+		byParent[tr.Parent(i)] = append(byParent[tr.Parent(i)], i)
+	}
+	for p, kids := range byParent {
+		for _, k := range kids[1:] {
+			if labels[k] != labels[kids[0]] || row(k) != row(kids[0]) {
+				t.Errorf("theorem 1 violated: children %v of parent %d differ in label or row", kids, p)
+			}
+		}
+		// Corollary 1.
+		seenCol := map[int]bool{}
+		for _, k := range kids {
+			if seenCol[col(k)] {
+				t.Errorf("corollary 1 violated: parent %d has two children in column %d", p, col(k))
+			}
+			seenCol[col(k)] = true
+		}
+	}
+	// Converse of theorem 1: same label and same row implies same parent.
+	type lr struct{ l, r int }
+	parentOf := map[lr]int{}
+	for i := 0; i < tr.N; i++ {
+		key := lr{labels[i], row(i)}
+		if p, ok := parentOf[key]; ok {
+			if p != tr.Parent(i) {
+				t.Errorf("theorem 1 converse violated: label %d row %d has parents %d and %d", key.l, key.r, p, tr.Parent(i))
+			}
+		} else {
+			parentOf[key] = tr.Parent(i)
+		}
+	}
+	// Theorem 2.
+	spineCount := map[lr]int{}
+	for i := 0; i < tr.N; i++ {
+		if tr.IsSpineElement(i) {
+			spineCount[lr{labels[i], row(i)}]++
+		}
+	}
+	for key, c := range spineCount {
+		if c > 1 {
+			t.Errorf("theorem 2 violated: label %d row %d has %d spine elements", key.l, key.r, c)
+		}
+	}
+	// Corollary 2.
+	for i := 0; i < tr.N; i++ {
+		if !tr.IsSpineElement(i) {
+			continue
+		}
+		spineKids := 0
+		for _, k := range tr.Children(tr.M + i) {
+			if tr.IsSpineElement(k) {
+				spineKids++
+			}
+		}
+		if spineKids > 1 {
+			t.Errorf("corollary 2 violated: spine element %d has %d spine children", i, spineKids)
+		}
+	}
+}
+
+func TestSpinetreeTheorems(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range genCases(rng) {
+		if len(tc.values) == 0 || len(tc.values) > 300 {
+			continue // Children/IsSpineElement are O(n^2) in tests
+		}
+		for _, p := range []int{0, 1, 2, 5} {
+			tr, err := TraceSpinetree(AddInt64, tc.values, tc.labels, tc.m, Config{RowLength: p})
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			checkTheorems(t, tr, tc.labels)
+		}
+	}
+}
+
+// TestTraceEREWPhases instruments the phase access patterns directly:
+// within each ROWSUMS/MULTISUMS column step and each SPINESUMS row
+// step, every write target must be unique — the EREW guarantee that is
+// the point of building the spinetree.
+func TestTraceEREWPhases(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	n, m := 256, 9
+	values := make([]int64, n)
+	labels := make([]int, n)
+	for i := range values {
+		values[i] = 1 + int64(rng.Intn(9))
+		labels[i] = rng.Intn(m)
+	}
+	tr, err := TraceSpinetree(AddInt64, values, labels, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tr.Grid
+	// Column steps: distinct parents per column.
+	for c := 0; c < g.P; c++ {
+		seen := map[int]int{}
+		for i := c; i < n; i += g.P {
+			p := tr.Parent(i)
+			if prev, dup := seen[p]; dup {
+				t.Errorf("column %d: elements %d and %d write the same parent %d", c, prev, i, p)
+			}
+			seen[p] = i
+		}
+	}
+	// Row steps: distinct parents among spine elements per row.
+	for r := 0; r < g.Rows; r++ {
+		lo, hi := g.Row(r)
+		seen := map[int]int{}
+		for i := lo; i < hi; i++ {
+			if !tr.IsSpineElement(i) {
+				continue
+			}
+			p := tr.Parent(i)
+			if prev, dup := seen[p]; dup {
+				t.Errorf("row %d: spine elements %d and %d write the same parent %d", r, prev, i, p)
+			}
+			seen[p] = i
+		}
+	}
+}

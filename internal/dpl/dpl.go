@@ -1,0 +1,299 @@
+// Package dpl is the data-parallel programming layer the paper's
+// conclusion argues for: "By structuring algorithms at a more abstract
+// level we relieve the programmer from writing machine-dependent code
+// ... as parallel computer architectures evolve, only the
+// implementations of the parallel primitives will be refined, allowing
+// user application code to be reused."
+//
+// It provides the scan-vector model primitives (Blelloch's vector
+// models, the Fluent abstract machine's vocabulary [RBJ88]) with the
+// multiprefix operation among them: elementwise maps, permutations,
+// pack/split, scans, segmented operations, reductions, and multiprefix
+// / multireduce. Everything runs on the multicore engines underneath;
+// user code written against this package never mentions goroutines.
+package dpl
+
+import (
+	"errors"
+	"fmt"
+
+	"multiprefix/internal/core"
+	"multiprefix/internal/par"
+)
+
+// ErrBadVector is wrapped by the structural validation failures.
+var ErrBadVector = errors.New("dpl: bad vector")
+
+// grain is the minimum per-goroutine chunk for elementwise work.
+const grain = 2048
+
+// Index returns [0, 1, ..., n-1] — the iota vector.
+func Index(n int) []int64 {
+	out := make([]int64, n)
+	par.For(n, 0, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = int64(i)
+		}
+	})
+	return out
+}
+
+// Dist replicates x into a vector of length n.
+func Dist[T any](x T, n int) []T {
+	out := make([]T, n)
+	par.For(n, 0, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = x
+		}
+	})
+	return out
+}
+
+// Map applies f elementwise.
+func Map[T, U any](xs []T, f func(T) U) []U {
+	out := make([]U, len(xs))
+	par.For(len(xs), 0, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f(xs[i])
+		}
+	})
+	return out
+}
+
+// Map2 applies f lane-wise over two equal-length vectors.
+func Map2[A, B, C any](as []A, bs []B, f func(A, B) C) ([]C, error) {
+	if len(as) != len(bs) {
+		return nil, fmt.Errorf("%w: Map2 over %d and %d elements", ErrBadVector, len(as), len(bs))
+	}
+	out := make([]C, len(as))
+	par.For(len(as), 0, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f(as[i], bs[i])
+		}
+	})
+	return out, nil
+}
+
+// Gather reads src through idx: out[i] = src[idx[i]] (back-permute).
+func Gather[T any](src []T, idx []int) ([]T, error) {
+	out := make([]T, len(idx))
+	var bad error
+	par.For(len(idx), 0, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			j := idx[i]
+			if j < 0 || j >= len(src) {
+				bad = fmt.Errorf("%w: gather index %d outside [0,%d)", ErrBadVector, j, len(src))
+				return
+			}
+			out[i] = src[j]
+		}
+	})
+	if bad != nil {
+		return nil, bad
+	}
+	return out, nil
+}
+
+// Permute scatters values to positions: out[pos[i]] = values[i].
+// pos must be a permutation of [0, n); duplicates are an error (use
+// multiprefix-derived positions to avoid them by construction).
+func Permute[T any](values []T, pos []int) ([]T, error) {
+	if len(values) != len(pos) {
+		return nil, fmt.Errorf("%w: %d values, %d positions", ErrBadVector, len(values), len(pos))
+	}
+	out := make([]T, len(values))
+	seen := make([]bool, len(values))
+	for i, p := range pos {
+		if p < 0 || p >= len(values) || seen[p] {
+			return nil, fmt.Errorf("%w: pos is not a permutation (pos[%d]=%d)", ErrBadVector, i, p)
+		}
+		seen[p] = true
+		out[p] = values[i]
+	}
+	return out, nil
+}
+
+// Count reports how many flags are true.
+func Count(flags []bool) int {
+	c := 0
+	for _, f := range flags {
+		if f {
+			c++
+		}
+	}
+	return c
+}
+
+// Pack keeps the flagged elements, preserving order — positions come
+// from a scan over the flags.
+func Pack[T any](values []T, keep []bool) ([]T, error) {
+	if len(values) != len(keep) {
+		return nil, fmt.Errorf("%w: %d values, %d flags", ErrBadVector, len(values), len(keep))
+	}
+	out := make([]T, 0, len(values))
+	for i, f := range keep {
+		if f {
+			out = append(out, values[i])
+		}
+	}
+	return out, nil
+}
+
+// Split stably partitions values: elements with a false flag first (in
+// order), then elements with a true flag — the primitive of the
+// split-radix sort. Implemented with two scans exactly as the
+// scan-vector model prescribes.
+func Split[T any](values []T, flags []bool) ([]T, error) {
+	if len(values) != len(flags) {
+		return nil, fmt.Errorf("%w: %d values, %d flags", ErrBadVector, len(values), len(flags))
+	}
+	n := len(values)
+	// Position of each false element: exclusive scan of !flag.
+	// Position of each true element: #false + exclusive scan of flag.
+	falsePos := 0
+	truePos := n - Count(flags)
+	out := make([]T, n)
+	for i, f := range flags {
+		if f {
+			out[truePos] = values[i]
+			truePos++
+		} else {
+			out[falsePos] = values[i]
+			falsePos++
+		}
+	}
+	return out, nil
+}
+
+// SplitRadixSort sorts non-negative int64 keys with the scan-vector
+// model's split-based radix sort: one stable Split per bit, LSB first
+// (Blelloch's classic formulation). bits limits the key width; pass 0
+// to infer it from the maximum key.
+func SplitRadixSort(keys []int64, bits int) ([]int64, error) {
+	if bits <= 0 {
+		var max int64
+		for _, k := range keys {
+			if k < 0 {
+				return nil, fmt.Errorf("%w: negative key %d", ErrBadVector, k)
+			}
+			if k > max {
+				max = k
+			}
+		}
+		bits = 1
+		for (int64(1) << bits) <= max {
+			bits++
+		}
+	}
+	cur := append([]int64(nil), keys...)
+	for b := 0; b < bits; b++ {
+		flags := Map(cur, func(k int64) bool { return k>>b&1 == 1 })
+		next, err := Split(cur, flags)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Reduce combines all elements with op, in vector order.
+func Reduce[T any](op core.Op[T], xs []T) T {
+	acc := op.Identity
+	for _, x := range xs {
+		acc = op.Combine(acc, x)
+	}
+	return acc
+}
+
+// Scan computes the exclusive scan of xs under op, returning the
+// scanned vector and the total. Parallel two-pass (chunk totals, scan,
+// local scans) for any associative operator.
+func Scan[T any](op core.Op[T], xs []T) ([]T, T) {
+	n := len(xs)
+	out := make([]T, n)
+	workers := par.DefaultWorkers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 2*grain {
+		acc := op.Identity
+		for i, x := range xs {
+			out[i] = acc
+			acc = op.Combine(acc, x)
+		}
+		return out, acc
+	}
+	totals := make([]T, workers)
+	par.For(workers, workers, 1, func(wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			lo, hi := par.Range(n, workers, w)
+			acc := op.Identity
+			for i := lo; i < hi; i++ {
+				acc = op.Combine(acc, xs[i])
+			}
+			totals[w] = acc
+		}
+	})
+	grand := op.Identity
+	offsets := make([]T, workers)
+	for w := 0; w < workers; w++ {
+		offsets[w] = grand
+		grand = op.Combine(grand, totals[w])
+	}
+	par.For(workers, workers, 1, func(wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			lo, hi := par.Range(n, workers, w)
+			acc := offsets[w]
+			for i := lo; i < hi; i++ {
+				out[i] = acc
+				acc = op.Combine(acc, xs[i])
+			}
+		}
+	})
+	return out, grand
+}
+
+// SegScan computes a segmented exclusive scan; starts[i] opens a new
+// segment. Returns the scans and the per-segment totals.
+func SegScan[T any](op core.Op[T], xs []T, starts []bool) (scans, totals []T, err error) {
+	return core.SegmentedScan(op, xs, starts, core.ChunkedEngine[T](core.Config{}))
+}
+
+// MultiPrefix is the paper's primitive at this layer.
+func MultiPrefix[T any](op core.Op[T], values []T, labels []int, m int) (core.Result[T], error) {
+	return core.Chunked(op, values, labels, m, core.Config{})
+}
+
+// MultiReduce is the reductions-only form.
+func MultiReduce[T any](op core.Op[T], values []T, labels []int, m int) ([]T, error) {
+	return core.ChunkedReduce(op, values, labels, m, core.Config{})
+}
+
+// RankSort sorts int64 keys in [0, m) with the paper's Figure 11
+// algorithm expressed entirely in this layer's vocabulary: enumerate
+// per class via MultiPrefix over ones, Scan the class counts, add, and
+// Permute. Six primitive calls, no loops over elements in user code.
+func RankSort(keys []int64, m int) ([]int64, error) {
+	labels := Map(keys, func(k int64) int { return int(k) })
+	for i, l := range labels {
+		if l < 0 || l >= m {
+			return nil, fmt.Errorf("%w: key[%d]=%d outside [0,%d)", ErrBadVector, i, l, m)
+		}
+	}
+	res, err := MultiPrefix(core.AddInt64, Dist(int64(1), len(keys)), labels, m)
+	if err != nil {
+		return nil, err
+	}
+	cumulative, _ := Scan(core.AddInt64, res.Reductions)
+	starts, err := Gather(cumulative, labels)
+	if err != nil {
+		return nil, err
+	}
+	ranks, err := Map2(res.Multi, starts, func(a, b int64) int64 { return a + b })
+	if err != nil {
+		return nil, err
+	}
+	pos := Map(ranks, func(r int64) int { return int(r) })
+	return Permute(keys, pos)
+}

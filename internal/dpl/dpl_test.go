@@ -1,0 +1,227 @@
+package dpl
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"multiprefix/internal/core"
+)
+
+func TestIndexAndDist(t *testing.T) {
+	idx := Index(5)
+	for i, v := range idx {
+		if v != int64(i) {
+			t.Fatalf("Index[%d] = %d", i, v)
+		}
+	}
+	xs := Dist("a", 3)
+	if len(xs) != 3 || xs[2] != "a" {
+		t.Fatalf("Dist = %v", xs)
+	}
+	if len(Index(0)) != 0 {
+		t.Fatal("Index(0) not empty")
+	}
+}
+
+func TestMapAndMap2(t *testing.T) {
+	squares := Map(Index(100000), func(x int64) int64 { return x * x }) // big enough to parallelize
+	for _, i := range []int{0, 7, 99999} {
+		if squares[i] != int64(i)*int64(i) {
+			t.Fatalf("squares[%d] = %d", i, squares[i])
+		}
+	}
+	sums, err := Map2([]int64{1, 2}, []int64{10, 20}, func(a, b int64) int64 { return a + b })
+	if err != nil || sums[1] != 22 {
+		t.Fatalf("Map2 = %v, %v", sums, err)
+	}
+	if _, err := Map2([]int64{1}, []int64{}, func(a, b int64) int64 { return 0 }); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestGatherPermute(t *testing.T) {
+	src := []string{"a", "b", "c", "d"}
+	got, err := Gather(src, []int{3, 0, 3})
+	if err != nil || got[0] != "d" || got[1] != "a" || got[2] != "d" {
+		t.Fatalf("Gather = %v, %v", got, err)
+	}
+	if _, err := Gather(src, []int{4}); err == nil {
+		t.Fatal("out-of-range gather accepted")
+	}
+	out, err := Permute([]string{"x", "y", "z"}, []int{2, 0, 1})
+	if err != nil || out[2] != "x" || out[0] != "y" || out[1] != "z" {
+		t.Fatalf("Permute = %v, %v", out, err)
+	}
+	if _, err := Permute([]string{"x", "y"}, []int{0, 0}); err == nil {
+		t.Fatal("duplicate positions accepted")
+	}
+	if _, err := Permute([]string{"x"}, []int{0, 1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestPackSplitCount(t *testing.T) {
+	values := []int64{10, 11, 12, 13, 14}
+	flags := []bool{true, false, true, false, true}
+	if Count(flags) != 3 {
+		t.Fatal("Count wrong")
+	}
+	packed, err := Pack(values, flags)
+	if err != nil || len(packed) != 3 || packed[2] != 14 {
+		t.Fatalf("Pack = %v, %v", packed, err)
+	}
+	split, err := Split(values, flags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{11, 13, 10, 12, 14} // falses (in order) then trues (in order)
+	for i := range want {
+		if split[i] != want[i] {
+			t.Fatalf("Split = %v, want %v", split, want)
+		}
+	}
+	if _, err := Pack(values, flags[:2]); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+	if _, err := Split(values, flags[:2]); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}
+
+func TestSplitRadixSortQuick(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		keys := make([]int64, len(raw))
+		for i, r := range raw {
+			keys[i] = int64(r)
+		}
+		got, err := SplitRadixSort(keys, 0)
+		if err != nil {
+			return false
+		}
+		want := append([]int64(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SplitRadixSort([]int64{-1}, 0); err == nil {
+		t.Fatal("negative key accepted")
+	}
+}
+
+func TestScanMatchesSerialForConcat(t *testing.T) {
+	// Non-commutative operator through the parallel two-pass scan.
+	// (Kept small: string concatenation makes the scan quadratic.)
+	n := 5000 // crosses the parallel threshold
+	xs := make([]string, n)
+	for i := range xs {
+		xs[i] = string(rune('a' + i%3))
+	}
+	scans, total := Scan(core.ConcatString, xs)
+	if len(total) != n {
+		t.Fatalf("total length %d", len(total))
+	}
+	// Spot-check positions against direct accumulation.
+	acc := ""
+	for _, i := range []int{0, 1, 17, n / 2, n - 1} {
+		for len(acc) < i {
+			acc += xs[len(acc)]
+		}
+		if scans[i] != acc[:i] {
+			t.Fatalf("scan[%d] wrong", i)
+		}
+	}
+}
+
+func TestScanInt64AgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 100, 100000} {
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = int64(rng.Intn(201) - 100)
+		}
+		scans, total := Scan(core.AddInt64, xs)
+		var run int64
+		for i, x := range xs {
+			if scans[i] != run {
+				t.Fatalf("n=%d: scan[%d] = %d, want %d", n, i, scans[i], run)
+			}
+			run += x
+		}
+		if total != run {
+			t.Fatalf("n=%d: total = %d, want %d", n, total, run)
+		}
+	}
+}
+
+func TestReduceAndSegScan(t *testing.T) {
+	if Reduce(core.AddInt64, []int64{1, 2, 3}) != 6 {
+		t.Fatal("Reduce wrong")
+	}
+	if Reduce(core.MaxInt64, nil) != core.MaxInt64.Identity {
+		t.Fatal("empty Reduce should be identity")
+	}
+	scans, totals, err := SegScan(core.AddInt64, []int64{1, 2, 3, 4}, []bool{false, false, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scans[1] != 1 || scans[2] != 0 || scans[3] != 3 {
+		t.Fatalf("SegScan = %v", scans)
+	}
+	if totals[0] != 3 || totals[1] != 7 {
+		t.Fatalf("totals = %v", totals)
+	}
+}
+
+func TestRankSortMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 10, 5000} {
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(rng.Intn(64))
+		}
+		got, err := RankSort(keys, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]int64(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: RankSort[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+	if _, err := RankSort([]int64{99}, 10); err == nil {
+		t.Fatal("out-of-range key accepted")
+	}
+}
+
+// TestMultiPrefixAtThisLayer: the primitive behaves identically to the
+// core serial reference when called through the layer.
+func TestMultiPrefixAtThisLayer(t *testing.T) {
+	values := []int64{1, 2, 1, 2, 1, 1, 2, 3}
+	labels := []int{1, 1, 2, 1, 2, 1, 2, 1}
+	res, err := MultiPrefix(core.AddInt64, values, labels, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 1, 0, 3, 1, 5, 2, 6}
+	for i := range want {
+		if res.Multi[i] != want[i] {
+			t.Fatalf("Multi[%d] = %d, want %d", i, res.Multi[i], want[i])
+		}
+	}
+	red, err := MultiReduce(core.AddInt64, values, labels, 4)
+	if err != nil || red[1] != 9 {
+		t.Fatalf("MultiReduce = %v, %v", red, err)
+	}
+}

@@ -1,0 +1,139 @@
+package dpl
+
+import (
+	"fmt"
+
+	"multiprefix/internal/core"
+)
+
+// QuickSort sorts int64 keys with the segment-parallel quicksort of
+// the scan-vector model (Blelloch's flag-based formulation): the
+// vector holds every active partition as a segment; each round splits
+// ALL unfinished segments three ways around their middle element
+// simultaneously, using one multireduce for the per-(segment, class)
+// counts, one multiprefix for stable ranks within each class, and one
+// permutation — O(n) data-parallel work per round, O(log n) expected
+// rounds. A segment is finished once its min equals its max, so
+// duplicate-heavy inputs terminate early rather than thrashing.
+//
+// This is the algorithm that genuinely needs multiprefix rather than a
+// plain segmented scan: the destination of each key depends on its
+// rank among equals within its (segment, class) group.
+func QuickSort(keys []int64) ([]int64, error) {
+	cur, _, err := quickSortRounds(keys)
+	return cur, err
+}
+
+// QuickSortRounds is QuickSort, also reporting the rounds used (for
+// tests and benchmarks of the expected O(log n) round count).
+func QuickSortRounds(keys []int64) ([]int64, int, error) {
+	return quickSortRounds(keys)
+}
+
+func quickSortRounds(keys []int64) ([]int64, int, error) {
+	n := len(keys)
+	cur := append([]int64(nil), keys...)
+	if n < 2 {
+		return cur, 0, nil
+	}
+	flags := make([]bool, n) // segment starts; element 0 implicit
+	ones := Dist(int64(1), n)
+
+	for round := 1; ; round++ {
+		if round > n+1 {
+			return nil, round, fmt.Errorf("dpl: quicksort failed to converge after %d rounds", round)
+		}
+		segID, numSegs := core.SegmentLabels(flags)
+		// Segment geometry.
+		segStart := make([]int, numSegs)
+		segLen := make([]int, numSegs)
+		for i := 0; i < n; i++ {
+			s := segID[i]
+			if segLen[s] == 0 {
+				segStart[s] = i
+			}
+			segLen[s]++
+		}
+		// A segment is done when min == max.
+		minPer, err := MultiReduce(core.MinInt64, cur, segID, numSegs)
+		if err != nil {
+			return nil, round, err
+		}
+		maxPer, err := MultiReduce(core.MaxInt64, cur, segID, numSegs)
+		if err != nil {
+			return nil, round, err
+		}
+		anyActive := false
+		pivot := make([]int64, numSegs)
+		for s := 0; s < numSegs; s++ {
+			if minPer[s] != maxPer[s] {
+				anyActive = true
+				pivot[s] = cur[segStart[s]+segLen[s]/2]
+			}
+		}
+		if !anyActive {
+			return cur, round - 1, nil
+		}
+		// Classify: 0 below, 1 equal, 2 above the segment's pivot.
+		// Done segments classify as all-equal (class 1): they permute
+		// onto themselves.
+		cls := make([]int, n)
+		for i := 0; i < n; i++ {
+			s := segID[i]
+			switch {
+			case minPer[s] == maxPer[s]:
+				cls[i] = 1
+			case cur[i] < pivot[s]:
+				cls[i] = 0
+			case cur[i] == pivot[s]:
+				cls[i] = 1
+			default:
+				cls[i] = 2
+			}
+		}
+		group := make([]int, n) // label = segID*3 + cls
+		for i := range group {
+			group[i] = segID[i]*3 + cls[i]
+		}
+		res, err := MultiPrefix(core.AddInt64, ones, group, 3*numSegs)
+		if err != nil {
+			return nil, round, err
+		}
+		counts := res.Reductions
+		// Destinations: segment start + class offset + rank in class.
+		dest := make([]int, n)
+		for i := 0; i < n; i++ {
+			s := segID[i]
+			off := int64(0)
+			if cls[i] >= 1 {
+				off += counts[s*3]
+			}
+			if cls[i] == 2 {
+				off += counts[s*3+1]
+			}
+			dest[i] = segStart[s] + int(off) + int(res.Multi[i])
+		}
+		next, err := Permute(cur, dest)
+		if err != nil {
+			return nil, round, err
+		}
+		cur = next
+		// New segment boundaries at the class splits of active segments.
+		newFlags := make([]bool, n)
+		copy(newFlags, flags)
+		for s := 0; s < numSegs; s++ {
+			if minPer[s] == maxPer[s] {
+				continue
+			}
+			b1 := int(counts[s*3])
+			b2 := b1 + int(counts[s*3+1])
+			if b1 > 0 && b1 < segLen[s] {
+				newFlags[segStart[s]+b1] = true
+			}
+			if b2 > 0 && b2 < segLen[s] {
+				newFlags[segStart[s]+b2] = true
+			}
+		}
+		flags = newFlags
+	}
+}

@@ -1,0 +1,102 @@
+package dpl
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuickSortBasic(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{5},
+		{2, 1},
+		{1, 2},
+		{3, 1, 4, 1, 5, 9, 2, 6},
+		{7, 7, 7, 7, 7},
+		{-3, 5, -3, 0, 12, -100},
+		{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}, // reverse sorted
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, // already sorted
+	}
+	for _, keys := range cases {
+		got, err := QuickSort(keys)
+		if err != nil {
+			t.Fatalf("%v: %v", keys, err)
+		}
+		want := append([]int64(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("QuickSort(%v) = %v, want %v", keys, got, want)
+			}
+		}
+	}
+}
+
+func TestQuickSortQuick(t *testing.T) {
+	prop := func(raw []int16) bool {
+		keys := make([]int64, len(raw))
+		for i, r := range raw {
+			keys[i] = int64(r)
+		}
+		got, err := QuickSort(keys)
+		if err != nil {
+			return false
+		}
+		want := append([]int64(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSortRoundCount: random inputs finish in O(log n) rounds;
+// heavily duplicated inputs finish even earlier (the 3-way split
+// retires equal runs immediately).
+func TestQuickSortRoundCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 20000
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(1 << 40)
+	}
+	sorted, rounds, err := QuickSortRounds(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(sorted, func(i, j int) bool { return sorted[i] < sorted[j] }) {
+		t.Fatal("not sorted")
+	}
+	logN := math.Log2(float64(n))
+	if float64(rounds) > 4*logN {
+		t.Errorf("rounds = %d for n = %d, want O(log n) ~ %.0f", rounds, n, logN)
+	}
+	// Two distinct values: exactly one splitting round (plus the
+	// terminal check round is not counted).
+	few := make([]int64, 1000)
+	for i := range few {
+		few[i] = int64(i % 2)
+	}
+	if _, rounds, err = QuickSortRounds(few); err != nil {
+		t.Fatal(err)
+	}
+	if rounds > 2 {
+		t.Errorf("two-valued input took %d rounds, want <= 2", rounds)
+	}
+	// Constant input: zero splitting rounds.
+	if _, rounds, err = QuickSortRounds(Dist(int64(9), 100)); err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 0 {
+		t.Errorf("constant input took %d rounds, want 0", rounds)
+	}
+}

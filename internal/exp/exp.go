@@ -1,0 +1,69 @@
+// Package exp is the experiment registry: one entry per table or
+// figure of the paper's evaluation (plus the analytical claims of §1.2,
+// §3, §4.2 and §4.4), each able to regenerate its artifact on the
+// simulated substrates and print it side by side with the values the
+// paper reports. cmd/experiments drives it; EXPERIMENTS.md records one
+// full run.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	// ID is the short handle (T1..T5, F10, S12, S3, S42, S44).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// PaperRef points at the table/figure/section reproduced.
+	PaperRef string
+	// Run executes the experiment, writing a report to w. full selects
+	// paper-scale inputs (minutes); otherwise a reduced scale that
+	// preserves every qualitative conclusion (seconds).
+	Run func(w io.Writer, full bool) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("exp: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns the experiments ordered by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get looks an experiment up by ID.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("exp: unknown experiment %q (have %v)", id, ids())
+	}
+	return e, nil
+}
+
+func ids() []string {
+	var out []string
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// header prints a section banner.
+func header(w io.Writer, e Experiment) {
+	fmt.Fprintf(w, "\n== %s: %s (%s) ==\n\n", e.ID, e.Title, e.PaperRef)
+}

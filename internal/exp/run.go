@@ -1,0 +1,34 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// RunByIDs runs the named experiments (or all of them for ids "all"),
+// printing banners and timing to w. full selects paper-scale inputs.
+func RunByIDs(w io.Writer, ids string, full bool) error {
+	var list []Experiment
+	if ids == "all" || ids == "" {
+		list = All()
+	} else {
+		for _, id := range strings.Split(ids, ",") {
+			e, err := Get(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			list = append(list, e)
+		}
+	}
+	for _, e := range list {
+		header(w, e)
+		start := time.Now()
+		if err := e.Run(w, full); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintf(w, "\n[%s completed in %.1fs wall]\n", e.ID, time.Since(start).Seconds())
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package hist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multiprefix/internal/core"
+)
+
+func TestAllHistogramsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 100, 10000} {
+		for _, m := range []int{1, 3, 64, 1000} {
+			keys := make([]int, n)
+			for i := range keys {
+				keys[i] = rng.Intn(m)
+			}
+			want, err := Serial(keys, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check := func(name string, got []int64, err error) {
+				t.Helper()
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				for b := range want {
+					if got[b] != want[b] {
+						t.Fatalf("%s: counts[%d] = %d, want %d", name, b, got[b], want[b])
+					}
+				}
+			}
+			got, err := Atomic(keys, m, 4)
+			check("atomic", got, err)
+			got, err = Sharded(keys, m, 4)
+			check("sharded", got, err)
+			got, err = Multireduce(keys, m, core.Config{Workers: 4})
+			check("multireduce", got, err)
+		}
+	}
+}
+
+func TestWeightedMultireduce(t *testing.T) {
+	keys := []int{0, 1, 0, 2, 1}
+	weights := []int64{5, 3, 2, 7, 1}
+	got, err := WeightedMultireduce(keys, weights, 3, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{7, 4, 7}
+	for b := range want {
+		if got[b] != want[b] {
+			t.Errorf("counts[%d] = %d, want %d", b, got[b], want[b])
+		}
+	}
+	if _, err := WeightedMultireduce(keys, weights[:2], 3, core.Config{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestHistValidation(t *testing.T) {
+	if _, err := Serial([]int{5}, 3); err == nil {
+		t.Error("out-of-range key accepted")
+	}
+	if _, err := Serial(nil, -1); err == nil {
+		t.Error("negative m accepted")
+	}
+	if _, err := Atomic([]int{0}, 0, 2); err == nil {
+		t.Error("key with m=0 accepted")
+	}
+}
+
+func TestHistQuick(t *testing.T) {
+	prop := func(raw []uint16, mRaw uint8) bool {
+		m := int(mRaw)%50 + 1
+		keys := make([]int, len(raw))
+		for i, r := range raw {
+			keys[i] = int(r) % m
+		}
+		want, err := Serial(keys, m)
+		if err != nil {
+			return false
+		}
+		a, errA := Sharded(keys, m, 3)
+		b, errB := Multireduce(keys, m, core.Config{Workers: 2})
+		if errA != nil || errB != nil {
+			return false
+		}
+		for i := range want {
+			if a[i] != want[i] || b[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package hist
+
+import (
+	"fmt"
+
+	"multiprefix/internal/core"
+	"multiprefix/internal/vecmp"
+	"multiprefix/internal/vector"
+)
+
+// This file times the histogram ("vector update loop", paper §1 citing
+// the PMM92 compiler directive) on the simulated vector machine, in
+// the three styles a 1992 Cray programmer could choose between:
+//
+//   - a scalar loop (what the compiler emits without help: the update
+//     counts[key[i]]++ carries a dependence it cannot prove away);
+//   - VL private copies of the count array, one per vector lane, so
+//     the gather/add/scatter vectorizes without lane collisions, plus
+//     a merge pass over copies*bins counters — the trick the "Vector
+//     Update Loop" directive enabled, excellent for small bin counts
+//     but with a merge cost proportional to VL*bins;
+//   - the multireduce operation, whose cost is insensitive to the bin
+//     count — the paper's argument for multiprefix as the primitive.
+
+// VecHistScalar histograms keys with the scalar loop.
+func VecHistScalar(m *vector.Machine, keys []int32, bins int) ([]int64, error) {
+	if err := checkKeys32(keys, bins); err != nil {
+		return nil, err
+	}
+	counts := make([]int64, bins)
+	// Clearing the counts vectorizes even when the update loop cannot.
+	m.BeginLoop()
+	zero := make([]int64, min(bins, 4096))
+	for lo := 0; lo < bins; lo += len(zero) {
+		hi := min(lo+len(zero), bins)
+		vector.Store(m, counts[lo:hi], zero[:hi-lo])
+	}
+	m.BeginLoop()
+	m.ScalarOp("hist", 2*len(keys))
+	for _, k := range keys {
+		counts[k]++
+	}
+	return counts, nil
+}
+
+// VecHistPrivate histograms keys with lane-private count copies. The
+// copies array is padded to an odd lane stride so neither the update
+// scatter nor the merge pass aliases the memory banks.
+func VecHistPrivate(m *vector.Machine, keys []int32, bins int) ([]int64, error) {
+	if err := checkKeys32(keys, bins); err != nil {
+		return nil, err
+	}
+	n := len(keys)
+	vl := m.Config().VL
+	laneStride := vl
+	if laneStride%2 == 0 {
+		laneStride++ // pad: bank-friendly copy layout
+	}
+	copies := make([]int64, bins*laneStride)
+	regK := make([]int32, vl)
+	regI := make([]int32, vl)
+	regC := make([]int64, vl)
+	ones := make([]int64, vl)
+	for i := range ones {
+		ones[i] = 1
+	}
+	m.BeginLoop()
+	for lo := 0; lo < n; lo += vl {
+		hi := min(lo+vl, n)
+		k := hi - lo
+		vector.Load(m, regK[:k], keys[lo:hi])
+		for lane := 0; lane < k; lane++ {
+			regI[lane] = regK[lane]*int32(laneStride) + int32(lane)
+		}
+		vector.VAddScalar(m, regI[:k], regI[:k], 0) // address arithmetic
+		vector.Gather(m, regC[:k], copies, regI[:k])
+		vector.VAdd(m, regC[:k], regC[:k], ones[:k])
+		vector.Scatter(m, copies, regI[:k], regC[:k])
+	}
+	// Merge: accumulate the VL copies of each bin. One strided-load +
+	// add + store sweep over the bins per lane.
+	counts := make([]int64, bins)
+	if bins > 0 {
+		m.BeginLoop()
+		chunk := make([]int64, min(bins, 4096))
+		acc := make([]int64, len(chunk))
+		for blo := 0; blo < bins; blo += len(chunk) {
+			bhi := min(blo+len(chunk), bins)
+			w := bhi - blo
+			vector.VBroadcast(m, acc[:w], 0)
+			for lane := 0; lane < vl; lane++ {
+				vector.LoadStride(m, chunk[:w], copies, blo*laneStride+lane, laneStride)
+				vector.VAdd(m, acc[:w], acc[:w], chunk[:w])
+			}
+			vector.Store(m, counts[blo:bhi], acc[:w])
+		}
+	}
+	return counts, nil
+}
+
+// VecHistMP histograms keys with the multireduce operation
+// (ConstantValues: the summed values are all ones).
+func VecHistMP(m *vector.Machine, keys []int32, bins int) ([]int64, error) {
+	if err := checkKeys32(keys, bins); err != nil {
+		return nil, err
+	}
+	ones := make([]int64, len(keys))
+	for i := range ones {
+		ones[i] = 1
+	}
+	res, err := vecmp.Multireduce(m, core.AddInt64, ones, keys, bins, vecmp.Config{ConstantValues: true})
+	if err != nil {
+		return nil, err
+	}
+	return res.Reductions, nil
+}
+
+// HistPoint is one measurement of the vector-update-loop study.
+type HistPoint struct {
+	Bins                         int
+	ScalarClk, PrivateClk, MPClk float64 // clocks per key
+}
+
+// HistSweep measures all three methods across bin counts at fixed n.
+func HistSweep(cfg vector.Config, keys []int32, binsList []int) ([]HistPoint, error) {
+	var out []HistPoint
+	for _, bins := range binsList {
+		// Clamp keys into range for this bin count.
+		ks := make([]int32, len(keys))
+		for i, k := range keys {
+			ks[i] = k % int32(bins)
+		}
+		var pt HistPoint
+		pt.Bins = bins
+		var ref []int64
+		for i, f := range []func(*vector.Machine, []int32, int) ([]int64, error){VecHistScalar, VecHistPrivate, VecHistMP} {
+			m := vector.New(cfg)
+			counts, err := f(m, ks, bins)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				ref = counts
+			} else {
+				for b := range ref {
+					if counts[b] != ref[b] {
+						return nil, fmt.Errorf("hist: methods disagree at bin %d", b)
+					}
+				}
+			}
+			clk := m.Cycles() / float64(len(ks))
+			switch i {
+			case 0:
+				pt.ScalarClk = clk
+			case 1:
+				pt.PrivateClk = clk
+			case 2:
+				pt.MPClk = clk
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func checkKeys32(keys []int32, bins int) error {
+	if bins < 1 {
+		return fmt.Errorf("hist: bins=%d < 1", bins)
+	}
+	for i, k := range keys {
+		if k < 0 || int(k) >= bins {
+			return fmt.Errorf("hist: keys[%d]=%d outside [0,%d)", i, k, bins)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package hist
+
+import (
+	"math/rand"
+	"testing"
+
+	"multiprefix/internal/vector"
+)
+
+func randKeys32(rng *rand.Rand, n, bins int) []int32 {
+	keys := make([]int32, n)
+	for i := range keys {
+		keys[i] = int32(rng.Intn(bins))
+	}
+	return keys
+}
+
+// TestVecHistogramsAgree: all three vector-machine histograms must be
+// exact for any bin count and distribution.
+func TestVecHistogramsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := vector.DefaultConfig()
+	for _, n := range []int{0, 1, 63, 64, 65, 5000} {
+		for _, bins := range []int{1, 7, 64, 1000} {
+			keys := randKeys32(rng, n, bins)
+			want := make([]int64, bins)
+			for _, k := range keys {
+				want[k]++
+			}
+			for name, f := range map[string]func(*vector.Machine, []int32, int) ([]int64, error){
+				"scalar":  VecHistScalar,
+				"private": VecHistPrivate,
+				"mp":      VecHistMP,
+			} {
+				m := vector.New(cfg)
+				got, err := f(m, keys, bins)
+				if err != nil {
+					t.Fatalf("%s n=%d bins=%d: %v", name, n, bins, err)
+				}
+				for b := range want {
+					if got[b] != want[b] {
+						t.Fatalf("%s n=%d bins=%d: counts[%d] = %d, want %d", name, n, bins, b, got[b], want[b])
+					}
+				}
+			}
+		}
+	}
+	m := vector.New(cfg)
+	if _, err := VecHistScalar(m, []int32{5}, 3); err == nil {
+		t.Error("out-of-range key accepted")
+	}
+	if _, err := VecHistPrivate(m, nil, 0); err == nil {
+		t.Error("bins=0 accepted")
+	}
+}
+
+// TestHistSweepCrossover: the study's point — private copies win for
+// small bin counts, multireduce is insensitive to the bin count and
+// wins once VL*bins rivals n; the scalar loop never wins.
+func TestHistSweepCrossover(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := vector.DefaultConfig()
+	n := 100000
+	keys := randKeys32(rng, n, 1<<20)
+	points, err := HistSweep(cfg, keys, []int{256, 4096, 65536, 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := points[0]
+	big := points[len(points)-1]
+	if small.PrivateClk >= small.MPClk {
+		t.Errorf("bins=%d: private copies (%.1f clk/key) should beat multireduce (%.1f)",
+			small.Bins, small.PrivateClk, small.MPClk)
+	}
+	if big.MPClk >= big.PrivateClk {
+		t.Errorf("bins=%d: multireduce (%.1f clk/key) should beat private copies (%.1f)",
+			big.Bins, big.MPClk, big.PrivateClk)
+	}
+	// Multireduce cost is insensitive to the bin count while bins <= n
+	// (the paper's Figure 10 point); beyond that the O(m) arena
+	// initialization necessarily dominates for every method.
+	var withinN []HistPoint
+	for _, p := range points {
+		if p.Bins <= n {
+			withinN = append(withinN, p)
+		}
+	}
+	if len(withinN) >= 2 {
+		first, last := withinN[0], withinN[len(withinN)-1]
+		if last.MPClk > 2.2*first.MPClk {
+			t.Errorf("multireduce cost drifted with bins<=n: %.1f -> %.1f clk/key", first.MPClk, last.MPClk)
+		}
+	}
+	// The scalar loop never wins while the bin count is modest relative
+	// to n. (At bins >> n every vectorized method drowns in clearing
+	// and merging auxiliary arrays and the scalar loop's single count
+	// array becomes the cheapest — a real effect, not a model quirk.)
+	for _, p := range points {
+		if p.Bins > n/4 {
+			continue
+		}
+		if p.ScalarClk < p.PrivateClk && p.ScalarClk < p.MPClk {
+			t.Errorf("bins=%d: scalar loop should not be the fastest", p.Bins)
+		}
+	}
+}

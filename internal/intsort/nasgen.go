@@ -1,0 +1,70 @@
+// Package intsort implements the integer-sorting evaluation of paper
+// §5.1: the multiprefix ranking algorithm of Figure 11, the baselines
+// of Table 1 (a partially-vectorized FORTRAN-style bucket sort and a
+// tuned vectorized stand-in for the closed-source Cray Research
+// implementation), and the NAS Integer Sort workload generator the
+// benchmark prescribes.
+package intsort
+
+// The NAS parallel benchmarks generate their integer-sort keys with
+// the linear congruential sequence
+//
+//	x_{k+1} = a * x_k  (mod 2^46),   a = 5^13, x_0 = 314159265
+//
+// and form each key as the scaled average of four consecutive
+// uniforms, k_i = floor(Bmax * (r_{4i} + ... + r_{4i+3}) / 4), giving
+// the hump-shaped distribution the IS benchmark is known for
+// (Bailey et al., "The NAS Parallel Benchmarks", 1991).
+
+const (
+	nasModMask = (uint64(1) << 46) - 1
+	nasA       = 5 * 5 * 5 * 5 * 5 * 5 * 5 * 5 * 5 * 5 * 5 * 5 * 5 // 5^13
+	nasSeed    = 314159265
+)
+
+// NASGen is the NAS pseudorandom number generator.
+type NASGen struct {
+	x uint64
+}
+
+// NewNASGen seeds the generator; seed 0 selects the benchmark's
+// canonical 314159265.
+func NewNASGen(seed uint64) *NASGen {
+	if seed == 0 {
+		seed = nasSeed
+	}
+	return &NASGen{x: seed & nasModMask}
+}
+
+// Next returns the next uniform in [0, 1).
+func (g *NASGen) Next() float64 {
+	g.x = mulMod46(g.x, nasA)
+	return float64(g.x) / float64(uint64(1)<<46)
+}
+
+// mulMod46 multiplies modulo 2^46 without overflow: split a into
+// 23-bit halves (the NAS report's own scheme).
+func mulMod46(a, b uint64) uint64 {
+	const half = uint64(1) << 23
+	a1 := a / half
+	a2 := a % half
+	t := (a1*b)%half*half + a2*b
+	return t & nasModMask
+}
+
+// NASKeys generates n IS-benchmark keys in [0, maxKey): each key is
+// the scaled average of four uniforms. The NAS class A problem is
+// n = 2^23, maxKey = 2^19.
+func NASKeys(n, maxKey int, seed uint64) []int32 {
+	g := NewNASGen(seed)
+	keys := make([]int32, n)
+	for i := range keys {
+		s := g.Next() + g.Next() + g.Next() + g.Next()
+		k := int32(float64(maxKey) * s / 4)
+		if int(k) >= maxKey {
+			k = int32(maxKey - 1)
+		}
+		keys[i] = k
+	}
+	return keys
+}

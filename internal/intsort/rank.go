@@ -1,0 +1,149 @@
+package intsort
+
+import (
+	"fmt"
+
+	"multiprefix/internal/core"
+	"multiprefix/internal/scan"
+)
+
+// This file holds the plain-Go ranking algorithms. Ranking (the NAS IS
+// task) assigns each key its position in sorted order; ranks of equal
+// keys preserve input order, so every ranker here is a stable sort.
+
+// RankCounting is the serial counting-sort ranker (Knuth's counting
+// sort, the paper's "serial counterpart"): O(n + m) time, the oracle
+// for everything else.
+func RankCounting(keys []int32, maxKey int) ([]int64, error) {
+	if err := checkKeys(keys, maxKey); err != nil {
+		return nil, err
+	}
+	counts := make([]int64, maxKey)
+	for _, k := range keys {
+		counts[k]++
+	}
+	scan.ExclusiveInt64(counts)
+	ranks := make([]int64, len(keys))
+	for i, k := range keys {
+		ranks[i] = counts[k]
+		counts[k]++
+	}
+	return ranks, nil
+}
+
+// RankMP is the multiprefix ranking algorithm of paper Figure 11:
+//
+//	MP(ones, keys)          -> rank-among-equals + per-key counts
+//	exclusive-scan(counts)  -> keys' cumulative start positions
+//	rank[i] += cumulative[key[i]]
+//
+// The multiprefix engine is injected so the same algorithm runs on the
+// serial, spinetree, goroutine-parallel or chunked engines.
+func RankMP(keys []int32, maxKey int, engine core.Engine[int64]) ([]int64, error) {
+	if err := checkKeys(keys, maxKey); err != nil {
+		return nil, err
+	}
+	ones := make([]int64, len(keys))
+	labels := make([]int, len(keys))
+	for i, k := range keys {
+		ones[i] = 1
+		labels[i] = int(k)
+	}
+	res, err := engine(core.AddInt64, ones, labels, maxKey)
+	if err != nil {
+		return nil, err
+	}
+	cumulative := res.Reductions
+	scan.ExclusiveInt64(cumulative)
+	ranks := res.Multi
+	for i, k := range keys {
+		ranks[i] += cumulative[k]
+	}
+	return ranks, nil
+}
+
+// RankRadix is a stable LSD radix-sort ranker over digitBits-wide
+// digits — the classic tuned approach a vendor library would ship.
+func RankRadix(keys []int32, maxKey, digitBits int) ([]int64, error) {
+	if err := checkKeys(keys, maxKey); err != nil {
+		return nil, err
+	}
+	if digitBits < 1 || digitBits > 20 {
+		return nil, fmt.Errorf("intsort: digitBits %d outside [1,20]", digitBits)
+	}
+	n := len(keys)
+	// idx holds the input positions in progressively sorted order.
+	idx := make([]int32, n)
+	next := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	radix := 1 << digitBits
+	mask := int32(radix - 1)
+	counts := make([]int64, radix)
+	for shift := 0; (1<<shift) <= maxKey-1 || shift == 0; shift += digitBits {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, p := range idx {
+			counts[(keys[p]>>shift)&mask]++
+		}
+		scan.ExclusiveInt64(counts)
+		for _, p := range idx {
+			d := (keys[p] >> shift) & mask
+			next[counts[d]] = p
+			counts[d]++
+		}
+		idx, next = next, idx
+	}
+	ranks := make([]int64, n)
+	for pos, p := range idx {
+		ranks[p] = int64(pos)
+	}
+	return ranks, nil
+}
+
+// Permute applies ranks to produce the sorted key vector (the rank is
+// each key's destination).
+func Permute(keys []int32, ranks []int64) ([]int32, error) {
+	if len(keys) != len(ranks) {
+		return nil, fmt.Errorf("intsort: %d keys, %d ranks", len(keys), len(ranks))
+	}
+	out := make([]int32, len(keys))
+	seen := make([]bool, len(keys))
+	for i, r := range ranks {
+		if r < 0 || int(r) >= len(keys) || seen[r] {
+			return nil, fmt.Errorf("intsort: ranks are not a permutation (rank[%d]=%d)", i, r)
+		}
+		seen[r] = true
+		out[r] = keys[i]
+	}
+	return out, nil
+}
+
+// VerifyRanks checks the NAS full-verification condition: applying the
+// ranks must produce a sorted sequence (and a permutation).
+func VerifyRanks(keys []int32, ranks []int64) error {
+	sorted, err := Permute(keys, ranks)
+	if err != nil {
+		return err
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] > sorted[i] {
+			return fmt.Errorf("intsort: not sorted at position %d: %d > %d", i, sorted[i-1], sorted[i])
+		}
+	}
+	return nil
+}
+
+func checkKeys(keys []int32, maxKey int) error {
+	if maxKey < 1 {
+		return fmt.Errorf("intsort: maxKey %d < 1", maxKey)
+	}
+	for i, k := range keys {
+		if k < 0 || int(k) >= maxKey {
+			return fmt.Errorf("intsort: keys[%d]=%d outside [0,%d)", i, k, maxKey)
+		}
+	}
+	return nil
+}

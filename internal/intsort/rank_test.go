@@ -1,0 +1,235 @@
+package intsort
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"multiprefix/internal/core"
+)
+
+// refRanks computes stable ranks with the standard library: the rank
+// of element i is its position after a stable sort by key.
+func refRanks(keys []int32) []int64 {
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	ranks := make([]int64, len(keys))
+	for pos, i := range idx {
+		ranks[i] = int64(pos)
+	}
+	return ranks
+}
+
+func randomKeys(rng *rand.Rand, n, maxKey int) []int32 {
+	keys := make([]int32, n)
+	for i := range keys {
+		keys[i] = int32(rng.Intn(maxKey))
+	}
+	return keys
+}
+
+func equalRanks(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRankCountingMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 100, 1000} {
+		keys := randomKeys(rng, n, 37)
+		got, err := RankCounting(keys, 37)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalRanks(got, refRanks(keys)) {
+			t.Fatalf("n=%d: ranks differ from stable stdlib sort", n)
+		}
+	}
+}
+
+// TestAllRankersAgree drives every ranker against the oracle: this is
+// also the stability test, since refRanks is stable by construction
+// and ranks of equal keys are distinguishable.
+func TestAllRankersAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	engines := map[string]core.Engine[int64]{
+		"serial":    core.SerialEngine[int64](),
+		"spinetree": core.SpinetreeEngine[int64](core.Config{}),
+		"parallel":  core.ParallelEngine[int64](core.Config{Workers: 3}),
+		"chunked":   core.ChunkedEngine[int64](core.Config{Workers: 4}),
+	}
+	for _, n := range []int{1, 7, 256, 2000} {
+		for _, maxKey := range []int{1, 2, 16, 512} {
+			keys := randomKeys(rng, n, maxKey)
+			want := refRanks(keys)
+			for name, eng := range engines {
+				got, err := RankMP(keys, maxKey, eng)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if !equalRanks(got, want) {
+					t.Fatalf("RankMP/%s: n=%d maxKey=%d ranks differ", name, n, maxKey)
+				}
+			}
+			for _, bits := range []int{1, 4, 10} {
+				got, err := RankRadix(keys, maxKey, bits)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !equalRanks(got, want) {
+					t.Fatalf("RankRadix/%d-bit: n=%d maxKey=%d ranks differ", bits, n, maxKey)
+				}
+			}
+		}
+	}
+}
+
+func TestRankMPQuick(t *testing.T) {
+	eng := core.ChunkedEngine[int64](core.Config{})
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(500)
+		maxKey := 1 + rng.Intn(64)
+		keys := randomKeys(rng, n, maxKey)
+		got, err := RankMP(keys, maxKey, eng)
+		if err != nil {
+			return false
+		}
+		return equalRanks(got, refRanks(keys)) && VerifyRanks(keys, got) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermuteAndVerify(t *testing.T) {
+	keys := []int32{3, 1, 2, 1}
+	ranks, err := RankCounting(keys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := Permute(keys, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{1, 1, 2, 3}
+	for i := range want {
+		if sorted[i] != want[i] {
+			t.Fatalf("sorted = %v", sorted)
+		}
+	}
+	if err := VerifyRanks(keys, ranks); err != nil {
+		t.Fatal(err)
+	}
+	// Broken ranks must be rejected.
+	if err := VerifyRanks(keys, []int64{0, 0, 1, 2}); err == nil {
+		t.Error("duplicate ranks accepted")
+	}
+	if err := VerifyRanks(keys, []int64{3, 2, 1, 0}); err == nil {
+		t.Error("unsorted ranking accepted")
+	}
+}
+
+func TestRankValidation(t *testing.T) {
+	if _, err := RankCounting([]int32{5}, 3); err == nil {
+		t.Error("key out of range accepted")
+	}
+	if _, err := RankCounting(nil, 0); err == nil {
+		t.Error("maxKey 0 accepted")
+	}
+	if _, err := RankRadix([]int32{0}, 1, 0); err == nil {
+		t.Error("digitBits 0 accepted")
+	}
+	if _, err := Permute([]int32{1}, []int64{0, 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// TestNASGeneratorReference checks the generator against the NAS
+// report's structure: deterministic, uniform-ish in (0,1), and the
+// 4-average keys hump in the middle of the range.
+func TestNASGeneratorReference(t *testing.T) {
+	g1 := NewNASGen(0)
+	g2 := NewNASGen(0)
+	for i := 0; i < 100; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a != b {
+			t.Fatal("generator not deterministic")
+		}
+		if a < 0 || a >= 1 {
+			t.Fatalf("uniform %g outside [0,1)", a)
+		}
+	}
+	// First value from the canonical seed: x1 = 5^13 * 314159265 mod 2^46.
+	g := NewNASGen(0)
+	want := float64((uint64(nasA)*uint64(nasSeed))&nasModMask) / float64(uint64(1)<<46)
+	if got := g.Next(); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("first uniform = %v, want %v", got, want)
+	}
+}
+
+func TestNASKeysDistribution(t *testing.T) {
+	n, maxKey := 100000, 1<<10
+	keys := NASKeys(n, maxKey, 0)
+	if len(keys) != n {
+		t.Fatal("wrong length")
+	}
+	var mean float64
+	quarters := [4]int{}
+	for _, k := range keys {
+		if k < 0 || int(k) >= maxKey {
+			t.Fatalf("key %d out of range", k)
+		}
+		mean += float64(k)
+		quarters[int(k)*4/maxKey]++
+	}
+	mean /= float64(n)
+	if mean < 0.45*float64(maxKey) || mean > 0.55*float64(maxKey) {
+		t.Errorf("mean key %f, want ~%d", mean, maxKey/2)
+	}
+	// The average-of-4 distribution concentrates in the middle two
+	// quarters (each tail quarter holds a few percent of the mass).
+	if quarters[1] < quarters[0]*3 || quarters[2] < quarters[3]*3 {
+		t.Errorf("distribution not humped: %v", quarters)
+	}
+}
+
+func TestMulMod46(t *testing.T) {
+	// Cross-check against big-integer arithmetic via float-free method:
+	// (a*b mod 2^46) computed with 128-bit split.
+	cases := [][2]uint64{{3, 5}, {1 << 40, 1 << 40}, {nasA, nasSeed}, {nasModMask, nasModMask}}
+	for _, c := range cases {
+		hi, lo := bitsMul64(c[0], c[1])
+		want := ((hi << (64 - 46) << 46) | lo) & nasModMask // lo mod 2^46
+		_ = hi
+		want = lo & nasModMask
+		if got := mulMod46(c[0], c[1]); got != want {
+			t.Errorf("mulMod46(%d,%d) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+}
+
+// bitsMul64 is a tiny 64x64->128 multiply (avoids importing math/bits
+// in the main package just for a test oracle).
+func bitsMul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	t := a1*b0 + a0*b0>>32
+	w1 := t&mask32 + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}

@@ -1,0 +1,284 @@
+package intsort
+
+import (
+	"fmt"
+
+	"multiprefix/internal/core"
+	"multiprefix/internal/vecmp"
+	"multiprefix/internal/vector"
+)
+
+// This file holds the three Table 1 contenders timed on the simulated
+// vector machine. All three produce exact ranks (verified against
+// RankCounting in tests); they differ in how much of the work
+// vectorizes, which is precisely the paper's story:
+//
+//   - VecRankBucket: the "partially vectorized FORTRAN bucket sort".
+//     The histogram and ranking loops carry a loop-carried dependence
+//     through the bucket array that 1992 compilers could not vectorize
+//     (the paper: "previous attempts ... have relied on sophisticated
+//     compiler technology to recognize this particular loop"), so both
+//     run at scalar speed; only the bucket scan vectorizes.
+//   - VecRankCRI: a stand-in for the closed-source Cray Research
+//     implementation (see DESIGN.md): a fully vectorized multi-pass
+//     radix ranking in the style of Zagha & Blelloch's Cray Y-MP radix
+//     sort — the input is split into VL segments, lanes process
+//     segments in lock-step so the per-(digit, segment) counters never
+//     collide within a strip, and a digit-major/segment-minor scan
+//     makes every pass stable.
+//   - VecRankMP: the paper's Figure 11. Both passes ride the
+//     multiprefix primitive, fully vectorized, with the all-ones value
+//     optimization of §5.1.1 (ConstantValues) and the partition-method
+//     scan for the bucket recurrence.
+
+// VecRankBucket ranks keys with the partially vectorized bucket sort
+// and returns the ranks; cost lands on m.
+func VecRankBucket(m *vector.Machine, keys []int32, maxKey int) ([]int64, error) {
+	if err := checkKeys(keys, maxKey); err != nil {
+		return nil, err
+	}
+	n := len(keys)
+	counts := make([]int64, maxKey)
+	// Scalar histogram: load key, load bucket, increment, store — a
+	// serial loop-carried chain, two scalar memory ops per element.
+	m.BeginLoop()
+	m.ScalarOp("hist", 2*n)
+	for _, k := range keys {
+		counts[k]++
+	}
+	// Vectorized bucket recurrence.
+	vecmp.VecExclusiveScan(m, counts)
+	// Scalar ranking: the same dependence, two scalar ops per element.
+	m.BeginLoop()
+	m.ScalarOp("rank", 2*n)
+	ranks := make([]int64, n)
+	for i, k := range keys {
+		ranks[i] = counts[k]
+		counts[k]++
+	}
+	return ranks, nil
+}
+
+// CRIDigitBits is the radix width of the vendor stand-in: 19-bit NAS
+// keys rank in two passes of 10+9 bits.
+const CRIDigitBits = 10
+
+// VecRankCRI ranks keys with the tuned-vendor-library stand-in: a
+// stable LSD radix ranking whose histogram and permutation passes are
+// both vectorized with segment-private counters. Lane s of every
+// vector strip handles segment s (a contiguous n/VL slice of the
+// input), so counter indices digit*VL+s never collide within a strip,
+// and scanning the counters digit-major keeps each pass stable.
+func VecRankCRI(m *vector.Machine, keys []int32, maxKey int) ([]int64, error) {
+	if err := checkKeys(keys, maxKey); err != nil {
+		return nil, err
+	}
+	n := len(keys)
+	ranks := make([]int64, n)
+	if n == 0 {
+		return ranks, nil
+	}
+	vl := m.Config().VL
+	// Pad the segment length so the lock-step stride does not alias
+	// the memory banks (the standard Cray padding trick).
+	segLen := vecmp.PaddedSectionLen(n, vl, m.Config().Banks, m.Config().BankBusy)
+	numSeg := (n + segLen - 1) / segLen
+	// Balance the digit width across the passes the key range needs:
+	// 19-bit NAS keys rank in two passes of 10+9 bits; narrow key
+	// ranges use narrower digits rather than oversized count tables.
+	bits := 1
+	for (1 << bits) < maxKey {
+		bits++
+	}
+	passes := (bits + CRIDigitBits - 1) / CRIDigitBits
+	digitBits := (bits + passes - 1) / passes
+	radix := 1 << digitBits
+	mask := int32(radix - 1)
+
+	cur := append([]int32(nil), keys...) // keys in current order
+	nxt := make([]int32, n)
+	order := make([]int32, n) // original index of each position
+	orderNxt := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+
+	counts := make([]int64, radix*numSeg)
+	regKey := make([]int32, numSeg)
+	regOrd := make([]int32, numSeg)
+	regIdx := make([]int32, numSeg)
+	regCnt := make([]int64, numSeg)
+	ones := make([]int64, numSeg)
+	for i := range ones {
+		ones[i] = 1
+	}
+
+	// validLanes reports how many segments have a j-th element (a
+	// prefix; only the last segment is short).
+	validLanes := func(j int) int {
+		k := numSeg
+		for k > 0 && (k-1)*segLen+j >= n {
+			k--
+		}
+		return k
+	}
+
+	for shift := 0; shift < bits; shift += digitBits {
+		for i := range counts {
+			counts[i] = 0
+		}
+		// Histogram pass, segments in lock-step.
+		m.BeginLoop()
+		for j := 0; j < segLen; j++ {
+			k := validLanes(j)
+			if k == 0 {
+				break
+			}
+			vector.LoadStride(m, regKey[:k], cur, j, segLen)
+			for s := 0; s < k; s++ {
+				regIdx[s] = ((regKey[s]>>shift)&mask)*int32(numSeg) + int32(s)
+			}
+			vector.VAddScalar(m, regIdx[:k], regIdx[:k], 0) // digit+address ALU
+			vector.Gather(m, regCnt[:k], counts, regIdx[:k])
+			vector.VAdd(m, regCnt[:k], regCnt[:k], ones[:k])
+			vector.Scatter(m, counts, regIdx[:k], regCnt[:k])
+		}
+		// Digit-major, segment-minor exclusive scan: each (digit, seg)
+		// cell receives its block's start position.
+		vecmp.VecExclusiveScan(m, counts)
+		// Permutation pass, same lock-step: stable within and across
+		// segments.
+		m.BeginLoop()
+		for j := 0; j < segLen; j++ {
+			k := validLanes(j)
+			if k == 0 {
+				break
+			}
+			vector.LoadStride(m, regKey[:k], cur, j, segLen)
+			vector.LoadStride(m, regOrd[:k], order, j, segLen)
+			for s := 0; s < k; s++ {
+				regIdx[s] = ((regKey[s]>>shift)&mask)*int32(numSeg) + int32(s)
+			}
+			vector.VAddScalar(m, regIdx[:k], regIdx[:k], 0) // digit+address ALU
+			vector.Gather(m, regCnt[:k], counts, regIdx[:k])
+			vector.VAdd(m, regCnt[:k], regCnt[:k], ones[:k])
+			vector.Scatter(m, counts, regIdx[:k], regCnt[:k])
+			// regCnt holds position+1; scatter key and origin index.
+			for s := 0; s < k; s++ {
+				regIdx[s] = int32(regCnt[s] - 1)
+			}
+			vector.Scatter(m, nxt, regIdx[:k], regKey[:k])
+			vector.Scatter(m, orderNxt, regIdx[:k], regOrd[:k])
+		}
+		cur, nxt = nxt, cur
+		order, orderNxt = orderNxt, order
+	}
+	// ranks[order[p]] = p: one iota + scatter pass over chunks.
+	m.BeginLoop()
+	chunk := 4096
+	if chunk > n {
+		chunk = n
+	}
+	iv := make([]int64, chunk)
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		for p := lo; p < hi; p++ {
+			iv[p-lo] = int64(p)
+		}
+		vector.Scatter(m, ranks, order[lo:hi], iv[:hi-lo])
+	}
+	return ranks, nil
+}
+
+// VecRankMP ranks keys with the multiprefix algorithm of Figure 11 on
+// the vector machine.
+func VecRankMP(m *vector.Machine, keys []int32, maxKey int) ([]int64, error) {
+	if err := checkKeys(keys, maxKey); err != nil {
+		return nil, err
+	}
+	n := len(keys)
+	ones := make([]int64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	res, err := vecmp.Multiprefix(m, core.AddInt64, ones, keys, maxKey, vecmp.Config{ConstantValues: true})
+	if err != nil {
+		return nil, err
+	}
+	cumulative := res.Reductions
+	vecmp.VecExclusiveScan(m, cumulative)
+	// rank[i] = multi[i] + cumulative[key[i]]: gather, add, store.
+	ranks := res.Multi
+	regC := make([]int64, min(n, 4096))
+	regR := make([]int64, len(regC))
+	if n > 0 {
+		m.BeginLoop()
+		for lo := 0; lo < n; lo += len(regC) {
+			hi := min(lo+len(regC), n)
+			k := hi - lo
+			vector.Gather(m, regC[:k], cumulative, keys[lo:hi])
+			vector.Load(m, regR[:k], ranks[lo:hi])
+			vector.VAdd(m, regR[:k], regR[:k], regC[:k])
+			vector.Store(m, ranks[lo:hi], regR[:k])
+		}
+	}
+	return ranks, nil
+}
+
+// Table1Result is one run of the NAS IS comparison (paper Table 1).
+type Table1Result struct {
+	N, MaxKey, Iterations                      int
+	BucketSec, CRISec, MPSec                   float64
+	BucketClkPerKey, CRIClkPerKey, MPClkPerKey float64
+}
+
+// RunTable1 generates the NAS keys and times all three rankers over
+// the requested iteration count (the NAS benchmark ranks 10 times).
+// Ranks are cross-checked between methods on the way.
+func RunTable1(cfg vector.Config, n, maxKey, iterations int, seed uint64) (Table1Result, error) {
+	if iterations < 1 {
+		iterations = 1
+	}
+	keys := NASKeys(n, maxKey, seed)
+	res := Table1Result{N: n, MaxKey: maxKey, Iterations: iterations}
+
+	run := func(rank func(*vector.Machine, []int32, int) ([]int64, error)) (float64, []int64, error) {
+		m := vector.New(cfg)
+		var ranks []int64
+		var err error
+		for it := 0; it < iterations; it++ {
+			ranks, err = rank(m, keys, maxKey)
+			if err != nil {
+				return 0, nil, err
+			}
+		}
+		return m.Cycles(), ranks, nil
+	}
+
+	bucketCycles, bucketRanks, err := run(VecRankBucket)
+	if err != nil {
+		return res, err
+	}
+	criCycles, criRanks, err := run(VecRankCRI)
+	if err != nil {
+		return res, err
+	}
+	mpCycles, mpRanks, err := run(VecRankMP)
+	if err != nil {
+		return res, err
+	}
+	for i := range bucketRanks {
+		if bucketRanks[i] != criRanks[i] || bucketRanks[i] != mpRanks[i] {
+			return res, fmt.Errorf("intsort: rankers disagree at %d: bucket=%d cri=%d mp=%d",
+				i, bucketRanks[i], criRanks[i], mpRanks[i])
+		}
+	}
+	den := float64(n * iterations)
+	res.BucketSec = bucketCycles * cfg.ClockNS * 1e-9
+	res.CRISec = criCycles * cfg.ClockNS * 1e-9
+	res.MPSec = mpCycles * cfg.ClockNS * 1e-9
+	res.BucketClkPerKey = bucketCycles / den
+	res.CRIClkPerKey = criCycles / den
+	res.MPClkPerKey = mpCycles / den
+	return res, nil
+}

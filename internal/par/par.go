@@ -1,0 +1,165 @@
+// Package par provides small building blocks for barrier-synchronous
+// data parallelism: a bounded parallel-for, a reusable pool of workers
+// that execute a sequence of synchronous steps, and a cyclic barrier.
+//
+// The multiprefix algorithm of Sheffler (CMU-CS-92-173) is expressed as a
+// sequence of "pardo" steps over rows and columns of a conceptual square.
+// PRAM semantics require that, within one step, every read happens before
+// every write; the Pool type gives exactly that structure: each step runs
+// on all workers, and a barrier separates consecutive steps.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers returns the degree of parallelism used when a caller
+// passes 0 workers: the number of usable CPUs.
+func DefaultWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(lo, hi) on up to workers goroutines, splitting [0, n) into
+// contiguous chunks of at least grain elements. It blocks until all chunks
+// are done. workers <= 0 means DefaultWorkers(); grain <= 0 means 1.
+// When the work fits in a single chunk it runs on the calling goroutine
+// with no goroutine overhead.
+func For(n, workers, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	chunks := n / grain
+	if chunks < workers {
+		workers = chunks
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Range splits [0, n) into parts contiguous chunks and returns the
+// bounds of chunk w. Chunk sizes differ by at most one element.
+func Range(n, parts, w int) (lo, hi int) {
+	return w * n / parts, (w + 1) * n / parts
+}
+
+// Barrier is a reusable cyclic barrier for a fixed party count.
+// The zero value is not usable; construct with NewBarrier.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	phase   uint64
+}
+
+// NewBarrier returns a barrier that releases all goroutines once
+// parties of them have called Await.
+func NewBarrier(parties int) *Barrier {
+	if parties < 1 {
+		panic("par: barrier parties must be >= 1")
+	}
+	b := &Barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Await blocks until all parties have reached the barrier, then all are
+// released and the barrier resets for the next phase.
+func (b *Barrier) Await() {
+	b.mu.Lock()
+	phase := b.phase
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Pool runs a fixed set of workers that repeatedly execute synchronous
+// steps. All workers run the same step function (with their worker id);
+// a step does not begin until the previous step has completed on every
+// worker. It is the goroutine analogue of a PRAM's lock-step execution.
+type Pool struct {
+	workers int
+	steps   chan func(worker int)
+	done    chan struct{}
+	wg      sync.WaitGroup
+	barrier *Barrier
+}
+
+// NewPool starts workers goroutines waiting for steps.
+// workers <= 0 means DefaultWorkers().
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	p := &Pool{
+		workers: workers,
+		steps:   make(chan func(worker int)),
+		done:    make(chan struct{}),
+		barrier: NewBarrier(workers + 1),
+	}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.run(w)
+	}
+	return p
+}
+
+// Workers reports the pool's degree of parallelism.
+func (p *Pool) Workers() int { return p.workers }
+
+func (p *Pool) run(worker int) {
+	defer p.wg.Done()
+	for {
+		select {
+		case step := <-p.steps:
+			step(worker)
+			p.barrier.Await()
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// Step runs fn on every worker and returns when all have finished.
+// It must not be called concurrently from multiple goroutines.
+func (p *Pool) Step(fn func(worker int)) {
+	for w := 0; w < p.workers; w++ {
+		p.steps <- fn
+	}
+	p.barrier.Await()
+}
+
+// Close shuts the pool down. The pool must be idle (no Step in flight).
+func (p *Pool) Close() {
+	close(p.done)
+	p.wg.Wait()
+}

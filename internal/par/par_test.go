@@ -1,0 +1,144 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 100, 1001} {
+		for _, w := range []int{0, 1, 2, 7} {
+			var mu sync.Mutex
+			seen := make([]int, n)
+			For(n, w, 1, func(lo, hi int) {
+				mu.Lock()
+				defer mu.Unlock()
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d w=%d: element %d visited %d times", n, w, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForGrainCollapsesToSerial(t *testing.T) {
+	calls := 0
+	For(10, 8, 100, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Fatalf("expected single chunk, got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestRangePartition(t *testing.T) {
+	n, parts := 103, 7
+	total := 0
+	prevHi := 0
+	for w := 0; w < parts; w++ {
+		lo, hi := Range(n, parts, w)
+		if lo != prevHi {
+			t.Fatalf("chunk %d: lo=%d, want %d", w, lo, prevHi)
+		}
+		if hi-lo < n/parts || hi-lo > n/parts+1 {
+			t.Fatalf("chunk %d size %d unbalanced", w, hi-lo)
+		}
+		total += hi - lo
+		prevHi = hi
+	}
+	if total != n {
+		t.Fatalf("total = %d, want %d", total, n)
+	}
+}
+
+// TestBarrierPhases checks that no goroutine can run ahead: after each
+// barrier, all parties have finished the previous phase.
+func TestBarrierPhases(t *testing.T) {
+	const parties, phases = 8, 50
+	bar := NewBarrier(parties)
+	var counter atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(parties)
+	for p := 0; p < parties; p++ {
+		go func() {
+			defer wg.Done()
+			for ph := 0; ph < phases; ph++ {
+				counter.Add(1)
+				bar.Await()
+				if got := counter.Load(); got != int64((ph+1)*parties) {
+					t.Errorf("phase %d: counter = %d, want %d", ph, got, (ph+1)*parties)
+				}
+				bar.Await()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter.Load() != parties*phases {
+		t.Fatalf("counter = %d", counter.Load())
+	}
+}
+
+func TestBarrierSingleParty(t *testing.T) {
+	bar := NewBarrier(1)
+	for i := 0; i < 10; i++ {
+		bar.Await() // must not block
+	}
+}
+
+func TestNewBarrierPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+func TestPoolStepsRunOnAllWorkers(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	if p.Workers() != 4 {
+		t.Fatalf("Workers = %d", p.Workers())
+	}
+	var hits [4]atomic.Int64
+	for step := 0; step < 20; step++ {
+		p.Step(func(w int) { hits[w].Add(1) })
+	}
+	for w := range hits {
+		if hits[w].Load() != 20 {
+			t.Fatalf("worker %d ran %d steps, want 20", w, hits[w].Load())
+		}
+	}
+}
+
+// TestPoolStepOrdering: step k+1 must not start on any worker before
+// step k finished on every worker.
+func TestPoolStepOrdering(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var stage atomic.Int64
+	for k := 0; k < 30; k++ {
+		want := int64(k * p.Workers())
+		p.Step(func(w int) {
+			if got := stage.Load(); got < want {
+				t.Errorf("step %d started with stage %d < %d", k, got, want)
+			}
+			stage.Add(1)
+		})
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatal("DefaultWorkers < 1")
+	}
+}

@@ -1,0 +1,290 @@
+// Package pram simulates a synchronous PRAM (parallel random access
+// machine) with selectable memory-conflict policy. It exists to make
+// the paper's theoretical claims checkable by running them:
+//
+//   - the multiprefix algorithm of §2.2 executes on the simulated
+//     machine in O(sqrt(n)) counted steps and O(n) counted work;
+//   - the SPINETREE phase genuinely requires only CRCW-ARB writes;
+//   - the remaining phases execute under a strict EREW policy, which
+//     the simulator enforces by failing on any concurrent access;
+//   - a CRCW-PLUS combining write can be simulated on the ARB machine
+//     with constant slowdown once n >= p^2 (§1.2).
+//
+// The machine executes data-parallel memory steps: a step is a batch
+// of per-processor reads or writes issued simultaneously. When a batch
+// holds more operations than there are processors, each processor
+// simulates a run of virtual processors and the step counter advances
+// by ceil(k/p) — the standard Brent-style accounting the paper uses.
+package pram
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Policy is the memory conflict-resolution discipline.
+type Policy int
+
+const (
+	// EREW forbids any two processors from touching the same address
+	// in one step, for both reads and writes.
+	EREW Policy = iota
+	// CREW allows concurrent reads, forbids concurrent writes.
+	CREW
+	// CRCWArb allows concurrent writes; an arbitrary processor wins.
+	// The simulator picks the winner pseudo-randomly so tests can
+	// verify that algorithm results are winner-independent.
+	CRCWArb
+	// CRCWPlus allows concurrent writes and combines all written
+	// values into the target with addition (the combining-write model
+	// of CLR §30 / the paper's §1.2).
+	CRCWPlus
+	// CRCWPriority allows concurrent writes; the lowest-numbered
+	// processor wins. Strictly stronger than ARB (any PRIORITY outcome
+	// is a legal ARB outcome, so ARB algorithms run unchanged).
+	CRCWPriority
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case EREW:
+		return "EREW"
+	case CREW:
+		return "CREW"
+	case CRCWArb:
+		return "CRCW-ARB"
+	case CRCWPlus:
+		return "CRCW-PLUS"
+	case CRCWPriority:
+		return "CRCW-PRIORITY"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ErrConflict reports a memory access forbidden by the active policy.
+var ErrConflict = errors.New("pram: memory access conflict")
+
+// Audit accumulates memory-access concurrency statistics when enabled:
+// how contended each step's batches were, per policy. It is how tests
+// verify — rather than assume — that only the SPINETREE phase of the
+// multiprefix program ever issues concurrent writes.
+type Audit struct {
+	// ReadBatches / WriteBatches count the parallel memory steps.
+	ReadBatches, WriteBatches int64
+	// MaxReaders / MaxWriters record, per policy, the largest number
+	// of processors touching one address in a single batch.
+	MaxReaders, MaxWriters map[Policy]int
+	// ConcurrentWriteBatches counts write batches in which some
+	// address had more than one writer.
+	ConcurrentWriteBatches int64
+}
+
+// Machine is a synchronous shared-memory PRAM.
+type Machine struct {
+	p      int
+	mem    []int64
+	policy Policy
+	rng    *rand.Rand
+
+	steps int64
+	work  int64
+	audit *Audit
+}
+
+// New creates a machine with p processors, words cells of zeroed
+// shared memory, and the given conflict policy. seed drives the
+// ARB-winner choice.
+func New(p, words int, policy Policy, seed int64) *Machine {
+	if p < 1 {
+		panic("pram: need at least one processor")
+	}
+	if words < 0 {
+		words = 0
+	}
+	return &Machine{
+		p:      p,
+		mem:    make([]int64, words),
+		policy: policy,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Processors reports the machine's processor count p.
+func (m *Machine) Processors() int { return m.p }
+
+// Policy reports the active conflict policy.
+func (m *Machine) Policy() Policy { return m.policy }
+
+// SetPolicy switches the conflict policy; the paper's algorithm uses
+// CRCW-ARB for the SPINETREE phase and EREW afterwards.
+func (m *Machine) SetPolicy(p Policy) { m.policy = p }
+
+// Steps reports the parallel steps executed so far.
+func (m *Machine) Steps() int64 { return m.steps }
+
+// Work reports the total operations executed (sum over steps of
+// participating virtual processors).
+func (m *Machine) Work() int64 { return m.work }
+
+// ResetCounters zeroes the step and work counters.
+func (m *Machine) ResetCounters() { m.steps, m.work = 0, 0 }
+
+// EnableAudit turns on access auditing and returns the live Audit
+// record (updated in place by subsequent Read/Write calls).
+func (m *Machine) EnableAudit() *Audit {
+	m.audit = &Audit{
+		MaxReaders: make(map[Policy]int),
+		MaxWriters: make(map[Policy]int),
+	}
+	return m.audit
+}
+
+// recordAudit folds one batch's address multiplicities into the audit.
+func (m *Machine) recordAudit(addrs []int, isWrite bool) {
+	if m.audit == nil {
+		return
+	}
+	maxMult := 0
+	count := make(map[int]int, len(addrs))
+	for _, a := range addrs {
+		count[a]++
+		if count[a] > maxMult {
+			maxMult = count[a]
+		}
+	}
+	if isWrite {
+		m.audit.WriteBatches++
+		if maxMult > m.audit.MaxWriters[m.policy] {
+			m.audit.MaxWriters[m.policy] = maxMult
+		}
+		if maxMult > 1 {
+			m.audit.ConcurrentWriteBatches++
+		}
+	} else {
+		m.audit.ReadBatches++
+		if maxMult > m.audit.MaxReaders[m.policy] {
+			m.audit.MaxReaders[m.policy] = maxMult
+		}
+	}
+}
+
+// Mem exposes the shared memory for loading inputs and reading
+// results; host-side access through Mem is not counted or policed.
+func (m *Machine) Mem() []int64 { return m.mem }
+
+// account charges one batch of k virtual-processor operations.
+func (m *Machine) account(k int) {
+	if k == 0 {
+		return
+	}
+	m.steps += int64((k + m.p - 1) / m.p)
+	m.work += int64(k)
+}
+
+// checkAddrs validates a batch against memory bounds.
+func (m *Machine) checkAddrs(addrs []int) error {
+	for _, a := range addrs {
+		if a < 0 || a >= len(m.mem) {
+			return fmt.Errorf("pram: address %d outside memory of %d words", a, len(m.mem))
+		}
+	}
+	return nil
+}
+
+// Read performs one parallel read step: virtual processor i reads
+// addrs[i]. Under EREW, duplicate addresses are a conflict.
+func (m *Machine) Read(addrs []int) ([]int64, error) {
+	if err := m.checkAddrs(addrs); err != nil {
+		return nil, err
+	}
+	if m.policy == EREW {
+		if a, b, dup := firstDuplicate(addrs); dup {
+			return nil, fmt.Errorf("%w: processors %d and %d read address %d under EREW", ErrConflict, a, b, addrs[a])
+		}
+	}
+	out := make([]int64, len(addrs))
+	for i, a := range addrs {
+		out[i] = m.mem[a]
+	}
+	m.recordAudit(addrs, false)
+	m.account(len(addrs))
+	return out, nil
+}
+
+// Write performs one parallel write step: virtual processor i writes
+// vals[i] to addrs[i]. Duplicate addresses are resolved by the policy:
+// EREW/CREW fail, CRCW-ARB keeps a pseudo-randomly chosen writer's
+// value, CRCW-PLUS sums all written values into the cell.
+func (m *Machine) Write(addrs []int, vals []int64) error {
+	if len(addrs) != len(vals) {
+		return fmt.Errorf("pram: write batch mismatch: %d addrs, %d vals", len(addrs), len(vals))
+	}
+	if err := m.checkAddrs(addrs); err != nil {
+		return err
+	}
+	switch m.policy {
+	case EREW, CREW:
+		if a, b, dup := firstDuplicate(addrs); dup {
+			return fmt.Errorf("%w: processors %d and %d write address %d under %v", ErrConflict, a, b, addrs[a], m.policy)
+		}
+		for i, a := range addrs {
+			m.mem[a] = vals[i]
+		}
+	case CRCWArb:
+		// Visit writers in a random order; the last writer to each
+		// address wins, so the winner is arbitrary.
+		order := m.rng.Perm(len(addrs))
+		for _, i := range order {
+			m.mem[addrs[i]] = vals[i]
+		}
+	case CRCWPlus:
+		for i, a := range addrs {
+			m.mem[a] += vals[i]
+		}
+	case CRCWPriority:
+		// Lowest-numbered processor wins: write in reverse batch order
+		// so earlier writers overwrite later ones.
+		for i := len(addrs) - 1; i >= 0; i-- {
+			m.mem[addrs[i]] = vals[i]
+		}
+	}
+	m.recordAudit(addrs, true)
+	m.account(len(addrs))
+	return nil
+}
+
+// ReadModifyWrite performs a combined read+compute+write step:
+// virtual processor i reads readAddrs[i], applies fn, and writes the
+// result to writeAddrs[i]. PRAM semantics (all reads before all
+// writes) are preserved. Both halves are policed; the step counts once
+// (read/compute/write is one instruction on the model machine).
+func (m *Machine) ReadModifyWrite(readAddrs, writeAddrs []int, fn func(i int, read int64) int64) error {
+	if len(readAddrs) != len(writeAddrs) {
+		return fmt.Errorf("pram: rmw batch mismatch: %d reads, %d writes", len(readAddrs), len(writeAddrs))
+	}
+	vals, err := m.Read(readAddrs)
+	if err != nil {
+		return err
+	}
+	// Undo the read's separate accounting; the fused step charges once.
+	m.steps -= int64((len(readAddrs) + m.p - 1) / m.p)
+	m.work -= int64(len(readAddrs))
+	for i := range vals {
+		vals[i] = fn(i, vals[i])
+	}
+	return m.Write(writeAddrs, vals)
+}
+
+// firstDuplicate reports two batch indices holding the same address.
+func firstDuplicate(addrs []int) (int, int, bool) {
+	seen := make(map[int]int, len(addrs))
+	for i, a := range addrs {
+		if j, ok := seen[a]; ok {
+			return j, i, true
+		}
+		seen[a] = i
+	}
+	return 0, 0, false
+}

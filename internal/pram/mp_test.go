@@ -1,0 +1,292 @@
+package pram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"multiprefix/internal/core"
+)
+
+func randomInput(rng *rand.Rand, n, m int) ([]int64, []int) {
+	values := make([]int64, n)
+	labels := make([]int, n)
+	for i := range values {
+		values[i] = int64(rng.Intn(201) - 100)
+		labels[i] = rng.Intn(m)
+	}
+	return values, labels
+}
+
+// TestPRAMMultiprefixMatchesSerial: the PRAM execution must agree with
+// the serial reference on every label distribution, including the
+// policy-enforced EREW phases succeeding.
+func TestPRAMMultiprefixMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name string
+		n, m int
+		gen  func(i int) int
+	}{
+		{"uniform", 100, 13, func(int) int { return rng.Intn(13) }},
+		{"all-equal", 81, 3, func(int) int { return 1 }},
+		{"distinct", 64, 64, func(i int) int { return i }},
+		{"two-classes", 50, 2, func(i int) int { return i % 2 }},
+		{"single", 1, 1, func(int) int { return 0 }},
+		{"ragged", 37, 5, func(int) int { return rng.Intn(5) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			values := make([]int64, tc.n)
+			labels := make([]int, tc.n)
+			for i := range values {
+				values[i] = int64(rng.Intn(50) - 25)
+				labels[i] = tc.gen(i)
+			}
+			want, err := core.Serial(core.AddInt64, values, labels, tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := int(math.Sqrt(float64(tc.n))) + 1
+			got, err := RunMultiprefix(p, values, labels, tc.m, 0, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want.Multi {
+				if got.Multi[i] != want.Multi[i] {
+					t.Fatalf("Multi[%d] = %d, want %d", i, got.Multi[i], want.Multi[i])
+				}
+			}
+			for b := range want.Reductions {
+				if got.Reductions[b] != want.Reductions[b] {
+					t.Fatalf("Reductions[%d] = %d, want %d", b, got.Reductions[b], want.Reductions[b])
+				}
+			}
+		})
+	}
+}
+
+// TestPRAMResultsAreWinnerIndependent: the ARB write may crown any
+// winner; the algorithm's outputs must not depend on which.
+func TestPRAMResultsAreWinnerIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	values, labels := randomInput(rng, 144, 7)
+	var first *Result
+	for seed := int64(0); seed < 8; seed++ {
+		res, err := RunMultiprefix(12, values, labels, 7, 0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = res
+			continue
+		}
+		for i := range first.Multi {
+			if res.Multi[i] != first.Multi[i] {
+				t.Fatalf("seed %d: Multi[%d] = %d, differs from seed 0's %d", seed, i, res.Multi[i], first.Multi[i])
+			}
+		}
+	}
+}
+
+// TestPRAMStepComplexity: with p = sqrt(n) processors the four main
+// phases must take O(sqrt(n)) steps — concretely, bounded by C*sqrt(n)
+// for a small constant C across a wide n range (paper §3).
+func TestPRAMStepComplexity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{64, 256, 1024, 4096, 16384} {
+		p := int(math.Sqrt(float64(n)))
+		m := p
+		values, labels := randomInput(rng, n, m)
+		res, err := RunMultiprefix(p, values, labels, m, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mainSteps := res.Stats.TotalSteps() - res.Stats.StepsInit
+		root := math.Sqrt(float64(n))
+		if float64(mainSteps) > 16*root {
+			t.Errorf("n=%d: main-phase steps = %d > 16*sqrt(n) = %.0f", n, mainSteps, 16*root)
+		}
+		if float64(mainSteps) < 4*root-8 {
+			t.Errorf("n=%d: main-phase steps = %d suspiciously below 4*sqrt(n)", n, mainSteps)
+		}
+	}
+}
+
+// TestPRAMWorkEfficiency: total work must be O(n + m) — the paper's
+// work-efficiency claim. We bound it by C*(n+m) with C covering the
+// constant number of memory batches per phase.
+func TestPRAMWorkEfficiency(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var prevRatio float64
+	for _, n := range []int{256, 1024, 4096, 16384, 65536} {
+		m := n / 4
+		values, labels := randomInput(rng, n, m)
+		res, err := RunMultiprefix(int(math.Sqrt(float64(n))), values, labels, m, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(res.Stats.Work) / float64(n+m)
+		if ratio > 20 {
+			t.Errorf("n=%d: work/(n+m) = %.1f, not linear", n, ratio)
+		}
+		// The ratio must not grow with n (work efficiency).
+		if prevRatio != 0 && ratio > prevRatio*1.25 {
+			t.Errorf("n=%d: work ratio grew from %.2f to %.2f", n, prevRatio, ratio)
+		}
+		prevRatio = ratio
+	}
+}
+
+// TestPRAMMultireduceMatches: reductions only, no MULTISUMS steps.
+func TestPRAMMultireduceMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	values, labels := randomInput(rng, 225, 9)
+	want, err := core.SerialReduce(core.AddInt64, values, labels, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunMultireduce(15, values, labels, 9, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range want {
+		if res.Reductions[b] != want[b] {
+			t.Fatalf("Reductions[%d] = %d, want %d", b, res.Reductions[b], want[b])
+		}
+	}
+	if res.Multi != nil {
+		t.Error("multireduce should not produce Multi")
+	}
+	if res.Stats.StepsMultisums != 0 {
+		t.Errorf("multireduce counted %d MULTISUMS steps", res.Stats.StepsMultisums)
+	}
+	full, err := RunMultiprefix(15, values, labels, 9, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TotalSteps() >= full.Stats.TotalSteps() {
+		t.Errorf("multireduce (%d steps) not cheaper than multiprefix (%d steps)",
+			res.Stats.TotalSteps(), full.Stats.TotalSteps())
+	}
+}
+
+func TestPRAMInputValidation(t *testing.T) {
+	if _, err := RunMultiprefix(4, []int64{1}, []int{0, 1}, 2, 0, 1); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := RunMultiprefix(4, []int64{1}, []int{5}, 2, 0, 1); err == nil {
+		t.Error("label out of range should fail")
+	}
+}
+
+// TestPlusWriteSimulation: the ARB simulation computes the same cell
+// contents as the native PLUS machine.
+func TestPlusWriteSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n, mCells := 400, 16
+	addrs := make([]int, n)
+	vals := make([]int64, n)
+	for i := range addrs {
+		addrs[i] = rng.Intn(mCells)
+		vals[i] = int64(rng.Intn(100))
+	}
+	native := make([]int64, mCells)
+	for b := range native {
+		native[b] = int64(b) * 1000
+	}
+	sim := append([]int64(nil), native...)
+
+	nativeSteps, err := NativePlusWrite(8, native, addrs, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simSteps, err := SimulatePlusWrite(8, sim, addrs, vals, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range native {
+		if sim[b] != native[b] {
+			t.Fatalf("cell %d: sim %d, native %d", b, sim[b], native[b])
+		}
+	}
+	if nativeSteps >= simSteps {
+		t.Errorf("native %d steps, sim %d steps: simulation should cost more", nativeSteps, simSteps)
+	}
+}
+
+// TestPlusSimulationConstantSlowdown is the §1.2 theorem: for
+// n = alpha^2 p^2 the simulation's slowdown over the n/p work floor
+// must stay bounded (and roughly flat) as alpha grows.
+func TestPlusSimulationConstantSlowdown(t *testing.T) {
+	p := 8
+	points, err := MeasureSlowdown(p, []int{1, 2, 3, 4, 6, 8}, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := points[0].Slowdown
+	last := points[len(points)-1].Slowdown
+	for _, pt := range points {
+		if pt.Slowdown > 64 {
+			t.Errorf("alpha=%d: slowdown %.1f unexpectedly large", pt.Alpha, pt.Slowdown)
+		}
+	}
+	// Slowdown should not grow with alpha; it typically shrinks toward
+	// an asymptote as startup costs amortize.
+	if last > first*1.5 {
+		t.Errorf("slowdown grew with alpha: %.2f -> %.2f", first, last)
+	}
+}
+
+// TestAuditProvesEREWPhases: access auditing must show that concurrent
+// writes happen only under the CRCW-ARB policy (i.e. only in the
+// SPINETREE scatter), concurrent reads only under CREW (the SPINETREE
+// gather), and never under EREW — turning the paper's Theorems 1-2
+// from assumptions into observations.
+func TestAuditProvesEREWPhases(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	values, labels := randomInput(rng, 400, 5) // heavy enough loads for real contention
+	_, audit, err := RunMultiprefixAudited(20, values, labels, 5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.MaxWriters[CRCWArb] < 2 {
+		t.Errorf("expected contended ARB writes in SPINETREE, max writers = %d", audit.MaxWriters[CRCWArb])
+	}
+	if audit.MaxReaders[CREW] < 2 {
+		t.Errorf("expected concurrent CREW reads in SPINETREE, max readers = %d", audit.MaxReaders[CREW])
+	}
+	if audit.MaxWriters[EREW] > 1 {
+		t.Errorf("EREW phase had %d concurrent writers", audit.MaxWriters[EREW])
+	}
+	if audit.MaxReaders[EREW] > 1 {
+		t.Errorf("EREW phase had %d concurrent readers", audit.MaxReaders[EREW])
+	}
+	if audit.MaxWriters[CREW] > 1 {
+		t.Errorf("CREW step had %d concurrent writers", audit.MaxWriters[CREW])
+	}
+	if audit.ReadBatches == 0 || audit.WriteBatches == 0 {
+		t.Error("audit recorded no batches")
+	}
+	if audit.ConcurrentWriteBatches == 0 {
+		t.Error("no concurrent write batches recorded despite heavy load")
+	}
+}
+
+// TestAuditAllEqualLabels: with one label, every SPINETREE scatter row
+// is fully contended — max ARB writers equals the row length.
+func TestAuditAllEqualLabels(t *testing.T) {
+	n := 144 // 12x12 grid
+	values := make([]int64, n)
+	labels := make([]int, n)
+	for i := range values {
+		values[i] = 1
+	}
+	_, audit, err := RunMultiprefixAudited(12, values, labels, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.MaxWriters[CRCWArb] != 12 {
+		t.Errorf("max ARB writers = %d, want the full row length 12", audit.MaxWriters[CRCWArb])
+	}
+}

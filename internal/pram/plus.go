@@ -1,0 +1,112 @@
+package pram
+
+import "fmt"
+
+// This file realizes the paper's §1.2 claim: a CRCW-PLUS PRAM (whose
+// concurrent writes combine by addition) can be simulated on a
+// CRCW-ARB PRAM with only constant slowdown for problem sizes
+// n >= p^2. The hard instruction to simulate is the combining
+// concurrent write — everything else the two models share — and a
+// combining write of n values to m cells is exactly a multireduce.
+
+// NativePlusWrite performs the combining write cells[addrs[i]] +=
+// vals[i] on a p-processor CRCW-PLUS machine and returns the counted
+// steps: one write batch, ceil(n/p) steps.
+func NativePlusWrite(p int, cells []int64, addrs []int, vals []int64) (int64, error) {
+	if len(addrs) != len(vals) {
+		return 0, fmt.Errorf("pram: %d addrs, %d vals", len(addrs), len(vals))
+	}
+	m := New(p, len(cells), CRCWPlus, 1)
+	copy(m.Mem(), cells)
+	machAddrs := make([]int, len(addrs))
+	copy(machAddrs, addrs)
+	if err := m.Write(machAddrs, vals); err != nil {
+		return 0, err
+	}
+	copy(cells, m.Mem())
+	return m.Steps(), nil
+}
+
+// SimulatePlusWrite performs the same combining write on a p-processor
+// CRCW-ARB machine, using the multireduce algorithm to combine the
+// concurrently-written values, and returns the counted steps. The
+// final accumulation of the per-cell reductions into the cells is one
+// EREW read-modify-write batch over the m cells.
+func SimulatePlusWrite(p int, cells []int64, addrs []int, vals []int64, seed int64) (int64, error) {
+	if len(addrs) != len(vals) {
+		return 0, fmt.Errorf("pram: %d addrs, %d vals", len(addrs), len(vals))
+	}
+	res, err := RunMultireduce(p, vals, addrs, len(cells), 0, seed)
+	if err != nil {
+		return 0, err
+	}
+	for b := range cells {
+		cells[b] += res.Reductions[b]
+	}
+	steps := res.Stats.TotalSteps()
+	if len(cells) > 0 {
+		steps += int64((len(cells) + p - 1) / p) // the accumulation batch
+	}
+	return steps, nil
+}
+
+// SlowdownPoint is one row of the §1.2 experiment: problem size
+// n = alpha^2 * p^2 on p processors, the steps the ARB simulation
+// used, the n/p step floor any p-processor algorithm needs for n work,
+// and their ratio (the simulation's slowdown factor, which the theorem
+// says is O(1) for alpha >= 1).
+type SlowdownPoint struct {
+	Alpha    int
+	N        int
+	Steps    int64
+	Floor    int64
+	Slowdown float64
+}
+
+// MeasureSlowdown runs the PLUS-on-ARB simulation for each alpha and
+// reports the slowdown against the work-based step floor.
+func MeasureSlowdown(p int, alphas []int, cellsPerProc int, seed int64) ([]SlowdownPoint, error) {
+	var out []SlowdownPoint
+	mCells := p * cellsPerProc
+	if mCells < 1 {
+		mCells = 1
+	}
+	rng := newSplitMix(uint64(seed))
+	for _, a := range alphas {
+		n := a * a * p * p
+		addrs := make([]int, n)
+		vals := make([]int64, n)
+		for i := range addrs {
+			addrs[i] = int(rng.next() % uint64(mCells))
+			vals[i] = int64(rng.next()%100) + 1
+		}
+		cells := make([]int64, mCells)
+		steps, err := SimulatePlusWrite(p, cells, addrs, vals, seed)
+		if err != nil {
+			return nil, err
+		}
+		floor := int64((n + p - 1) / p)
+		out = append(out, SlowdownPoint{
+			Alpha:    a,
+			N:        n,
+			Steps:    steps,
+			Floor:    floor,
+			Slowdown: float64(steps) / float64(floor),
+		})
+	}
+	return out, nil
+}
+
+// splitMix is a tiny deterministic generator so this file does not
+// depend on math/rand state shared with the ARB winner selection.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{s: seed + 0x9e3779b97f4a7c15} }
+
+func (g *splitMix) next() uint64 {
+	g.s += 0x9e3779b97f4a7c15
+	z := g.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

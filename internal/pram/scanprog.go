@@ -1,0 +1,84 @@
+package pram
+
+import "fmt"
+
+// This file holds a second PRAM program: the classic EREW parallel
+// prefix sum (Ladner–Fischer style up/down sweeps). It serves two
+// purposes: it demonstrates that the simulator is a general substrate
+// rather than a multiprefix-only harness, and it provides the
+// complexity baseline the paper's §1 comparison implies — a plain scan
+// is the all-labels-equal special case of multiprefix, and on the PRAM
+// it runs in O(n/p + log n) steps versus multiprefix's O(n/p + sqrt(n)).
+
+// ScanResult is the output of RunScan.
+type ScanResult struct {
+	Out   []int64
+	Total int64
+	Steps int64
+	Work  int64
+}
+
+// RunScan computes the exclusive prefix sum of xs on a p-processor
+// EREW PRAM and returns the scanned values, the total, and the counted
+// steps/work.
+func RunScan(p int, xs []int64) (*ScanResult, error) {
+	n := len(xs)
+	if n == 0 {
+		return &ScanResult{}, nil
+	}
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	mach := New(p, size, EREW, 1)
+	copy(mach.Mem(), xs)
+
+	// Upsweep: subtree roots accumulate subtree sums.
+	for d := 1; d < size; d *= 2 {
+		stride := 2 * d
+		var readAddrs, writeAddrs []int
+		for base := 0; base+stride-1 < size; base += stride {
+			readAddrs = append(readAddrs, base+d-1)
+			writeAddrs = append(writeAddrs, base+stride-1)
+		}
+		mem := mach.Mem()
+		err := mach.ReadModifyWrite(readAddrs, writeAddrs, func(i int, left int64) int64 {
+			return left + mem[writeAddrs[i]]
+		})
+		if err != nil {
+			return nil, fmt.Errorf("upsweep d=%d: %w", d, err)
+		}
+	}
+	total := mach.Mem()[size-1]
+	if err := mach.Write([]int{size - 1}, []int64{0}); err != nil {
+		return nil, err
+	}
+	// Downsweep: push prefixes back down.
+	for d := size / 2; d >= 1; d /= 2 {
+		stride := 2 * d
+		mem := mach.Mem()
+		// left' = right; right' = left + right. Two fused batches.
+		var leftAddrs, rightAddrs []int
+		for base := 0; base+stride-1 < size; base += stride {
+			leftAddrs = append(leftAddrs, base+d-1)
+			rightAddrs = append(rightAddrs, base+stride-1)
+		}
+		old := make([]int64, len(leftAddrs))
+		err := mach.ReadModifyWrite(leftAddrs, leftAddrs, func(i int, left int64) int64 {
+			old[i] = left
+			return mem[rightAddrs[i]]
+		})
+		if err != nil {
+			return nil, fmt.Errorf("downsweep left d=%d: %w", d, err)
+		}
+		err = mach.ReadModifyWrite(rightAddrs, rightAddrs, func(i int, right int64) int64 {
+			return old[i] + right
+		})
+		if err != nil {
+			return nil, fmt.Errorf("downsweep right d=%d: %w", d, err)
+		}
+	}
+	out := make([]int64, n)
+	copy(out, mach.Mem()[:n])
+	return &ScanResult{Out: out, Total: total, Steps: mach.Steps(), Work: mach.Work()}, nil
+}

@@ -1,0 +1,77 @@
+package pram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRunScanMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 9, 100, 1000} {
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = int64(rng.Intn(201) - 100)
+		}
+		want := make([]int64, n)
+		var run int64
+		for i, x := range xs {
+			want[i] = run
+			run += x
+		}
+		res, err := RunScan(8, xs)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Total != run {
+			t.Fatalf("n=%d: total = %d, want %d", n, res.Total, run)
+		}
+		for i := range want {
+			if res.Out[i] != want[i] {
+				t.Fatalf("n=%d: out[%d] = %d, want %d", n, i, res.Out[i], want[i])
+			}
+		}
+	}
+}
+
+// TestScanStepComplexity: with p = n processors the EREW scan runs in
+// O(log n) steps; with fewer, O(n/p + log n). It is exponentially
+// faster than the multiprefix program in steps — consistent with §1's
+// framing that multiprefix pays its sqrt(n) step complexity to buy
+// label-dependent combining, which a plain scan cannot express.
+func TestScanStepComplexity(t *testing.T) {
+	for _, n := range []int{64, 256, 1024, 4096} {
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = 1
+		}
+		res, err := RunScan(n, xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logN := math.Log2(float64(n))
+		if float64(res.Steps) > 4*logN+8 {
+			t.Errorf("n=%d with p=n: steps = %d, want O(log n) ~ %.0f", n, res.Steps, logN)
+		}
+		if float64(res.Work) > 6*float64(n) {
+			t.Errorf("n=%d: work = %d, not O(n)", n, res.Work)
+		}
+		// Compare with the multiprefix program on the same input
+		// (single label): scan is asymptotically far fewer steps.
+		labels := make([]int, n)
+		mp, err := RunMultiprefix(n, xs, labels, 1, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Steps >= mp.Stats.TotalSteps() {
+			t.Errorf("n=%d: EREW scan (%d steps) should need fewer steps than multiprefix (%d)",
+				n, res.Steps, mp.Stats.TotalSteps())
+		}
+		// And the scan's values agree with multiprefix's Multi.
+		for i := range mp.Multi {
+			if res.Out[i] != mp.Multi[i] {
+				t.Fatalf("n=%d: scan/multiprefix disagree at %d", n, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package scan provides prefix-sum (scan) primitives: sequential scans,
+// a work-efficient parallel scan, and the "partition method" recurrence
+// solver the paper uses for the bucket-cumulation step of the NAS
+// integer sort (§5.1.1, citing Hockney & Jesshope).
+//
+// A plain scan is the m-label-equal special case of multiprefix; the
+// integer sort needs it for the cumulative bucket counts, and the
+// chunked multiprefix engine needs it across chunk reductions.
+package scan
+
+import (
+	"sync"
+
+	"multiprefix/internal/par"
+)
+
+// ExclusiveInt64 computes the exclusive prefix sum of xs in place:
+// out[i] = sum(xs[0..i-1]), and returns the total.
+func ExclusiveInt64(xs []int64) int64 {
+	var run int64
+	for i, x := range xs {
+		xs[i] = run
+		run += x
+	}
+	return run
+}
+
+// InclusiveInt64 computes the inclusive prefix sum in place and
+// returns the total (the last element, or 0 when empty).
+func InclusiveInt64(xs []int64) int64 {
+	var run int64
+	for i, x := range xs {
+		run += x
+		xs[i] = run
+	}
+	return run
+}
+
+// ExclusiveFloat64 is ExclusiveInt64 for float64.
+func ExclusiveFloat64(xs []float64) float64 {
+	var run float64
+	for i, x := range xs {
+		xs[i] = run
+		run += x
+	}
+	return run
+}
+
+// Exclusive computes a generic exclusive scan with an associative
+// combine and identity, in place, returning the total.
+func Exclusive[T any](xs []T, identity T, combine func(a, b T) T) T {
+	run := identity
+	for i, x := range xs {
+		xs[i] = run
+		run = combine(run, x)
+	}
+	return run
+}
+
+// ParallelExclusiveInt64 computes the exclusive prefix sum with the
+// two-pass chunked ("partition") method the paper adopts for the
+// bucket recurrence: each of W workers sums its chunk, an exclusive
+// scan over the W chunk totals yields chunk offsets, then each worker
+// scans its chunk locally starting from its offset. Work O(n), depth
+// O(n/W + W). workers <= 0 selects GOMAXPROCS.
+func ParallelExclusiveInt64(xs []int64, workers int) int64 {
+	n := len(xs)
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 4096 {
+		return ExclusiveInt64(xs)
+	}
+	totals := make([]int64, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := par.Range(n, workers, w)
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += xs[i]
+			}
+			totals[w] = s
+		}(w)
+	}
+	wg.Wait()
+	grand := ExclusiveInt64(totals)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := par.Range(n, workers, w)
+			run := totals[w]
+			for i := lo; i < hi; i++ {
+				x := xs[i]
+				xs[i] = run
+				run += x
+			}
+		}(w)
+	}
+	wg.Wait()
+	return grand
+}
+
+// BlellochExclusiveInt64 computes the exclusive prefix sum with the
+// classic work-efficient two-sweep tree algorithm (upsweep/downsweep),
+// parallelizing each level. It exists as the textbook PRAM scan the
+// paper's audience would compare against; ParallelExclusiveInt64 is
+// faster on real multicores. Inputs are padded internally to a power
+// of two, so any length works.
+func BlellochExclusiveInt64(xs []int64, workers int) int64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	buf := make([]int64, size)
+	copy(buf, xs)
+	// Upsweep: each subtree root accumulates its subtree sum.
+	for d := 1; d < size; d *= 2 {
+		stride := 2 * d
+		count := size / stride
+		par.For(count, workers, 4096, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				base := k * stride
+				buf[base+stride-1] += buf[base+d-1]
+			}
+		})
+	}
+	total := buf[size-1]
+	buf[size-1] = 0
+	// Downsweep: push prefixes back down the tree.
+	for d := size / 2; d >= 1; d /= 2 {
+		stride := 2 * d
+		count := size / stride
+		par.For(count, workers, 4096, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				base := k * stride
+				t := buf[base+d-1]
+				buf[base+d-1] = buf[base+stride-1]
+				buf[base+stride-1] += t
+			}
+		})
+	}
+	copy(xs, buf[:n])
+	return total
+}
+
+// Segmented computes an exclusive segmented scan directly (without
+// going through multiprefix): segment starts reset the running value.
+// Used as the independent oracle for core.SegmentedScan.
+func Segmented[T any](xs []T, starts []bool, identity T, combine func(a, b T) T) []T {
+	out := make([]T, len(xs))
+	run := identity
+	for i, x := range xs {
+		if starts[i] || i == 0 {
+			run = identity
+		}
+		out[i] = run
+		run = combine(run, x)
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package scan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func refExclusive(xs []int64) ([]int64, int64) {
+	out := make([]int64, len(xs))
+	var run int64
+	for i, x := range xs {
+		out[i] = run
+		run += x
+	}
+	return out, run
+}
+
+func randInt64s(rng *rand.Rand, n int) []int64 {
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(rng.Intn(2001) - 1000)
+	}
+	return xs
+}
+
+func TestExclusiveInt64(t *testing.T) {
+	xs := []int64{3, 1, 4, 1, 5}
+	total := ExclusiveInt64(xs)
+	want := []int64{0, 3, 4, 8, 9}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Errorf("xs[%d] = %d, want %d", i, xs[i], want[i])
+		}
+	}
+	if total != 14 {
+		t.Errorf("total = %d, want 14", total)
+	}
+	if ExclusiveInt64(nil) != 0 {
+		t.Error("empty scan should return 0")
+	}
+}
+
+func TestInclusiveInt64(t *testing.T) {
+	xs := []int64{3, 1, 4}
+	if total := InclusiveInt64(xs); total != 8 {
+		t.Errorf("total = %d", total)
+	}
+	want := []int64{3, 4, 8}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Errorf("xs[%d] = %d, want %d", i, xs[i], want[i])
+		}
+	}
+}
+
+func TestExclusiveFloat64(t *testing.T) {
+	xs := []float64{1.5, 2.5, 3}
+	if total := ExclusiveFloat64(xs); total != 7 {
+		t.Errorf("total = %v", total)
+	}
+	if xs[0] != 0 || xs[1] != 1.5 || xs[2] != 4 {
+		t.Errorf("xs = %v", xs)
+	}
+}
+
+func TestExclusiveGenericConcat(t *testing.T) {
+	xs := []string{"a", "b", "c"}
+	total := Exclusive(xs, "", func(a, b string) string { return a + b })
+	if total != "abc" {
+		t.Errorf("total = %q", total)
+	}
+	if xs[0] != "" || xs[1] != "a" || xs[2] != "ab" {
+		t.Errorf("xs = %v", xs)
+	}
+}
+
+func TestParallelExclusiveMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 5, 4095, 4096, 4097, 100000} {
+		for _, w := range []int{0, 1, 2, 8} {
+			xs := randInt64s(rng, n)
+			want, wantTotal := refExclusive(xs)
+			got := append([]int64(nil), xs...)
+			total := ParallelExclusiveInt64(got, w)
+			if total != wantTotal {
+				t.Fatalf("n=%d w=%d: total = %d, want %d", n, w, total, wantTotal)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d w=%d: got[%d] = %d, want %d", n, w, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBlellochMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 9, 255, 256, 1000, 65536} {
+		xs := randInt64s(rng, n)
+		want, wantTotal := refExclusive(xs)
+		got := append([]int64(nil), xs...)
+		total := BlellochExclusiveInt64(got, 4)
+		if total != wantTotal {
+			t.Fatalf("n=%d: total = %d, want %d", n, total, wantTotal)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: got[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBlellochQuick(t *testing.T) {
+	prop := func(raw []int32) bool {
+		xs := make([]int64, len(raw))
+		for i, r := range raw {
+			xs[i] = int64(r)
+		}
+		want, wantTotal := refExclusive(xs)
+		total := BlellochExclusiveInt64(xs, 3)
+		if total != wantTotal {
+			return false
+		}
+		for i := range want {
+			if xs[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentedOracle(t *testing.T) {
+	xs := []int64{1, 2, 3, 4, 5}
+	starts := []bool{false, false, true, false, true}
+	out := Segmented(xs, starts, 0, func(a, b int64) int64 { return a + b })
+	want := []int64{0, 1, 0, 3, 0}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}

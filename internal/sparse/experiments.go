@@ -1,0 +1,119 @@
+package sparse
+
+import (
+	"math/rand"
+
+	"multiprefix/internal/vector"
+)
+
+// TableRow is one line of the paper's Table 2/4 (or Table 5) grid:
+// per-kernel setup, evaluation and total times in simulated
+// milliseconds for one matrix.
+type TableRow struct {
+	Name    string
+	Order   int
+	Density float64
+	NNZ     int
+
+	SetupCSR, SetupJD, SetupMP float64 // ms (CSR setup is 0 by definition)
+	EvalCSR, EvalJD, EvalMP    float64 // ms
+	TotalCSR, TotalJD, TotalMP float64 // ms, one setup + one evaluation
+}
+
+// PaperTable2Cases are the order/density pairs of paper Tables 2 and 4.
+// The two largest orders are expensive under `go test`; runners can
+// truncate with MaxOrder.
+type Table2Case struct {
+	Order   int
+	Density float64
+}
+
+var PaperTable2Cases = []Table2Case{
+	{15000, 0.001},
+	{10000, 0.001},
+	{5000, 0.001},
+	{2000, 0.005},
+	{1000, 0.010},
+	{100, 0.400},
+	{50, 1.000},
+}
+
+// RunUniformCase generates one uniform random matrix and times all
+// three kernels on the simulated vector machine.
+func RunUniformCase(cfg vector.Config, order int, density float64, seed int64) (TableRow, error) {
+	rng := rand.New(rand.NewSource(seed))
+	coo, err := RandomUniform(rng, order, density)
+	if err != nil {
+		return TableRow{}, err
+	}
+	return runCase(cfg, "", coo, rng)
+}
+
+// RunCircuitCase generates one circuit-like matrix (paper Table 5) and
+// times all three kernels.
+func RunCircuitCase(cfg vector.Config, name string, order, avgPerRow, fullRows int, seed int64) (TableRow, error) {
+	rng := rand.New(rand.NewSource(seed))
+	coo, err := Circuit(rng, order, avgPerRow, fullRows)
+	if err != nil {
+		return TableRow{}, err
+	}
+	row, err := runCase(cfg, name, coo, rng)
+	return row, err
+}
+
+func runCase(cfg vector.Config, name string, coo *COO, rng *rand.Rand) (TableRow, error) {
+	csr, err := coo.ToCSR()
+	if err != nil {
+		return TableRow{}, err
+	}
+	x := RandomVector(rng, coo.NumCols)
+
+	resCSR, err := VecCSR(cfg, csr, x, 1)
+	if err != nil {
+		return TableRow{}, err
+	}
+	resJD, err := VecJD(cfg, csr, x, 1)
+	if err != nil {
+		return TableRow{}, err
+	}
+	resMP, err := VecMP(cfg, coo, x, 1)
+	if err != nil {
+		return TableRow{}, err
+	}
+
+	ms := func(cycles float64) float64 { return Seconds(cycles, cfg) * 1e3 }
+	row := TableRow{
+		Name:    name,
+		Order:   coo.NumRows,
+		Density: Density(coo),
+		NNZ:     coo.NNZ(),
+
+		SetupCSR: 0,
+		SetupJD:  ms(resJD.Times.SetupCycles),
+		SetupMP:  ms(resMP.Times.SetupCycles),
+		EvalCSR:  ms(resCSR.Times.EvalCycles),
+		EvalJD:   ms(resJD.Times.EvalCycles),
+		EvalMP:   ms(resMP.Times.EvalCycles),
+	}
+	row.TotalCSR = row.SetupCSR + row.EvalCSR
+	row.TotalJD = row.SetupJD + row.EvalJD
+	row.TotalMP = row.SetupMP + row.EvalMP
+	return row, nil
+}
+
+// CircuitCase mirrors the paper's Table 5 entries (the SPARSE-package
+// ADVICE netlists): same orders and approximate densities, with a few
+// nearly-full power/ground rows.
+type CircuitCase struct {
+	Name               string
+	Order              int
+	AvgPerRow          int
+	FullRows           int
+	ApproxPaperDensity float64
+}
+
+// PaperTable5Cases are the ADVICE circuit-matrix analogues.
+var PaperTable5Cases = []CircuitCase{
+	{Name: "ADVICE2806", Order: 2806, AvgPerRow: 7, FullRows: 2, ApproxPaperDensity: 0.0030},
+	{Name: "ADVICE3776", Order: 3776, AvgPerRow: 6, FullRows: 2, ApproxPaperDensity: 0.0019},
+}

@@ -1,0 +1,129 @@
+package sparse
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomUniform generates an order x order matrix in which each row
+// holds approximately density*order entries at uniformly random
+// distinct columns — the workload of paper Tables 2 and 4. Values are
+// uniform in (0.5, 1.5) so products never vanish (keeping the paper's
+// rowsum != 0 spine test exact on this data).
+func RandomUniform(rng *rand.Rand, order int, density float64) (*COO, error) {
+	if order < 1 || density <= 0 || density > 1 {
+		return nil, fmt.Errorf("%w: order=%d density=%g", ErrBadMatrix, order, density)
+	}
+	a := &COO{NumRows: order, NumCols: order}
+	expect := density * float64(order)
+	for r := 0; r < order; r++ {
+		k := int(expect)
+		if rng.Float64() < expect-float64(k) {
+			k++
+		}
+		if k > order {
+			k = order
+		}
+		appendRandomRow(rng, a, int32(r), k, order)
+	}
+	return a, nil
+}
+
+// Circuit generates a matrix shaped like the SPARSE-package electrical
+// circuit matrices of paper Table 5: an average of about avgPerRow
+// entries per row (including the diagonal), plus fullRows rows —
+// "power and ground" — that are almost completely populated.
+func Circuit(rng *rand.Rand, order, avgPerRow, fullRows int) (*COO, error) {
+	if order < 1 || avgPerRow < 1 || fullRows < 0 || fullRows > order {
+		return nil, fmt.Errorf("%w: order=%d avg=%d full=%d", ErrBadMatrix, order, avgPerRow, fullRows)
+	}
+	a := &COO{NumRows: order, NumCols: order}
+	full := map[int32]bool{}
+	for len(full) < fullRows {
+		full[int32(rng.Intn(order))] = true
+	}
+	for r := 0; r < order; r++ {
+		if full[int32(r)] {
+			// ~95% populated.
+			for c := 0; c < order; c++ {
+				if c == r || rng.Float64() < 0.95 {
+					a.Row = append(a.Row, int32(r))
+					a.Col = append(a.Col, int32(c))
+					a.Val = append(a.Val, randVal(rng))
+				}
+			}
+			continue
+		}
+		// Diagonal plus avgPerRow-1 (±1) random off-diagonals.
+		a.Row = append(a.Row, int32(r))
+		a.Col = append(a.Col, int32(r))
+		a.Val = append(a.Val, randVal(rng))
+		k := avgPerRow - 1 + rng.Intn(3) - 1
+		if k < 0 {
+			k = 0
+		}
+		appendRandomRowDistinctFrom(rng, a, int32(r), k, order, r)
+	}
+	return a, nil
+}
+
+// Density reports nnz / (rows*cols).
+func Density(a *COO) float64 {
+	if a.NumRows == 0 || a.NumCols == 0 {
+		return 0
+	}
+	return float64(a.NNZ()) / (float64(a.NumRows) * float64(a.NumCols))
+}
+
+func randVal(rng *rand.Rand) float64 { return 0.5 + rng.Float64() }
+
+// appendRandomRow appends k entries in row r at distinct random columns.
+func appendRandomRow(rng *rand.Rand, a *COO, r int32, k, order int) {
+	appendRandomRowDistinctFrom(rng, a, r, k, order, -1)
+}
+
+func appendRandomRowDistinctFrom(rng *rand.Rand, a *COO, r int32, k, order, exclude int) {
+	if k <= 0 {
+		return
+	}
+	if k > order/2 {
+		// Dense-ish row: sample by permutation prefix.
+		perm := rng.Perm(order)
+		taken := 0
+		for _, c := range perm {
+			if taken == k {
+				break
+			}
+			if c == exclude {
+				continue
+			}
+			a.Row = append(a.Row, r)
+			a.Col = append(a.Col, int32(c))
+			a.Val = append(a.Val, randVal(rng))
+			taken++
+		}
+		return
+	}
+	seen := make(map[int]bool, k)
+	for taken := 0; taken < k; {
+		c := rng.Intn(order)
+		if c == exclude || seen[c] {
+			continue
+		}
+		seen[c] = true
+		a.Row = append(a.Row, r)
+		a.Col = append(a.Col, int32(c))
+		a.Val = append(a.Val, randVal(rng))
+		taken++
+	}
+}
+
+// RandomVector returns a dense vector of length n with entries in
+// (0.5, 1.5).
+func RandomVector(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = randVal(rng)
+	}
+	return x
+}

@@ -1,0 +1,97 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The text serialization is a minimal MatrixMarket-flavoured triplet
+// format so matrices can be saved, inspected and reloaded by the CLI
+// tools:
+//
+//	%%multiprefix coo
+//	<rows> <cols> <nnz>
+//	<row> <col> <value>     (nnz lines, 0-based indices)
+
+const cooHeader = "%%multiprefix coo"
+
+// WriteCOO serializes a matrix.
+func WriteCOO(w io.Writer, a *COO) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, cooHeader)
+	fmt.Fprintf(bw, "%d %d %d\n", a.NumRows, a.NumCols, a.NNZ())
+	for k := range a.Val {
+		fmt.Fprintf(bw, "%d %d %.17g\n", a.Row[k], a.Col[k], a.Val[k])
+	}
+	return bw.Flush()
+}
+
+// ReadCOO parses a matrix written by WriteCOO. Lines starting with
+// '%' after the header are treated as comments.
+func ReadCOO(r io.Reader) (*COO, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			text := strings.TrimSpace(sc.Text())
+			if text == "" {
+				continue
+			}
+			if line > 1 && strings.HasPrefix(text, "%") {
+				continue
+			}
+			return text, true
+		}
+		return "", false
+	}
+	head, ok := next()
+	if !ok || head != cooHeader {
+		return nil, fmt.Errorf("%w: missing %q header (got %q)", ErrBadMatrix, cooHeader, head)
+	}
+	dims, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("%w: missing dimensions line", ErrBadMatrix)
+	}
+	var rows, cols, nnz int
+	if _, err := fmt.Sscan(dims, &rows, &cols, &nnz); err != nil {
+		return nil, fmt.Errorf("%w: bad dimensions %q: %v", ErrBadMatrix, dims, err)
+	}
+	if nnz < 0 {
+		return nil, fmt.Errorf("%w: negative nnz %d", ErrBadMatrix, nnz)
+	}
+	a := &COO{
+		NumRows: rows,
+		NumCols: cols,
+		Row:     make([]int32, 0, nnz),
+		Col:     make([]int32, 0, nnz),
+		Val:     make([]float64, 0, nnz),
+	}
+	for k := 0; k < nnz; k++ {
+		entry, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("%w: expected %d entries, got %d", ErrBadMatrix, nnz, k)
+		}
+		var r, c int32
+		var v float64
+		if _, err := fmt.Sscan(entry, &r, &c, &v); err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadMatrix, line, err)
+		}
+		a.Row = append(a.Row, r)
+		a.Col = append(a.Col, c)
+		a.Val = append(a.Val, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

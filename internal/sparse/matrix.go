@@ -1,0 +1,297 @@
+// Package sparse provides the sparse-matrix substrate for the paper's
+// §5.2 evaluation: the three storage formats compared there —
+// coordinate triplets (the multiprefix kernel's native form),
+// Compressed Sparse Row, and Saad's Jagged Diagonal format — plus
+// matrix generators matching the evaluation's workloads and the three
+// matrix-vector multiply kernels in both plain-Go and simulated-
+// vector-machine form.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrBadMatrix wraps all structural validation failures.
+var ErrBadMatrix = errors.New("sparse: bad matrix")
+
+// COO is a sparse matrix as coordinate triplets (paper Figure 12's
+// rows/cols/vals vectors). Triplets may be in any order; kernels do
+// not require sorting. This is the multiprefix kernel's input format.
+type COO struct {
+	NumRows, NumCols int
+	Row, Col         []int32
+	Val              []float64
+}
+
+// NNZ reports the stored entry count.
+func (a *COO) NNZ() int { return len(a.Val) }
+
+// Validate checks structural invariants.
+func (a *COO) Validate() error {
+	if len(a.Row) != len(a.Val) || len(a.Col) != len(a.Val) {
+		return fmt.Errorf("%w: triplet lengths %d/%d/%d", ErrBadMatrix, len(a.Row), len(a.Col), len(a.Val))
+	}
+	if a.NumRows < 0 || a.NumCols < 0 {
+		return fmt.Errorf("%w: dims %dx%d", ErrBadMatrix, a.NumRows, a.NumCols)
+	}
+	for k := range a.Val {
+		if a.Row[k] < 0 || int(a.Row[k]) >= a.NumRows {
+			return fmt.Errorf("%w: row[%d]=%d outside [0,%d)", ErrBadMatrix, k, a.Row[k], a.NumRows)
+		}
+		if a.Col[k] < 0 || int(a.Col[k]) >= a.NumCols {
+			return fmt.Errorf("%w: col[%d]=%d outside [0,%d)", ErrBadMatrix, k, a.Col[k], a.NumCols)
+		}
+	}
+	return nil
+}
+
+// CSR is Compressed Sparse Row storage: entries of row r occupy
+// Val[RowPtr[r]:RowPtr[r+1]], with matching column indices.
+type CSR struct {
+	NumRows, NumCols int
+	RowPtr           []int32 // length NumRows+1
+	Col              []int32
+	Val              []float64
+}
+
+// NNZ reports the stored entry count.
+func (a *CSR) NNZ() int { return len(a.Val) }
+
+// Validate checks structural invariants.
+func (a *CSR) Validate() error {
+	if len(a.RowPtr) != a.NumRows+1 {
+		return fmt.Errorf("%w: RowPtr length %d for %d rows", ErrBadMatrix, len(a.RowPtr), a.NumRows)
+	}
+	if len(a.Col) != len(a.Val) {
+		return fmt.Errorf("%w: %d cols, %d vals", ErrBadMatrix, len(a.Col), len(a.Val))
+	}
+	if a.RowPtr[0] != 0 || int(a.RowPtr[a.NumRows]) != len(a.Val) {
+		return fmt.Errorf("%w: RowPtr bounds [%d,%d] for nnz %d", ErrBadMatrix, a.RowPtr[0], a.RowPtr[a.NumRows], len(a.Val))
+	}
+	for r := 0; r < a.NumRows; r++ {
+		if a.RowPtr[r] > a.RowPtr[r+1] {
+			return fmt.Errorf("%w: RowPtr not monotone at row %d", ErrBadMatrix, r)
+		}
+	}
+	for k, c := range a.Col {
+		if c < 0 || int(c) >= a.NumCols {
+			return fmt.Errorf("%w: col[%d]=%d outside [0,%d)", ErrBadMatrix, k, c, a.NumCols)
+		}
+	}
+	return nil
+}
+
+// RowLen reports the entry count of row r.
+func (a *CSR) RowLen(r int) int { return int(a.RowPtr[r+1] - a.RowPtr[r]) }
+
+// JD is Saad's Jagged Diagonal storage (§5.2): rows are permuted into
+// decreasing length order; jagged diagonal d collects the d-th entry
+// of every row long enough, so diagonals shrink monotonically.
+// Val[Start[d]:Start[d+1]] holds diagonal d; its k-th entry belongs to
+// permuted row k, i.e. original row Perm[k].
+type JD struct {
+	NumRows, NumCols int
+	Perm             []int32 // Perm[k] = original row index of sorted position k
+	Start            []int32 // length NumDiags+1
+	Col              []int32
+	Val              []float64
+}
+
+// NNZ reports the stored entry count.
+func (a *JD) NNZ() int { return len(a.Val) }
+
+// NumDiags reports the jagged diagonal count (the longest row length).
+func (a *JD) NumDiags() int { return len(a.Start) - 1 }
+
+// Validate checks structural invariants.
+func (a *JD) Validate() error {
+	if len(a.Perm) != a.NumRows {
+		return fmt.Errorf("%w: Perm length %d for %d rows", ErrBadMatrix, len(a.Perm), a.NumRows)
+	}
+	if len(a.Col) != len(a.Val) {
+		return fmt.Errorf("%w: %d cols, %d vals", ErrBadMatrix, len(a.Col), len(a.Val))
+	}
+	if len(a.Start) < 1 || a.Start[0] != 0 || int(a.Start[len(a.Start)-1]) != len(a.Val) {
+		return fmt.Errorf("%w: Start bounds", ErrBadMatrix)
+	}
+	prev := -1
+	for d := 0; d < a.NumDiags(); d++ {
+		l := int(a.Start[d+1] - a.Start[d])
+		if l < 0 || l > a.NumRows {
+			return fmt.Errorf("%w: diagonal %d length %d", ErrBadMatrix, d, l)
+		}
+		if prev >= 0 && l > prev {
+			return fmt.Errorf("%w: diagonal %d longer than previous (%d > %d)", ErrBadMatrix, d, l, prev)
+		}
+		prev = l
+	}
+	seen := make([]bool, a.NumRows)
+	for _, p := range a.Perm {
+		if p < 0 || int(p) >= a.NumRows || seen[p] {
+			return fmt.Errorf("%w: Perm is not a permutation", ErrBadMatrix)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// ToCSR converts triplets to CSR with a counting pass (stable within
+// the input order, so duplicate coordinates are preserved in order).
+func (a *COO) ToCSR() (*CSR, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	out := &CSR{
+		NumRows: a.NumRows,
+		NumCols: a.NumCols,
+		RowPtr:  make([]int32, a.NumRows+1),
+		Col:     make([]int32, a.NNZ()),
+		Val:     make([]float64, a.NNZ()),
+	}
+	counts := make([]int32, a.NumRows)
+	for _, r := range a.Row {
+		counts[r]++
+	}
+	run := int32(0)
+	for r := 0; r < a.NumRows; r++ {
+		out.RowPtr[r] = run
+		run += counts[r]
+		counts[r] = out.RowPtr[r] // reuse as running insert cursor
+	}
+	out.RowPtr[a.NumRows] = run
+	for k := range a.Val {
+		r := a.Row[k]
+		at := counts[r]
+		out.Col[at] = a.Col[k]
+		out.Val[at] = a.Val[k]
+		counts[r] = at + 1
+	}
+	return out, nil
+}
+
+// ToCOO converts CSR back to row-major triplets.
+func (a *CSR) ToCOO() (*COO, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	out := &COO{
+		NumRows: a.NumRows,
+		NumCols: a.NumCols,
+		Row:     make([]int32, a.NNZ()),
+		Col:     append([]int32(nil), a.Col...),
+		Val:     append([]float64(nil), a.Val...),
+	}
+	for r := 0; r < a.NumRows; r++ {
+		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+			out.Row[k] = int32(r)
+		}
+	}
+	return out, nil
+}
+
+// ToJD converts CSR to jagged-diagonal storage: sort rows by
+// decreasing length (stably, for determinism), then slice column-wise.
+func (a *CSR) ToJD() (*JD, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	perm := make([]int32, a.NumRows)
+	for r := range perm {
+		perm[r] = int32(r)
+	}
+	sort.SliceStable(perm, func(i, j int) bool {
+		return a.RowLen(int(perm[i])) > a.RowLen(int(perm[j]))
+	})
+	maxLen := 0
+	if a.NumRows > 0 {
+		maxLen = a.RowLen(int(perm[0]))
+	}
+	out := &JD{
+		NumRows: a.NumRows,
+		NumCols: a.NumCols,
+		Perm:    perm,
+		Start:   make([]int32, maxLen+1),
+		Col:     make([]int32, 0, a.NNZ()),
+		Val:     make([]float64, 0, a.NNZ()),
+	}
+	for d := 0; d < maxLen; d++ {
+		out.Start[d] = int32(len(out.Val))
+		for k := 0; k < a.NumRows; k++ {
+			r := int(perm[k])
+			if a.RowLen(r) <= d {
+				break // rows sorted by length: the rest are shorter
+			}
+			at := a.RowPtr[r] + int32(d)
+			out.Col = append(out.Col, a.Col[at])
+			out.Val = append(out.Val, a.Val[at])
+		}
+	}
+	out.Start[maxLen] = int32(len(out.Val))
+	return out, nil
+}
+
+// Dense expands the matrix to a dense row-major array (small matrices,
+// test oracle use only). Duplicate coordinates accumulate.
+func (a *COO) Dense() [][]float64 {
+	d := make([][]float64, a.NumRows)
+	for r := range d {
+		d[r] = make([]float64, a.NumCols)
+	}
+	for k := range a.Val {
+		d[a.Row[k]][a.Col[k]] += a.Val[k]
+	}
+	return d
+}
+
+// Transpose returns Aᵀ as triplets (rows and columns swapped), in the
+// input's entry order.
+func (a *COO) Transpose() (*COO, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &COO{
+		NumRows: a.NumCols,
+		NumCols: a.NumRows,
+		Row:     append([]int32(nil), a.Col...),
+		Col:     append([]int32(nil), a.Row...),
+		Val:     append([]float64(nil), a.Val...),
+	}, nil
+}
+
+// Transpose returns Aᵀ in CSR form via a counting pass over the
+// columns (the standard CSR transposition).
+func (a *CSR) Transpose() (*CSR, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	out := &CSR{
+		NumRows: a.NumCols,
+		NumCols: a.NumRows,
+		RowPtr:  make([]int32, a.NumCols+1),
+		Col:     make([]int32, a.NNZ()),
+		Val:     make([]float64, a.NNZ()),
+	}
+	counts := make([]int32, a.NumCols)
+	for _, c := range a.Col {
+		counts[c]++
+	}
+	run := int32(0)
+	for c := 0; c < a.NumCols; c++ {
+		out.RowPtr[c] = run
+		run += counts[c]
+		counts[c] = out.RowPtr[c]
+	}
+	out.RowPtr[a.NumCols] = run
+	for r := 0; r < a.NumRows; r++ {
+		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+			c := a.Col[k]
+			at := counts[c]
+			out.Col[at] = int32(r)
+			out.Val[at] = a.Val[k]
+			counts[c] = at + 1
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,256 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func smallCOO() *COO {
+	// 4x5 matrix:
+	//   [ 1 0 2 0 0 ]
+	//   [ 0 0 0 0 0 ]
+	//   [ 3 4 0 0 5 ]
+	//   [ 0 0 0 6 0 ]
+	return &COO{
+		NumRows: 4, NumCols: 5,
+		Row: []int32{0, 0, 2, 2, 2, 3},
+		Col: []int32{0, 2, 0, 1, 4, 3},
+		Val: []float64{1, 2, 3, 4, 5, 6},
+	}
+}
+
+func TestCOOToCSRRoundTrip(t *testing.T) {
+	coo := smallCOO()
+	csr, err := coo.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := csr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantPtr := []int32{0, 2, 2, 5, 6}
+	for i := range wantPtr {
+		if csr.RowPtr[i] != wantPtr[i] {
+			t.Errorf("RowPtr[%d] = %d, want %d", i, csr.RowPtr[i], wantPtr[i])
+		}
+	}
+	if csr.RowLen(2) != 3 || csr.RowLen(1) != 0 {
+		t.Errorf("RowLen wrong: %d %d", csr.RowLen(2), csr.RowLen(1))
+	}
+	back, err := csr.ToCOO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := coo.Dense()
+	d2 := back.Dense()
+	for r := range d1 {
+		for c := range d1[r] {
+			if d1[r][c] != d2[r][c] {
+				t.Fatalf("dense mismatch at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestCSRToJD(t *testing.T) {
+	coo := smallCOO()
+	csr, err := coo.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jd, err := csr.ToJD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jd.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if jd.NumDiags() != 3 {
+		t.Errorf("NumDiags = %d, want 3 (longest row)", jd.NumDiags())
+	}
+	if jd.NNZ() != coo.NNZ() {
+		t.Errorf("NNZ = %d, want %d", jd.NNZ(), coo.NNZ())
+	}
+	// First permuted row must be the longest (row 2, 3 entries).
+	if jd.Perm[0] != 2 {
+		t.Errorf("Perm[0] = %d, want 2", jd.Perm[0])
+	}
+	// Diagonal lengths must be non-increasing: 3, 2, 1.
+	lens := []int32{jd.Start[1] - jd.Start[0], jd.Start[2] - jd.Start[1], jd.Start[3] - jd.Start[2]}
+	if lens[0] != 3 || lens[1] != 2 || lens[2] != 1 {
+		t.Errorf("diagonal lengths = %v, want [3 2 1]", lens)
+	}
+}
+
+func TestValidateRejectsBadStructures(t *testing.T) {
+	bad := &COO{NumRows: 2, NumCols: 2, Row: []int32{0}, Col: []int32{0, 1}, Val: []float64{1}}
+	if bad.Validate() == nil {
+		t.Error("mismatched triplet lengths accepted")
+	}
+	bad2 := &COO{NumRows: 2, NumCols: 2, Row: []int32{5}, Col: []int32{0}, Val: []float64{1}}
+	if bad2.Validate() == nil {
+		t.Error("out-of-range row accepted")
+	}
+	badCSR := &CSR{NumRows: 2, NumCols: 2, RowPtr: []int32{0, 2, 1}, Col: []int32{0, 1}, Val: []float64{1, 2}}
+	if badCSR.Validate() == nil {
+		t.Error("non-monotone RowPtr accepted")
+	}
+	badJD := &JD{NumRows: 1, NumCols: 1, Perm: []int32{0, 0}}
+	if badJD.Validate() == nil {
+		t.Error("bad Perm length accepted")
+	}
+}
+
+func TestRandomUniformShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, err := RandomUniform(rng, 500, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := Density(a)
+	if d < 0.007 || d > 0.013 {
+		t.Errorf("density = %g, want ~0.01", d)
+	}
+	// Rows must not contain duplicate columns.
+	csr, err := a.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < csr.NumRows; r++ {
+		seen := map[int32]bool{}
+		for k := csr.RowPtr[r]; k < csr.RowPtr[r+1]; k++ {
+			if seen[csr.Col[k]] {
+				t.Fatalf("row %d has duplicate column %d", r, csr.Col[k])
+			}
+			seen[csr.Col[k]] = true
+		}
+	}
+	if _, err := RandomUniform(rng, 0, 0.5); err == nil {
+		t.Error("order 0 accepted")
+	}
+	if _, err := RandomUniform(rng, 10, 0); err == nil {
+		t.Error("density 0 accepted")
+	}
+}
+
+func TestCircuitShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	order := 400
+	a, err := Circuit(rng, order, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	csr, err := a.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := 0
+	short := 0
+	for r := 0; r < order; r++ {
+		l := csr.RowLen(r)
+		if l > order/2 {
+			full++
+		}
+		if l <= 12 {
+			short++
+		}
+	}
+	if full != 2 {
+		t.Errorf("full rows = %d, want 2", full)
+	}
+	if short < order-10 {
+		t.Errorf("only %d short rows of %d", short, order)
+	}
+	// Diagonal present on every non-full row.
+	d := a.Dense()
+	for r := 0; r < order; r++ {
+		if d[r][r] == 0 && csr.RowLen(r) <= 12 {
+			t.Fatalf("row %d missing diagonal", r)
+		}
+	}
+}
+
+func TestDensityEdge(t *testing.T) {
+	if Density(&COO{}) != 0 {
+		t.Error("empty density should be 0")
+	}
+}
+
+func TestRandomVector(t *testing.T) {
+	x := RandomVector(rand.New(rand.NewSource(3)), 100)
+	for _, v := range x {
+		if v <= 0.5 || v >= 1.5 {
+			t.Fatalf("value %g outside (0.5, 1.5)", v)
+		}
+	}
+	_ = math.Pi
+}
+
+func TestTransposeCOOAndCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, err := RandomUniform(rng, 60, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (Aᵀ)ᵀ == A, densely.
+	at, err := a.Transpose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, err := at.Transpose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := a.Dense(), att.Dense()
+	for r := range d1 {
+		for c := range d1[r] {
+			if d1[r][c] != d2[r][c] {
+				t.Fatalf("(A^T)^T != A at (%d,%d)", r, c)
+			}
+		}
+	}
+	// CSR transpose agrees with dense transpose.
+	csr, err := a.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	csrT, err := csr.Transpose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := csrT.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cooT, err := csrT.ToCOO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dT := cooT.Dense()
+	for r := range d1 {
+		for c := range d1[r] {
+			if d1[r][c] != dT[c][r] {
+				t.Fatalf("CSR transpose wrong at (%d,%d)", r, c)
+			}
+		}
+	}
+	// y = Aᵀx equals the manual column accumulation.
+	x := RandomVector(rng, a.NumRows)
+	yT, err := MulCSR(csrT, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, a.NumCols)
+	for k := range a.Val {
+		want[a.Col[k]] += a.Val[k] * x[a.Row[k]]
+	}
+	if !approxEqual(yT, want, 1e-9) {
+		t.Fatal("A^T x mismatch")
+	}
+}

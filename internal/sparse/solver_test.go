@@ -1,0 +1,166 @@
+package sparse
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestLaplacian2DStructure(t *testing.T) {
+	a, err := Laplacian2D(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRows != 12 {
+		t.Fatalf("order = %d", a.NumRows)
+	}
+	d := a.Dense()
+	// Symmetric, diagonally dominant, 4 on the diagonal.
+	for r := range d {
+		if d[r][r] != 4 {
+			t.Errorf("diag[%d] = %v", r, d[r][r])
+		}
+		off := 0.0
+		for c := range d[r] {
+			if d[r][c] != d[c][r] {
+				t.Fatalf("not symmetric at (%d,%d)", r, c)
+			}
+			if c != r {
+				off += math.Abs(d[r][c])
+			}
+		}
+		if off > 4 {
+			t.Errorf("row %d not diagonally dominant", r)
+		}
+	}
+	if _, err := Laplacian2D(0, 3); err == nil {
+		t.Error("empty grid accepted")
+	}
+}
+
+// TestCGSolvesLaplacian: manufacture a solution, solve, compare —
+// through every SpMV kernel.
+func TestCGSolvesLaplacian(t *testing.T) {
+	coo, err := Laplacian2D(12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr, err := coo.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jd, err := csr.ToJD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	want := RandomVector(rng, coo.NumRows)
+	b, err := MulCSR(csr, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernels := map[string]MulFunc{
+		"csr":         func(x []float64) ([]float64, error) { return MulCSR(csr, x) },
+		"jd":          func(x []float64) ([]float64, error) { return MulJD(jd, x) },
+		"multireduce": func(x []float64) ([]float64, error) { return MulCOOChunked(coo, x, 2) },
+	}
+	for name, mul := range kernels {
+		x, iters, err := CG(mul, b, 1e-12, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if iters < 2 || iters > coo.NumRows {
+			t.Errorf("%s: odd iteration count %d", name, iters)
+		}
+		for i := range want {
+			if math.Abs(x[i]-want[i]) > 1e-8 {
+				t.Fatalf("%s: x[%d] = %v, want %v", name, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCGEdgeCases(t *testing.T) {
+	coo, _ := Laplacian2D(3, 3)
+	csr, _ := coo.ToCSR()
+	mul := func(x []float64) ([]float64, error) { return MulCSR(csr, x) }
+	// Zero rhs: immediate zero solution.
+	x, iters, err := CG(mul, make([]float64, 9), 1e-10, 100)
+	if err != nil || iters != 0 {
+		t.Fatalf("zero rhs: %v, %d iters", err, iters)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("nonzero solution for zero rhs")
+		}
+	}
+	// Iteration cap.
+	b := make([]float64, 9)
+	b[0] = 1
+	if _, _, err := CG(mul, b, 1e-15, 1); err == nil {
+		t.Error("expected non-convergence at 1 iteration")
+	}
+	// Indefinite matrix rejected.
+	neg := func(x []float64) ([]float64, error) {
+		y := make([]float64, len(x))
+		for i := range x {
+			y[i] = -x[i]
+		}
+		return y, nil
+	}
+	if _, _, err := CG(neg, b, 1e-10, 10); err == nil {
+		t.Error("indefinite matrix accepted")
+	}
+}
+
+func TestCOORoundTripIO(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, err := RandomUniform(rng, 50, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCOO(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCOO(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows != a.NumRows || back.NumCols != a.NumCols || back.NNZ() != a.NNZ() {
+		t.Fatalf("dims/nnz changed: %d %d %d", back.NumRows, back.NumCols, back.NNZ())
+	}
+	for k := range a.Val {
+		if back.Row[k] != a.Row[k] || back.Col[k] != a.Col[k] || back.Val[k] != a.Val[k] {
+			t.Fatalf("entry %d changed", k)
+		}
+	}
+}
+
+func TestReadCOOErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad header":   "hello\n1 1 1\n0 0 1\n",
+		"missing dims": "%%multiprefix coo\n",
+		"bad dims":     "%%multiprefix coo\nx y z\n",
+		"negative nnz": "%%multiprefix coo\n1 1 -1\n",
+		"truncated":    "%%multiprefix coo\n2 2 3\n0 0 1\n",
+		"bad entry":    "%%multiprefix coo\n2 2 1\n0 zero 1\n",
+		"out of range": "%%multiprefix coo\n2 2 1\n5 0 1\n",
+	}
+	for name, text := range cases {
+		if _, err := ReadCOO(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Comments after the header are fine.
+	ok := "%%multiprefix coo\n% a comment\n1 1 1\n0 0 2.5\n"
+	a, err := ReadCOO(strings.NewReader(ok))
+	if err != nil || a.Val[0] != 2.5 {
+		t.Errorf("comment handling: %v %v", a, err)
+	}
+}

@@ -1,0 +1,77 @@
+package sparse
+
+import (
+	"fmt"
+
+	"multiprefix/internal/core"
+)
+
+// This file holds the plain-Go matrix-vector multiply kernels: exact
+// reference semantics for the three formats, used as correctness
+// oracles for the vector-machine-timed kernels and as real-hardware
+// benchmark subjects.
+
+// MulCSR computes y = A*x row-major over CSR storage.
+func MulCSR(a *CSR, x []float64) ([]float64, error) {
+	if len(x) != a.NumCols {
+		return nil, fmt.Errorf("%w: x length %d for %d columns", ErrBadMatrix, len(x), a.NumCols)
+	}
+	y := make([]float64, a.NumRows)
+	for r := 0; r < a.NumRows; r++ {
+		s := 0.0
+		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+			s += a.Val[k] * x[a.Col[k]]
+		}
+		y[r] = s
+	}
+	return y, nil
+}
+
+// MulJD computes y = A*x over jagged-diagonal storage: one pass per
+// diagonal accumulating into the permuted result, then un-permute.
+func MulJD(a *JD, x []float64) ([]float64, error) {
+	if len(x) != a.NumCols {
+		return nil, fmt.Errorf("%w: x length %d for %d columns", ErrBadMatrix, len(x), a.NumCols)
+	}
+	yp := make([]float64, a.NumRows) // permuted accumulation
+	for d := 0; d < a.NumDiags(); d++ {
+		lo, hi := a.Start[d], a.Start[d+1]
+		for k := lo; k < hi; k++ {
+			yp[k-lo] += a.Val[k] * x[a.Col[k]]
+		}
+	}
+	y := make([]float64, a.NumRows)
+	for k, orig := range a.Perm {
+		y[orig] = yp[k]
+	}
+	return y, nil
+}
+
+// MulCOO computes y = A*x from triplets via the multiprefix approach
+// of paper Figure 12: elementwise products, then a multireduce keyed
+// by row index. engine selects the multireduce implementation.
+func MulCOO(a *COO, x []float64, engine func(op core.Op[float64], values []float64, labels []int, m int) ([]float64, error)) ([]float64, error) {
+	if len(x) != a.NumCols {
+		return nil, fmt.Errorf("%w: x length %d for %d columns", ErrBadMatrix, len(x), a.NumCols)
+	}
+	products := make([]float64, a.NNZ())
+	labels := make([]int, a.NNZ())
+	for k := range a.Val {
+		products[k] = a.Val[k] * x[a.Col[k]]
+		labels[k] = int(a.Row[k])
+	}
+	return engine(core.AddFloat64, products, labels, a.NumRows)
+}
+
+// MulCOOSerial is MulCOO with the serial multireduce — the simplest
+// correct oracle for all other kernels.
+func MulCOOSerial(a *COO, x []float64) ([]float64, error) {
+	return MulCOO(a, x, core.SerialReduce[float64])
+}
+
+// MulCOOChunked is MulCOO with the multicore multireduce.
+func MulCOOChunked(a *COO, x []float64, workers int) ([]float64, error) {
+	return MulCOO(a, x, func(op core.Op[float64], values []float64, labels []int, m int) ([]float64, error) {
+		return core.ChunkedReduce(op, values, labels, m, core.Config{Workers: workers})
+	})
+}

@@ -1,0 +1,238 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multiprefix/internal/vector"
+)
+
+// mulDense is the independent oracle: dense matrix-vector multiply.
+func mulDense(a *COO, x []float64) []float64 {
+	d := a.Dense()
+	y := make([]float64, a.NumRows)
+	for r := range d {
+		for c, v := range d[r] {
+			y[r] += v * x[c]
+		}
+	}
+	return y
+}
+
+func approxEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol*(1+math.Abs(a[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAllKernelsAgree: every kernel (Go and vector-machine timed) must
+// match the dense oracle on random matrices.
+func TestAllKernelsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := vector.DefaultConfig()
+	for trial := 0; trial < 10; trial++ {
+		order := 20 + rng.Intn(200)
+		density := 0.01 + rng.Float64()*0.2
+		coo, err := RandomUniform(rng, order, density)
+		if err != nil {
+			t.Fatal(err)
+		}
+		csr, err := coo.ToCSR()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jd, err := csr.ToJD()
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := RandomVector(rng, order)
+		want := mulDense(coo, x)
+
+		const tol = 1e-9
+		if y, err := MulCSR(csr, x); err != nil || !approxEqual(y, want, tol) {
+			t.Fatalf("trial %d: MulCSR mismatch (err=%v)", trial, err)
+		}
+		if y, err := MulJD(jd, x); err != nil || !approxEqual(y, want, tol) {
+			t.Fatalf("trial %d: MulJD mismatch (err=%v)", trial, err)
+		}
+		if y, err := MulCOOSerial(coo, x); err != nil || !approxEqual(y, want, tol) {
+			t.Fatalf("trial %d: MulCOOSerial mismatch (err=%v)", trial, err)
+		}
+		if y, err := MulCOOChunked(coo, x, 4); err != nil || !approxEqual(y, want, tol) {
+			t.Fatalf("trial %d: MulCOOChunked mismatch (err=%v)", trial, err)
+		}
+		if res, err := VecCSR(cfg, csr, x, 1); err != nil || !approxEqual(res.Y, want, tol) {
+			t.Fatalf("trial %d: VecCSR mismatch (err=%v)", trial, err)
+		}
+		if res, err := VecJD(cfg, csr, x, 1); err != nil || !approxEqual(res.Y, want, tol) {
+			t.Fatalf("trial %d: VecJD mismatch (err=%v)", trial, err)
+		}
+		if res, err := VecMP(cfg, coo, x, 1); err != nil || !approxEqual(res.Y, want, tol) {
+			t.Fatalf("trial %d: VecMP mismatch (err=%v)", trial, err)
+		}
+	}
+}
+
+// TestKernelsQuick drives random small matrices through the three Go
+// kernels with testing/quick.
+func TestKernelsQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := 1 + rng.Intn(40)
+		coo, err := RandomUniform(rng, order, 0.05+rng.Float64()*0.4)
+		if err != nil {
+			return false
+		}
+		csr, err := coo.ToCSR()
+		if err != nil {
+			return false
+		}
+		jd, err := csr.ToJD()
+		if err != nil {
+			return false
+		}
+		x := RandomVector(rng, order)
+		want := mulDense(coo, x)
+		y1, err1 := MulCSR(csr, x)
+		y2, err2 := MulJD(jd, x)
+		y3, err3 := MulCOOSerial(coo, x)
+		return err1 == nil && err2 == nil && err3 == nil &&
+			approxEqual(y1, want, 1e-9) && approxEqual(y2, want, 1e-9) && approxEqual(y3, want, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelValidation(t *testing.T) {
+	coo := smallCOO()
+	csr, _ := coo.ToCSR()
+	jd, _ := csr.ToJD()
+	short := make([]float64, 2)
+	if _, err := MulCSR(csr, short); err == nil {
+		t.Error("MulCSR accepted short x")
+	}
+	if _, err := MulJD(jd, short); err == nil {
+		t.Error("MulJD accepted short x")
+	}
+	if _, err := MulCOOSerial(coo, short); err == nil {
+		t.Error("MulCOOSerial accepted short x")
+	}
+	cfg := vector.DefaultConfig()
+	if _, err := VecCSR(cfg, csr, short, 1); err == nil {
+		t.Error("VecCSR accepted short x")
+	}
+	if _, err := VecJD(cfg, csr, short, 1); err == nil {
+		t.Error("VecJD accepted short x")
+	}
+	if _, err := VecMP(cfg, coo, short, 1); err == nil {
+		t.Error("VecMP accepted short x")
+	}
+}
+
+// TestSetupEvalSplitShape checks the §5.2.1 structure of Table 4:
+// CSR has no setup; JD trades a large setup for the fastest
+// evaluation; MP's setup is a modest fraction of its total.
+func TestSetupEvalSplitShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := vector.DefaultConfig()
+	coo, err := RandomUniform(rng, 2000, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr, err := coo.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := RandomVector(rng, 2000)
+
+	resCSR, err := VecCSR(cfg, csr, x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resJD, err := VecJD(cfg, csr, x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resMP, err := VecMP(cfg, coo, x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resCSR.Times.SetupCycles != 0 {
+		t.Errorf("CSR setup = %v, want 0", resCSR.Times.SetupCycles)
+	}
+	if resJD.Times.SetupCycles <= resJD.Times.EvalCycles {
+		t.Errorf("JD setup (%v) should dwarf JD eval (%v)", resJD.Times.SetupCycles, resJD.Times.EvalCycles)
+	}
+	if resJD.Times.EvalCycles >= resCSR.Times.EvalCycles {
+		t.Errorf("JD eval (%v) should beat CSR eval (%v): long vectors", resJD.Times.EvalCycles, resCSR.Times.EvalCycles)
+	}
+	frac := resMP.Times.SetupCycles / resMP.Times.TotalCycles(1)
+	if frac < 0.05 || frac > 0.5 {
+		t.Errorf("MP setup fraction = %.2f, paper has ~0.2", frac)
+	}
+	// Amortization: with many evaluations JD's total beats MP's.
+	const k = 50
+	if resJD.Times.TotalCycles(k) >= resMP.Times.TotalCycles(k) {
+		t.Errorf("after %d evals JD (%v) should beat MP (%v)", k,
+			resJD.Times.TotalCycles(k), resMP.Times.TotalCycles(k))
+	}
+}
+
+// TestTable2SparseRegime: at high sparsity (the paper's order=5000,
+// rho=0.001 row) the multiprefix kernel must beat CSR on total time,
+// and at high density (order=100, rho=0.4) CSR must win.
+func TestTable2SparseRegime(t *testing.T) {
+	cfg := vector.DefaultConfig()
+	sparseRow, err := RunUniformCase(cfg, 5000, 0.001, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparseRow.TotalMP >= sparseRow.TotalCSR {
+		t.Errorf("very sparse: MP total %.3fms should beat CSR %.3fms (paper: 3.45 vs 9.48)",
+			sparseRow.TotalMP, sparseRow.TotalCSR)
+	}
+	denseRow, err := RunUniformCase(cfg, 100, 0.4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if denseRow.TotalCSR >= denseRow.TotalMP {
+		t.Errorf("dense: CSR total %.3fms should beat MP %.3fms (paper: 0.27 vs 0.76)",
+			denseRow.TotalCSR, denseRow.TotalMP)
+	}
+}
+
+// TestTable5CircuitRegime: on circuit-like matrices with a few full
+// rows, JD degrades (many short diagonals) and MP wins on total time.
+func TestTable5CircuitRegime(t *testing.T) {
+	cfg := vector.DefaultConfig()
+	row, err := RunCircuitCase(cfg, "ADVICE2806", 2806, 7, 2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.TotalMP >= row.TotalJD {
+		t.Errorf("circuit: MP total %.3fms should beat JD %.3fms", row.TotalMP, row.TotalJD)
+	}
+	if row.TotalMP >= row.TotalCSR {
+		t.Errorf("circuit: MP total %.3fms should beat CSR %.3fms", row.TotalMP, row.TotalCSR)
+	}
+}
+
+func TestVecTimesHelpers(t *testing.T) {
+	tt := VecTimes{SetupCycles: 100, EvalCycles: 10}
+	if tt.TotalCycles(3) != 130 {
+		t.Errorf("TotalCycles(3) = %v", tt.TotalCycles(3))
+	}
+	cfg := vector.DefaultConfig()
+	if got := Seconds(1e9, cfg); math.Abs(got-6.0) > 1e-12 {
+		t.Errorf("Seconds(1e9) = %v, want 6.0", got)
+	}
+}

@@ -1,0 +1,235 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+
+	"multiprefix/internal/core"
+	"multiprefix/internal/vecmp"
+	"multiprefix/internal/vector"
+)
+
+// VecTimes is the setup/evaluation cost split of paper §5.2.1, in
+// simulated clock cycles. EvalCycles is per evaluation (the paper's
+// tables run one evaluation; iterative solvers amortize SetupCycles
+// over many).
+type VecTimes struct {
+	SetupCycles float64
+	EvalCycles  float64
+}
+
+// TotalCycles is the cost of one setup plus k evaluations.
+func (t VecTimes) TotalCycles(k int) float64 { return t.SetupCycles + float64(k)*t.EvalCycles }
+
+// Seconds converts cycles to seconds at the given clock.
+func Seconds(cycles float64, cfg vector.Config) float64 { return cycles * cfg.ClockNS * 1e-9 }
+
+// VecResult is a timed kernel run.
+type VecResult struct {
+	Y     []float64
+	Times VecTimes
+}
+
+// VecCSR times the row-major CSR kernel on the vector machine: one
+// vectorized dot product per row (gather x, multiply, reduce). No
+// setup. The weakness the paper identifies — "very short rows" for
+// sparse systems, far below the vector half-length — appears here as
+// per-row loop and reduce startup that the short gathers cannot
+// amortize.
+func VecCSR(cfg vector.Config, a *CSR, x []float64, evals int) (*VecResult, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x) != a.NumCols {
+		return nil, fmt.Errorf("%w: x length %d for %d columns", ErrBadMatrix, len(x), a.NumCols)
+	}
+	if evals < 1 {
+		evals = 1
+	}
+	m := vector.New(cfg)
+	maxLen := 0
+	for r := 0; r < a.NumRows; r++ {
+		if l := a.RowLen(r); l > maxLen {
+			maxLen = l
+		}
+	}
+	regX := make([]float64, maxLen)
+	regV := make([]float64, maxLen)
+	regP := make([]float64, maxLen)
+	var y []float64
+	for e := 0; e < evals; e++ {
+		y = make([]float64, a.NumRows)
+		for r := 0; r < a.NumRows; r++ {
+			lo, hi := a.RowPtr[r], a.RowPtr[r+1]
+			k := int(hi - lo)
+			if k == 0 {
+				m.ScalarOp("csr-empty", 1)
+				continue
+			}
+			m.BeginLoop()
+			xi := regX[:k]
+			vector.Gather(m, xi, x, a.Col[lo:hi])
+			vi := regV[:k]
+			vector.Load(m, vi, a.Val[lo:hi])
+			pi := regP[:k]
+			vector.VMul(m, pi, vi, xi)
+			y[r] = vector.VSum(m, pi)
+			m.ScalarOp("csr-store", 1)
+		}
+	}
+	return &VecResult{Y: y, Times: VecTimes{SetupCycles: 0, EvalCycles: m.Cycles() / float64(evals)}}, nil
+}
+
+// VecJD times the jagged-diagonal kernel: the setup pass sorts the
+// rows by length and transposes the entries into diagonals (largely
+// scalar work — the "large preprocessing time" of §5.2); each
+// evaluation then streams one long vector operation per diagonal and
+// un-permutes once.
+func VecJD(cfg vector.Config, a *CSR, x []float64, evals int) (*VecResult, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x) != a.NumCols {
+		return nil, fmt.Errorf("%w: x length %d for %d columns", ErrBadMatrix, len(x), a.NumCols)
+	}
+	if evals < 1 {
+		evals = 1
+	}
+	m := vector.New(cfg)
+
+	// --- setup: CSR -> JD, with its cost charged ---
+	jd, err := a.ToJD()
+	if err != nil {
+		return nil, err
+	}
+	n := a.NumRows
+	// Row lengths: RowPtr[r+1] - RowPtr[r], vectorized.
+	if n > 0 {
+		m.BeginLoop()
+		lens := make([]int32, n)
+		hiReg := make([]int32, n)
+		vector.Load(m, lens, a.RowPtr[:n])
+		vector.Load(m, hiReg, a.RowPtr[1:])
+		vector.VOp(m, lens, hiReg, lens, func(hi, lo int32) int32 { return hi - lo })
+	}
+	// Sorting the rows by length: a scalar comparison sort.
+	if n > 1 {
+		m.ScalarOp("jd-sort", n*int(math.Ceil(math.Log2(float64(n)))))
+	}
+	// Transposing entries into diagonals: one gather + store pair per
+	// stored entry for values and for column indices.
+	for d := 0; d < jd.NumDiags(); d++ {
+		l := int(jd.Start[d+1] - jd.Start[d])
+		if l == 0 {
+			continue
+		}
+		m.BeginLoop()
+		idx := make([]int32, l)
+		vector.Iota(m, idx, 0) // address computation: RowPtr[perm[k]] + d
+		reg := make([]float64, l)
+		vector.Gather(m, reg, a.Val, jdSourceIndices(a, jd, d, l))
+		vector.Store(m, jd.Val[jd.Start[d]:jd.Start[d+1]], reg)
+		regC := make([]int32, l)
+		vector.Gather(m, regC, a.Col, jdSourceIndices(a, jd, d, l))
+		vector.Store(m, jd.Col[jd.Start[d]:jd.Start[d+1]], regC)
+	}
+	setup := m.Cycles()
+
+	// --- evaluation: one vector pass per diagonal ---
+	maxLen := 0
+	if jd.NumDiags() > 0 {
+		maxLen = int(jd.Start[1] - jd.Start[0])
+	}
+	regV := make([]float64, maxLen)
+	regX := make([]float64, maxLen)
+	regP := make([]float64, maxLen)
+	regY := make([]float64, maxLen)
+	var y []float64
+	for e := 0; e < evals; e++ {
+		yp := make([]float64, n)
+		for d := 0; d < jd.NumDiags(); d++ {
+			lo, hi := jd.Start[d], jd.Start[d+1]
+			k := int(hi - lo)
+			if k == 0 {
+				continue
+			}
+			m.BeginLoop()
+			vi := regV[:k]
+			vector.Load(m, vi, jd.Val[lo:hi])
+			xi := regX[:k]
+			vector.Gather(m, xi, x, jd.Col[lo:hi])
+			pi := regP[:k]
+			vector.VMul(m, pi, vi, xi)
+			// yp accumulates in memory between diagonals:
+			// load, add, store.
+			yi := regY[:k]
+			vector.Load(m, yi, yp[:k])
+			vector.VAdd(m, yi, yi, pi)
+			vector.Store(m, yp[:k], yi)
+		}
+		// Un-permute: y[Perm[k]] = yp[k], one scatter.
+		y = make([]float64, n)
+		if n > 0 {
+			m.BeginLoop()
+			vector.Scatter(m, y, jd.Perm, yp)
+		}
+	}
+	return &VecResult{Y: y, Times: VecTimes{SetupCycles: setup, EvalCycles: (m.Cycles() - setup) / float64(evals)}}, nil
+}
+
+// jdSourceIndices computes, for diagonal d, the CSR storage offsets of
+// each entry (RowPtr[Perm[k]] + d).
+func jdSourceIndices(a *CSR, jd *JD, d, l int) []int32 {
+	idx := make([]int32, l)
+	for k := 0; k < l; k++ {
+		idx[k] = a.RowPtr[jd.Perm[k]] + int32(d)
+	}
+	return idx
+}
+
+// VecMP times the multiprefix kernel of paper Figure 12: setup builds
+// the spinetree over the row indices (vecmp.NewPlan); each evaluation
+// forms the products vals[k]*x[cols[k]] with one gather+multiply pass
+// and multireduces them by row.
+func VecMP(cfg vector.Config, a *COO, x []float64, evals int) (*VecResult, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x) != a.NumCols {
+		return nil, fmt.Errorf("%w: x length %d for %d columns", ErrBadMatrix, len(x), a.NumCols)
+	}
+	if evals < 1 {
+		evals = 1
+	}
+	m := vector.New(cfg)
+	plan, err := vecmp.NewPlan(m, core.AddFloat64, a.Row, a.NumRows, vecmp.Config{})
+	if err != nil {
+		return nil, err
+	}
+	setup := m.Cycles()
+
+	nnz := a.NNZ()
+	products := make([]float64, nnz)
+	regX := make([]float64, min(nnz, 4096))
+	regV := make([]float64, len(regX))
+	var y []float64
+	for e := 0; e < evals; e++ {
+		// products = vals * x[cols], streamed in register-sized chunks.
+		if nnz > 0 {
+			m.BeginLoop()
+			for lo := 0; lo < nnz; lo += len(regX) {
+				hi := min(lo+len(regX), nnz)
+				k := hi - lo
+				vector.Gather(m, regX[:k], x, a.Col[lo:hi])
+				vector.Load(m, regV[:k], a.Val[lo:hi])
+				vector.VMul(m, regV[:k], regV[:k], regX[:k])
+				vector.Store(m, products[lo:hi], regV[:k])
+			}
+		}
+		y, err = plan.Reduce(products)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &VecResult{Y: y, Times: VecTimes{SetupCycles: setup, EvalCycles: (m.Cycles() - setup) / float64(evals)}}, nil
+}

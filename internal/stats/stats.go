@@ -1,0 +1,283 @@
+// Package stats provides the small numerical and reporting toolkit the
+// experiment harness needs: linear least squares (for fitting the
+// Hockney–Jesshope t_e / n_1/2 loop model of paper Table 3), summary
+// statistics, fixed-width table rendering, and ASCII series plots for
+// regenerating the paper's Figure 10.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrSingular reports an unsolvable least-squares system.
+var ErrSingular = errors.New("stats: singular normal equations")
+
+// FitLinear solves min ||X c - y||_2 by normal equations with partial
+// pivoting. X is row-major: X[i] holds the basis values for sample i.
+func FitLinear(X [][]float64, y []float64) ([]float64, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("stats: %d rows, %d targets", len(X), len(y))
+	}
+	k := len(X[0])
+	if k == 0 || len(X) < k {
+		return nil, fmt.Errorf("stats: need at least %d samples, have %d", k, len(X))
+	}
+	// Form A = XᵀX, b = Xᵀy.
+	A := make([][]float64, k)
+	b := make([]float64, k)
+	for i := range A {
+		A[i] = make([]float64, k)
+	}
+	for s, row := range X {
+		if len(row) != k {
+			return nil, fmt.Errorf("stats: ragged basis row %d", s)
+		}
+		for i := 0; i < k; i++ {
+			b[i] += row[i] * y[s]
+			for j := 0; j < k; j++ {
+				A[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	return solve(A, b)
+}
+
+// solve performs Gaussian elimination with partial pivoting, in place.
+func solve(A [][]float64, b []float64) ([]float64, error) {
+	k := len(A)
+	for col := 0; col < k; col++ {
+		pivot := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(A[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		A[col], A[pivot] = A[pivot], A[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / A[col][col]
+		for r := col + 1; r < k; r++ {
+			f := A[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < k; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	out := make([]float64, k)
+	for r := k - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < k; c++ {
+			s -= A[r][c] * out[c]
+		}
+		out[r] = s / A[r][r]
+	}
+	return out, nil
+}
+
+// HockneyFit is a fitted t(k) = TE * (k + NHalf) loop model.
+type HockneyFit struct {
+	TE    float64
+	NHalf float64
+}
+
+// FitHockney fits the loop model to (vector length, time) samples.
+func FitHockney(lengths []int, times []float64) (HockneyFit, error) {
+	X := make([][]float64, len(lengths))
+	for i, k := range lengths {
+		X[i] = []float64{float64(k), 1}
+	}
+	c, err := FitLinear(X, times)
+	if err != nil {
+		return HockneyFit{}, err
+	}
+	if c[0] <= 0 {
+		return HockneyFit{}, fmt.Errorf("stats: nonpositive fitted t_e %g", c[0])
+	}
+	return HockneyFit{TE: c[0], NHalf: c[1] / c[0]}, nil
+}
+
+// FitPhase fits a whole-phase cost t(n) = te*n + (te*perCall)*calls(n)
+// where the phase issues calls(n) inner loops over n total elements
+// (sqrt(n) loops for the multiprefix phases). Returns the per-element
+// asymptote and the per-call n_1/2 in elements.
+func FitPhase(ns []int, calls []float64, times []float64) (HockneyFit, error) {
+	X := make([][]float64, len(ns))
+	for i := range ns {
+		X[i] = []float64{float64(ns[i]), calls[i]}
+	}
+	c, err := FitLinear(X, times)
+	if err != nil {
+		return HockneyFit{}, err
+	}
+	if c[0] <= 0 {
+		return HockneyFit{}, fmt.Errorf("stats: nonpositive fitted t_e %g", c[0])
+	}
+	return HockneyFit{TE: c[0], NHalf: c[1] / c[0]}, nil
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Geomean returns the geometric mean of positive values.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Table renders rows as a fixed-width text table with a header row.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == math.Trunc(v) && av < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 0.01:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	rule := make([]string, len(t.header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one named line of (x, y) points for Plot.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Plot renders series as a crude ASCII chart (log10 x-axis, linear y),
+// good enough to eyeball the shape of paper Figure 10.
+func Plot(width, height int, series []Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			lx := math.Log10(s.X[i])
+			minX, maxX = math.Min(minX, lx), math.Max(maxX, lx)
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "ox+*#@%&"
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			cx := int((math.Log10(s.X[i]) - minX) / (maxX - minX) * float64(width-1))
+			cy := int((s.Y[i] - minY) / (maxY - minY) * float64(height-1))
+			grid[height-1-cy][cx] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8.2f +%s\n", maxY, "")
+	for _, row := range grid {
+		fmt.Fprintf(&b, "         |%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "%8.2f +%s\n", minY, strings.Repeat("-", width))
+	fmt.Fprintf(&b, "          10^%.1f .. 10^%.1f (x, log scale)\n", minX, maxX)
+	for si, s := range series {
+		fmt.Fprintf(&b, "          %c = %s\n", marks[si%len(marks)], s.Name)
+	}
+	return b.String()
+}

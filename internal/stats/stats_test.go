@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitLinearExact(t *testing.T) {
+	// y = 3x + 7, exactly.
+	var X [][]float64
+	var y []float64
+	for x := 1.0; x <= 5; x++ {
+		X = append(X, []float64{x, 1})
+		y = append(y, 3*x+7)
+	}
+	c, err := FitLinear(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c[0]-3) > 1e-9 || math.Abs(c[1]-7) > 1e-9 {
+		t.Errorf("c = %v, want [3 7]", c)
+	}
+}
+
+func TestFitLinearRecoverNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		a := rng.Float64() * 10
+		b := rng.Float64() * 10
+		X = append(X, []float64{a, b, 1})
+		y = append(y, 2*a-5*b+1+rng.NormFloat64()*0.01)
+	}
+	c, err := FitLinear(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, -5, 1}
+	for i := range want {
+		if math.Abs(c[i]-want[i]) > 0.05 {
+			t.Errorf("c[%d] = %v, want %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear(nil, nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if _, err := FitLinear([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("underdetermined fit accepted")
+	}
+	// Singular: duplicate basis columns.
+	X := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	if _, err := FitLinear(X, []float64{1, 2, 3}); err == nil {
+		t.Error("singular system accepted")
+	}
+	if _, err := FitLinear([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged basis accepted")
+	}
+}
+
+func TestFitHockneyRoundTrip(t *testing.T) {
+	te, nHalf := 4.1, 40.0
+	lengths := []int{10, 50, 100, 500, 1000}
+	times := make([]float64, len(lengths))
+	for i, k := range lengths {
+		times[i] = te * (float64(k) + nHalf)
+	}
+	fit, err := FitHockney(lengths, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.TE-te) > 1e-9 || math.Abs(fit.NHalf-nHalf) > 1e-6 {
+		t.Errorf("fit = %+v", fit)
+	}
+}
+
+func TestFitHockneyQuick(t *testing.T) {
+	prop := func(teRaw, nhRaw uint8) bool {
+		te := float64(teRaw%40)/4 + 0.5
+		nh := float64(nhRaw % 100)
+		lengths := []int{16, 64, 256, 1024}
+		times := make([]float64, len(lengths))
+		for i, k := range lengths {
+			times[i] = te * (float64(k) + nh)
+		}
+		fit, err := FitHockney(lengths, times)
+		return err == nil && math.Abs(fit.TE-te) < 1e-6 && math.Abs(fit.NHalf-nh) < 1e-3
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitPhase(t *testing.T) {
+	// t(n) = te*n + te*nh*calls with calls = sqrt(n).
+	te, nh := 5.3, 20.0
+	ns := []int{100, 400, 1600, 6400}
+	calls := make([]float64, len(ns))
+	times := make([]float64, len(ns))
+	for i, n := range ns {
+		calls[i] = math.Sqrt(float64(n))
+		times[i] = te*float64(n) + te*nh*calls[i]
+	}
+	fit, err := FitPhase(ns, calls, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.TE-te) > 1e-9 || math.Abs(fit.NHalf-nh) > 1e-6 {
+		t.Errorf("fit = %+v", fit)
+	}
+}
+
+func TestMeanGeomean(t *testing.T) {
+	if Mean(nil) != 0 || Geomean(nil) != 0 {
+		t.Error("empty summaries should be 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+	if math.Abs(Geomean([]float64{1, 4})-2) > 1e-12 {
+		t.Error("geomean wrong")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 3.14159)
+	tb.AddRow("beta-long-name", 42)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[2], "3.142") {
+		t.Errorf("table:\n%s", out)
+	}
+	// All rows align to the same width.
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("misaligned rows:\n%s", out)
+	}
+}
+
+func TestPlot(t *testing.T) {
+	s := []Series{
+		{Name: "a", X: []float64{1e3, 1e4, 1e5}, Y: []float64{30, 25, 22}},
+		{Name: "b", X: []float64{1e3, 1e4, 1e5}, Y: []float64{40, 33, 28}},
+	}
+	out := Plot(40, 10, s)
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Errorf("plot missing marks:\n%s", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Errorf("plot missing legend:\n%s", out)
+	}
+	if got := Plot(5, 2, nil); !strings.Contains(got, "no data") {
+		t.Errorf("empty plot: %q", got)
+	}
+}

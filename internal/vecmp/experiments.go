@@ -1,0 +1,294 @@
+package vecmp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"multiprefix/internal/core"
+	"multiprefix/internal/stats"
+	"multiprefix/internal/vector"
+)
+
+// PhaseNames are the paper's loop names in Table 3 order.
+var PhaseNames = [4]string{"SPINETREE", "ROWSUM", "SPINESUM", "PREFIXSUM"}
+
+// RandomLabels draws n labels uniformly over [0, buckets).
+func RandomLabels(rng *rand.Rand, n, buckets int) []int32 {
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = int32(rng.Intn(buckets))
+	}
+	return labels
+}
+
+// Ones returns a vector of n int64 ones (the enumeration workload).
+func Ones(n int) []int64 {
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// CharacterizePhases reproduces Table 3: run the engine at moderate
+// bucket load over a spread of sizes, take the per-phase cycle totals,
+// and fit the Hockney model t_phase(n) = t_e*(n + calls*n_1/2) where a
+// row phase issues Rows inner loops and a column phase issues P.
+// Returns one fit per phase in PhaseNames order.
+func CharacterizePhases(cfg vector.Config, sizes []int, load int, seed int64) ([4]stats.HockneyFit, error) {
+	var fits [4]stats.HockneyFit
+	rng := rand.New(rand.NewSource(seed))
+	ns := make([]int, 0, len(sizes))
+	calls := make([][4]float64, 0, len(sizes))
+	times := make([][4]float64, 0, len(sizes))
+	for _, n := range sizes {
+		buckets := n / load
+		if buckets < 1 {
+			buckets = 1
+		}
+		labels := RandomLabels(rng, n, buckets)
+		values := make([]int64, n)
+		for i := range values {
+			values[i] = int64(rng.Intn(100)) + 1
+		}
+		m := vector.New(cfg)
+		res, err := Multiprefix(m, core.AddInt64, values, labels, buckets, Config{})
+		if err != nil {
+			return fits, err
+		}
+		ns = append(ns, n)
+		rows := float64(res.Grid.Rows)
+		cols := float64(res.Grid.P)
+		calls = append(calls, [4]float64{rows, cols, rows, cols})
+		times = append(times, [4]float64{
+			res.Phases.Spinetree, res.Phases.Rowsums, res.Phases.Spinesums, res.Phases.Multisums,
+		})
+	}
+	for ph := 0; ph < 4; ph++ {
+		cs := make([]float64, len(ns))
+		ts := make([]float64, len(ns))
+		for i := range ns {
+			cs[i] = calls[i][ph]
+			ts[i] = times[i][ph]
+		}
+		fit, err := stats.FitPhase(ns, cs, ts)
+		if err != nil {
+			return fits, fmt.Errorf("phase %s: %w", PhaseNames[ph], err)
+		}
+		fits[ph] = fit
+	}
+	return fits, nil
+}
+
+// LoadPoint is one measurement of the Figure 10 sweep.
+type LoadPoint struct {
+	N            int
+	Load         float64 // average elements per bucket; N means "one bucket"
+	LoadName     string
+	ClocksPerElt float64
+	Phases       PhaseCycles
+}
+
+// LoadCase names one curve of Figure 10. Buckets <= 0 means "a single
+// bucket" (the load = n curve).
+type LoadCase struct {
+	Name string
+	Load int // elements per bucket; 0 => one bucket for the whole input
+}
+
+// PaperLoadCases are the curves of Figure 10: load factors from 1
+// (as many buckets as elements) to n (a single bucket).
+var PaperLoadCases = []LoadCase{
+	{Name: "load=1", Load: 1},
+	{Name: "load=4", Load: 4},
+	{Name: "load=16", Load: 16},
+	{Name: "load=256", Load: 256},
+	{Name: "load=n", Load: 0},
+}
+
+// LoadSweep reproduces Figure 10: time per element (clocks) for sizes
+// from ~1e3 to ~1e6 under each bucket-load curve.
+func LoadSweep(cfg vector.Config, sizes []int, cases []LoadCase, seed int64) ([]stats.Series, []LoadPoint, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var series []stats.Series
+	var points []LoadPoint
+	for _, lc := range cases {
+		s := stats.Series{Name: lc.Name}
+		for _, n := range sizes {
+			buckets := 1
+			loadVal := float64(n)
+			if lc.Load > 0 {
+				buckets = n / lc.Load
+				if buckets < 1 {
+					buckets = 1
+				}
+				loadVal = float64(lc.Load)
+			}
+			labels := RandomLabels(rng, n, buckets)
+			values := make([]int64, n)
+			for i := range values {
+				values[i] = int64(rng.Intn(100)) + 1
+			}
+			m := vector.New(cfg)
+			res, err := Multiprefix(m, core.AddInt64, values, labels, buckets, Config{})
+			if err != nil {
+				return nil, nil, err
+			}
+			per := m.Cycles() / float64(n)
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, per)
+			points = append(points, LoadPoint{
+				N: n, Load: loadVal, LoadName: lc.Name,
+				ClocksPerElt: per, Phases: res.Phases,
+			})
+		}
+		series = append(series, s)
+	}
+	return series, points, nil
+}
+
+// RowLenPoint is one measurement of the §4.4 row-length ablation.
+type RowLenPoint struct {
+	P              int
+	ClocksPerElt   float64
+	BankAliased    bool // P is a multiple of the bank count
+	SectionAliased bool // P is a multiple of the section count (bank cycle time)
+}
+
+// RowLengthSweep measures total clocks per element as a function of
+// the row length P at fixed n, demonstrating both the flat optimum
+// near sqrt(n) and the bank-aliasing spikes the paper's §4.4 chooses
+// row lengths to avoid.
+func RowLengthSweep(cfg vector.Config, n int, ps []int, load int, seed int64) ([]RowLenPoint, error) {
+	rng := rand.New(rand.NewSource(seed))
+	buckets := n / load
+	if buckets < 1 {
+		buckets = 1
+	}
+	labels := RandomLabels(rng, n, buckets)
+	values := make([]int64, n)
+	for i := range values {
+		values[i] = int64(rng.Intn(100)) + 1
+	}
+	var out []RowLenPoint
+	for _, p := range ps {
+		m := vector.New(cfg)
+		if _, err := Multiprefix(m, core.AddInt64, values, labels, buckets, Config{RowLength: p}); err != nil {
+			return nil, err
+		}
+		out = append(out, RowLenPoint{
+			P:              p,
+			ClocksPerElt:   m.Cycles() / float64(n),
+			BankAliased:    cfg.Banks > 1 && p%cfg.Banks == 0,
+			SectionAliased: cfg.Sections > 1 && p%cfg.Sections == 0,
+		})
+	}
+	return out, nil
+}
+
+// ReduceSavings measures §4.2: multireduce vs full multiprefix on the
+// same input. Returns clocks per element for each and the clocks per
+// element the PREFIXSUM phase alone cost.
+func ReduceSavings(cfg vector.Config, n, load int, seed int64) (full, reduce, prefixPhase float64, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	buckets := n / load
+	if buckets < 1 {
+		buckets = 1
+	}
+	labels := RandomLabels(rng, n, buckets)
+	values := make([]int64, n)
+	for i := range values {
+		values[i] = int64(rng.Intn(100)) + 1
+	}
+	mf := vector.New(cfg)
+	resF, err := Multiprefix(mf, core.AddInt64, values, labels, buckets, Config{})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	mr := vector.New(cfg)
+	if _, err := Multireduce(mr, core.AddInt64, values, labels, buckets, Config{}); err != nil {
+		return 0, 0, 0, err
+	}
+	fn := float64(n)
+	return mf.Cycles() / fn, mr.Cycles() / fn, resF.Phases.Multisums / fn, nil
+}
+
+// CharacterizeLoopsDirect fits (t_e, n_1/2) for each of the four loops
+// by direct isolation instead of whole-phase regression:
+//
+//   - a run with RowLength = n has exactly one row, so its SPINETREE
+//     phase time is a single-loop time at length n;
+//   - a run with RowLength = 1 has exactly one column, isolating
+//     ROWSUM and PREFIXSUM the same way;
+//   - SPINESUM cannot be isolated to one loop — in a single-row grid
+//     no element has children, so the loop degenerates to all-false
+//     early exits (a real structural property of the algorithm, worth
+//     knowing in itself). It is measured on the minimal non-trivial
+//     grid instead: two rows of length n/2, i.e. two loop calls, one
+//     of which is the inherently-cheap bottom row.
+//
+// Labels are uniform over n/load buckets.
+func CharacterizeLoopsDirect(cfg vector.Config, lengths []int, load int, seed int64) ([4]stats.HockneyFit, error) {
+	var fits [4]stats.HockneyFit
+	rng := rand.New(rand.NewSource(seed))
+	spinetree := make([]float64, len(lengths))
+	rowsum := make([]float64, len(lengths))
+	prefixsum := make([]float64, len(lengths))
+	spinesum := make([]float64, len(lengths))
+	twoRowNs := make([]int, len(lengths))
+	twoRowCalls := make([]float64, len(lengths))
+	for li, k := range lengths {
+		buckets := k / load
+		if buckets < 1 {
+			buckets = 1
+		}
+		labels := RandomLabels(rng, k, buckets)
+		values := make([]int64, k)
+		for i := range values {
+			values[i] = int64(rng.Intn(100)) + 1
+		}
+		// One row: SPINETREE isolated.
+		mRow := vector.New(cfg)
+		resRow, err := Multiprefix(mRow, core.AddInt64, values, labels, buckets, Config{RowLength: k})
+		if err != nil {
+			return fits, err
+		}
+		spinetree[li] = resRow.Phases.Spinetree
+		// One column: ROWSUM and PREFIXSUM isolated.
+		mCol := vector.New(cfg)
+		resCol, err := Multiprefix(mCol, core.AddInt64, values, labels, buckets, Config{RowLength: 1})
+		if err != nil {
+			return fits, err
+		}
+		rowsum[li] = resCol.Phases.Rowsums
+		prefixsum[li] = resCol.Phases.Multisums
+		// Two rows: SPINESUM on the minimal grid that has spine elements.
+		labels2 := RandomLabels(rng, 2*k, buckets)
+		values2 := make([]int64, 2*k)
+		for i := range values2 {
+			values2[i] = int64(rng.Intn(100)) + 1
+		}
+		mTwo := vector.New(cfg)
+		resTwo, err := Multiprefix(mTwo, core.AddInt64, values2, labels2, buckets, Config{RowLength: k})
+		if err != nil {
+			return fits, err
+		}
+		spinesum[li] = resTwo.Phases.Spinesums
+		twoRowNs[li] = 2 * k
+		twoRowCalls[li] = 2
+	}
+	var err error
+	if fits[0], err = stats.FitHockney(lengths, spinetree); err != nil {
+		return fits, fmt.Errorf("SPINETREE: %w", err)
+	}
+	if fits[1], err = stats.FitHockney(lengths, rowsum); err != nil {
+		return fits, fmt.Errorf("ROWSUM: %w", err)
+	}
+	if fits[2], err = stats.FitPhase(twoRowNs, twoRowCalls, spinesum); err != nil {
+		return fits, fmt.Errorf("SPINESUM: %w", err)
+	}
+	if fits[3], err = stats.FitHockney(lengths, prefixsum); err != nil {
+		return fits, fmt.Errorf("PREFIXSUM: %w", err)
+	}
+	return fits, nil
+}

@@ -1,0 +1,222 @@
+package vecmp
+
+import (
+	"testing"
+
+	"multiprefix/internal/core"
+	"multiprefix/internal/vector"
+)
+
+// TestCharacterizePhasesNearPaper reproduces the shape of Table 3: the
+// four loops' fitted per-element times sit in the single-digit clock
+// range with ROWSUM the cheapest; half-performance lengths are tens of
+// elements.
+func TestCharacterizePhasesNearPaper(t *testing.T) {
+	fits, err := CharacterizePhases(vector.DefaultConfig(), []int{4096, 16384, 65536, 262144}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range fits {
+		if f.TE < 2 || f.TE > 12 {
+			t.Errorf("%s: t_e = %.2f clocks/elt, want single digits (paper: 4.1-7.4)", PhaseNames[i], f.TE)
+		}
+		if f.NHalf < 3 || f.NHalf > 120 {
+			t.Errorf("%s: n_1/2 = %.1f, want tens of elements (paper: 20-40)", PhaseNames[i], f.NHalf)
+		}
+	}
+	rowsum := fits[1].TE
+	for i, f := range fits {
+		if i != 1 && f.TE < rowsum*0.95 {
+			t.Errorf("%s t_e %.2f below ROWSUM %.2f; paper has ROWSUM cheapest", PhaseNames[i], f.TE, rowsum)
+		}
+	}
+}
+
+// TestLoadSweepFigure10Shape checks the headline observation of §4.3:
+// across bucket loads from 1 to n and sizes over three decades, the
+// time per element varies only by a small factor, with the extremes
+// (one bucket / n buckets) dearer than moderate loads.
+func TestLoadSweepFigure10Shape(t *testing.T) {
+	sizes := []int{1000, 10000, 100000}
+	series, points, err := LoadSweep(vector.DefaultConfig(), sizes, PaperLoadCases, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(PaperLoadCases) || len(points) != len(sizes)*len(PaperLoadCases) {
+		t.Fatalf("unexpected result sizes: %d series, %d points", len(series), len(points))
+	}
+	// Overall sensitivity: max/min per-element time at the largest n.
+	perElt := map[string]float64{}
+	for _, p := range points {
+		if p.N == 100000 {
+			perElt[p.LoadName] = p.ClocksPerElt
+		}
+	}
+	lo, hi := perElt["load=4"], perElt["load=4"]
+	for _, v := range perElt {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi/lo > 2.0 {
+		t.Errorf("per-element time varies %.2fx across loads; paper reports low sensitivity (a few clocks)", hi/lo)
+	}
+	if perElt["load=n"] <= perElt["load=16"] {
+		t.Errorf("heavy load (%.1f) should cost more than moderate (%.1f)", perElt["load=n"], perElt["load=16"])
+	}
+	if perElt["load=1"] <= perElt["load=16"] {
+		t.Errorf("light load (%.1f) should cost more than moderate (%.1f)", perElt["load=1"], perElt["load=16"])
+	}
+	// Per-element time falls (startup amortizes) as n grows, per curve.
+	for _, s := range series {
+		if s.Y[0] <= s.Y[len(s.Y)-1] {
+			t.Errorf("%s: per-element time did not fall with n: %v", s.Name, s.Y)
+		}
+	}
+}
+
+// TestHeavyLoadPhaseTradeoffs verifies §4.3's mechanism, not just the
+// totals: under heavy load SPINETREE suffers (hot-spot scatter/gather)
+// while SPINESUM collapses (all-false strip early exit), and under
+// light load SPINESUM pays the dummy-location contention.
+func TestHeavyLoadPhaseTradeoffs(t *testing.T) {
+	cfg := vector.DefaultConfig()
+	_, points, err := LoadSweep(cfg, []int{65536}, []LoadCase{
+		{Name: "light", Load: 1},
+		{Name: "moderate", Load: 16},
+		{Name: "heavy", Load: 0},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]LoadPoint{}
+	for _, p := range points {
+		byName[p.LoadName] = p
+	}
+	n := 65536.0
+	heavy, moderate, light := byName["heavy"], byName["moderate"], byName["light"]
+	if heavy.Phases.Spinetree/n <= 1.5*moderate.Phases.Spinetree/n {
+		t.Errorf("heavy-load SPINETREE (%.1f clk/elt) should far exceed moderate (%.1f): hot-spot",
+			heavy.Phases.Spinetree/n, moderate.Phases.Spinetree/n)
+	}
+	if heavy.Phases.Spinesums >= moderate.Phases.Spinesums {
+		t.Errorf("heavy-load SPINESUM (%.1f) should undercut moderate (%.1f): early exits",
+			heavy.Phases.Spinesums/n, moderate.Phases.Spinesums/n)
+	}
+	if light.Phases.Spinesums <= moderate.Phases.Spinesums {
+		t.Errorf("light-load SPINESUM (%.1f) should exceed moderate (%.1f): dummy contention",
+			light.Phases.Spinesums/n, moderate.Phases.Spinesums/n)
+	}
+}
+
+// TestRowLengthSweep reproduces §4.4: the optimum near sqrt(n) is
+// flat, and bank-aliasing row lengths spike.
+func TestRowLengthSweep(t *testing.T) {
+	cfg := vector.DefaultConfig()
+	n := 65536 // sqrt = 256 = 4 * banks(64): the natural choice aliases!
+	ps := []int{200, 233, 256, 289, 320, 512}
+	points, err := RowLengthSweep(cfg, n, ps, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byP := map[int]RowLenPoint{}
+	for _, p := range points {
+		byP[p.P] = p
+	}
+	if !byP[256].BankAliased || byP[233].BankAliased {
+		t.Fatalf("bank-alias flags wrong: %+v", points)
+	}
+	if !byP[200].SectionAliased || byP[289].SectionAliased {
+		t.Fatalf("section-alias flags wrong: %+v", points)
+	}
+	// The bank-aliased sqrt(n) must lose to the skewed prime-ish pick.
+	if byP[256].ClocksPerElt <= byP[233].ClocksPerElt {
+		t.Errorf("P=256 (bank multiple) %.2f clk/elt should exceed P=233 %.2f",
+			byP[256].ClocksPerElt, byP[233].ClocksPerElt)
+	}
+	// Flatness away from any aliasing: 233 vs 289 within ~15%.
+	a, b := byP[233].ClocksPerElt, byP[289].ClocksPerElt
+	if a/b > 1.15 || b/a > 1.15 {
+		t.Errorf("non-aliased row lengths should be within ~15%%: %.2f vs %.2f", a, b)
+	}
+	// Section aliasing (multiple of the bank cycle time, §4.4) costs
+	// something, but far less than full bank aliasing.
+	if byP[200].ClocksPerElt <= byP[289].ClocksPerElt {
+		t.Errorf("P=200 (section multiple) %.2f should exceed P=289 %.2f",
+			byP[200].ClocksPerElt, byP[289].ClocksPerElt)
+	}
+	if byP[200].ClocksPerElt >= byP[256].ClocksPerElt {
+		t.Errorf("section aliasing %.2f should cost less than bank aliasing %.2f",
+			byP[200].ClocksPerElt, byP[256].ClocksPerElt)
+	}
+	// ChooseRowLength avoids the trap.
+	pick := core.ChooseRowLength(n, cfg.Banks, cfg.BankBusy)
+	if pick%cfg.Banks == 0 {
+		t.Errorf("ChooseRowLength(%d) = %d is bank-aliased", n, pick)
+	}
+}
+
+// TestReduceSavings verifies §4.2: multireduce saves roughly the
+// PREFIXSUM phase, a substantial fraction of the total.
+func TestReduceSavings(t *testing.T) {
+	full, reduce, prefixPhase, err := ReduceSavings(vector.DefaultConfig(), 100000, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduce >= full {
+		t.Fatalf("multireduce (%.2f) not cheaper than multiprefix (%.2f)", reduce, full)
+	}
+	saving := full - reduce
+	if saving < 0.8*prefixPhase || saving > 1.2*prefixPhase {
+		t.Errorf("saving %.2f clk/elt should approximate the PREFIXSUM phase %.2f", saving, prefixPhase)
+	}
+}
+
+func TestRandomLabelsAndOnes(t *testing.T) {
+	labels := RandomLabels(newTestRng(), 100, 7)
+	for _, l := range labels {
+		if l < 0 || l >= 7 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+	for _, v := range Ones(5) {
+		if v != 1 {
+			t.Fatal("Ones not ones")
+		}
+	}
+}
+
+// TestCharacterizeLoopsDirect: the direct single-loop isolation method
+// must broadly agree with the whole-phase regression of
+// CharacterizePhases — both are estimating the same machine.
+func TestCharacterizeLoopsDirect(t *testing.T) {
+	cfg := vector.DefaultConfig()
+	direct, err := CharacterizeLoopsDirect(cfg, []int{256, 1024, 4096, 16384}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase, err := CharacterizePhases(cfg, []int{4096, 16384, 65536, 262144}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct {
+		if direct[i].TE < 1 || direct[i].TE > 15 {
+			t.Errorf("%s: direct t_e = %.2f implausible", PhaseNames[i], direct[i].TE)
+		}
+		lo, hi := 0.5, 2.0
+		if i == 2 {
+			// SPINESUM's per-loop cost is inherently data-dependent (it
+			// includes the always-cheap bottom row on the minimal
+			// two-row grid), so agreement is looser.
+			lo = 0.3
+		}
+		ratio := direct[i].TE / phase[i].TE
+		if ratio < lo || ratio > hi {
+			t.Errorf("%s: direct t_e %.2f vs phase-fit %.2f disagree by %.2fx",
+				PhaseNames[i], direct[i].TE, phase[i].TE, ratio)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package vecmp
+
+import (
+	"fmt"
+
+	"multiprefix/internal/core"
+	"multiprefix/internal/vector"
+)
+
+// Plan is a prepared multiprefix whose spinetree has been built once
+// and can be evaluated against many value vectors. This is the §5.2.1
+// setup/evaluation split: "the setup time is precisely the time spent
+// in the first phase of the multiprefix algorithm building the
+// spinetree" — for the sparse-matrix kernel, the tree depends only on
+// the row indices, so repeated multiplies by the same matrix reuse it.
+type Plan[T vector.Elem] struct {
+	s *state[T]
+	// SetupCycles is the simulated cost of building the plan
+	// (spine initialization plus the SPINETREE phase).
+	SetupCycles float64
+}
+
+// NewPlan validates inputs and builds the spinetree for the given
+// labels. The machine accumulates the setup cost, also recorded in
+// Plan.SetupCycles.
+func NewPlan[T vector.Elem](m *vector.Machine, op core.Op[T], labels []int32, buckets int, cfg Config) (*Plan[T], error) {
+	values := make([]T, len(labels)) // placeholder; evaluations bring their own
+	s, err := newState(m, op, values, labels, buckets, cfg)
+	if err != nil {
+		return nil, err
+	}
+	mark := m.Mark()
+	s.initSpine()
+	s.phaseSpinetree()
+	return &Plan[T]{s: s, SetupCycles: m.Since(mark)}, nil
+}
+
+// N reports the element count the plan was built for.
+func (p *Plan[T]) N() int { return p.s.n }
+
+// Buckets reports the label-space size.
+func (p *Plan[T]) Buckets() int { return p.s.b }
+
+// Reduce evaluates a multireduce over values using the prepared
+// spinetree: clear the sums, run ROWSUMS and SPINESUMS, combine the
+// bucket sums. Cost accumulates on the plan's machine.
+func (p *Plan[T]) Reduce(values []T) ([]T, error) {
+	s := p.s
+	if len(values) != s.n {
+		return nil, fmt.Errorf("vecmp: plan built for %d values, got %d", s.n, len(values))
+	}
+	s.values = values
+	s.initSums()
+	s.phaseRowsums()
+	s.phaseSpinesums()
+	return s.reduce(), nil
+}
+
+// Multiprefix evaluates the full multiprefix over values using the
+// prepared spinetree.
+func (p *Plan[T]) Multiprefix(values []T) (multi, reductions []T, err error) {
+	s := p.s
+	if len(values) != s.n {
+		return nil, nil, fmt.Errorf("vecmp: plan built for %d values, got %d", s.n, len(values))
+	}
+	s.values = values
+	s.initSums()
+	s.phaseRowsums()
+	s.phaseSpinesums()
+	reductions = s.reduce()
+	multi = s.phaseMultisums()
+	return multi, reductions, nil
+}

@@ -1,0 +1,171 @@
+package vecmp
+
+import (
+	"math/rand"
+	"testing"
+
+	"multiprefix/internal/core"
+	"multiprefix/internal/vector"
+)
+
+// TestPlanReuseCorrectness: a plan built once must evaluate correctly
+// against many different value vectors (the §5.2.1 amortization story
+// depends on the spinetree being value-independent).
+func TestPlanReuseCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, b := 500, 17
+	labels := RandomLabels(rng, n, b)
+	m := vector.NewDefault()
+	// Mixed-sign values require the marker spine test (the paper's
+	// rowsum != 0 shortcut is only exact on positive workloads; see
+	// core's package docs and TestSpineTestNonzeroFailureMode).
+	plan, err := NewPlan(m, core.AddInt64, labels, b, Config{MarkerSpineTest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.N() != n || plan.Buckets() != b {
+		t.Fatalf("plan dims %d/%d", plan.N(), plan.Buckets())
+	}
+	if plan.SetupCycles <= 0 {
+		t.Fatal("no setup cost recorded")
+	}
+	intLabels := toInt(labels)
+	for trial := 0; trial < 5; trial++ {
+		values := make([]int64, n)
+		for i := range values {
+			values[i] = int64(rng.Intn(200) - 100)
+		}
+		wantRed, err := core.SerialReduce(core.AddInt64, values, intLabels, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := plan.Reduce(values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range wantRed {
+			if red[k] != wantRed[k] {
+				t.Fatalf("trial %d: Reduce[%d] = %d, want %d", trial, k, red[k], wantRed[k])
+			}
+		}
+		want, err := core.Serial(core.AddInt64, values, intLabels, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, red2, err := plan.Multiprefix(values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Multi {
+			if multi[i] != want.Multi[i] {
+				t.Fatalf("trial %d: Multi[%d] = %d, want %d", trial, i, multi[i], want.Multi[i])
+			}
+		}
+		for k := range want.Reductions {
+			if red2[k] != want.Reductions[k] {
+				t.Fatalf("trial %d: Reductions[%d] = %d, want %d", trial, k, red2[k], want.Reductions[k])
+			}
+		}
+	}
+}
+
+// TestPlanAmortization: k evaluations through a plan must cost less
+// than k standalone Multireduce runs — the setup amortizes.
+func TestPlanAmortization(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, b := 2000, 100
+	labels := RandomLabels(rng, n, b)
+	values := make([]int64, n)
+	for i := range values {
+		values[i] = int64(rng.Intn(100)) + 1
+	}
+	const k = 10
+
+	mPlan := vector.NewDefault()
+	plan, err := NewPlan(mPlan, core.AddInt64, labels, b, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if _, err := plan.Reduce(values); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mSolo := vector.NewDefault()
+	for i := 0; i < k; i++ {
+		if _, err := Multireduce(mSolo, core.AddInt64, values, labels, b, Config{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mPlan.Cycles() >= mSolo.Cycles() {
+		t.Errorf("plan path (%v cycles) not cheaper than %d standalone runs (%v)",
+			mPlan.Cycles(), k, mSolo.Cycles())
+	}
+	// The saving should be about (k-1) spinetree builds.
+	saving := mSolo.Cycles() - mPlan.Cycles()
+	expect := float64(k-1) * plan.SetupCycles
+	if saving < 0.5*expect || saving > 1.5*expect {
+		t.Errorf("saving %v, expected ~%v ((k-1) setups)", saving, expect)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	m := vector.NewDefault()
+	plan, err := NewPlan(m, core.AddInt64, []int32{0, 1}, 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Reduce([]int64{1}); err == nil {
+		t.Error("wrong-length values accepted by Reduce")
+	}
+	if _, _, err := plan.Multiprefix([]int64{1, 2, 3}); err == nil {
+		t.Error("wrong-length values accepted by Multiprefix")
+	}
+	if _, err := NewPlan(m, core.AddInt64, []int32{5}, 2, Config{}); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}
+
+// TestVecExclusiveScanMatches: the partition-method scan is exact for
+// any length, including the awkward ones around section boundaries.
+func TestVecExclusiveScanMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 2, 63, 64, 65, 127, 128, 129, 4095, 4096, 4097, 100000} {
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = int64(rng.Intn(201) - 100)
+		}
+		want := make([]int64, n)
+		var run int64
+		for i, x := range xs {
+			want[i] = run
+			run += x
+		}
+		m := vector.NewDefault()
+		total := VecExclusiveScan(m, xs)
+		if total != run {
+			t.Fatalf("n=%d: total = %d, want %d", n, total, run)
+		}
+		for i := range want {
+			if xs[i] != want[i] {
+				t.Fatalf("n=%d: xs[%d] = %d, want %d", n, i, xs[i], want[i])
+			}
+		}
+		if n > 0 && m.Cycles() <= 0 {
+			t.Fatalf("n=%d: no cycles charged", n)
+		}
+	}
+}
+
+func TestPaddedSectionLen(t *testing.T) {
+	for _, n := range []int{1, 64, 4096, 65536, 1 << 20} {
+		got := PaddedSectionLen(n, 64, 64, 4)
+		if got > 1 && (got%64 == 0 || got%4 == 0) {
+			t.Errorf("PaddedSectionLen(%d) = %d aliases banks", n, got)
+		}
+		if got < (n+63)/64 {
+			t.Errorf("PaddedSectionLen(%d) = %d shorter than ceil(n/vl)", n, got)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package vecmp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multiprefix/internal/core"
+	"multiprefix/internal/vector"
+)
+
+// randomConfig draws a structurally valid but arbitrary machine: odd
+// vector lengths, tiny bank counts, inflated costs. The invariant under
+// test: the cost model must never change results.
+func randomConfig(rng *rand.Rand) vector.Config {
+	cfg := vector.DefaultConfig()
+	cfg.VL = 1 + rng.Intn(130)
+	cfg.Banks = 1 + rng.Intn(96)
+	cfg.BankBusy = 1 + rng.Intn(8)
+	cfg.LoadPerElt = rng.Float64() * 3
+	cfg.StorePerElt = rng.Float64() * 3
+	cfg.GatherPerElt = rng.Float64() * 4
+	cfg.ScatterPerElt = rng.Float64() * 4
+	cfg.MaskedScatterPerElt = rng.Float64() * 5
+	cfg.StridePerElt = rng.Float64()
+	cfg.MemStartup = rng.Float64() * 30
+	cfg.IndexedStartup = rng.Float64() * 40
+	cfg.LoopOverhead = rng.Float64() * 200
+	cfg.EarlyExitStrip = rng.Float64() * 20
+	return cfg
+}
+
+// TestVectorizedCorrectUnderAnyMachine: results are machine-
+// independent; only cycle counts vary.
+func TestVectorizedCorrectUnderAnyMachine(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randomConfig(rng)
+		n := rng.Intn(400)
+		b := 1 + rng.Intn(40)
+		labels := RandomLabels(rng, n, b)
+		values := make([]int64, n)
+		for i := range values {
+			values[i] = int64(rng.Intn(50)) + 1
+		}
+		want, err := core.Serial(core.AddInt64, values, toInt(labels), b)
+		if err != nil {
+			return false
+		}
+		m := vector.New(cfg)
+		mpCfg := Config{MarkerSpineTest: rng.Intn(2) == 0, RowLength: rng.Intn(n + 2)}
+		got, err := Multiprefix(m, core.AddInt64, values, labels, b, mpCfg)
+		if err != nil {
+			return false
+		}
+		for i := range want.Multi {
+			if got.Multi[i] != want.Multi[i] {
+				return false
+			}
+		}
+		for k := range want.Reductions {
+			if got.Reductions[k] != want.Reductions[k] {
+				return false
+			}
+		}
+		return n == 0 || m.Cycles() > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScanCorrectUnderAnyMachine: same invariant for the partition-
+// method scan.
+func TestScanCorrectUnderAnyMachine(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randomConfig(rng)
+		n := rng.Intn(3000)
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = int64(rng.Intn(201) - 100)
+		}
+		want := make([]int64, n)
+		var run int64
+		for i, x := range xs {
+			want[i] = run
+			run += x
+		}
+		m := vector.New(cfg)
+		if VecExclusiveScan(m, xs) != run {
+			return false
+		}
+		for i := range want {
+			if xs[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCostMonotonicity: charging more per element must never make a
+// run cheaper — a sanity property of the accounting itself.
+func TestCostMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n, b := 5000, 64
+	labels := RandomLabels(rng, n, b)
+	values := make([]int64, n)
+	for i := range values {
+		values[i] = int64(rng.Intn(50)) + 1
+	}
+	base := vector.DefaultConfig()
+	dearer := base
+	dearer.GatherPerElt *= 2
+	dearer.ScatterPerElt *= 2
+	dearer.LoadPerElt *= 2
+
+	mBase := vector.New(base)
+	if _, err := Multiprefix(mBase, core.AddInt64, values, labels, b, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	mDear := vector.New(dearer)
+	if _, err := Multiprefix(mDear, core.AddInt64, values, labels, b, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if mDear.Cycles() <= mBase.Cycles() {
+		t.Errorf("doubling memory costs did not increase cycles: %v vs %v", mDear.Cycles(), mBase.Cycles())
+	}
+}

@@ -1,0 +1,435 @@
+// Package vecmp is the fully vectorized multiprefix implementation of
+// paper §4: the four-phase spinetree algorithm expressed as one vector
+// operation per PRAM step, running on the simulated vector machine of
+// package vector. It mirrors the CRAY Y-MP implementation in every
+// structural decision the paper describes:
+//
+//   - array indexing instead of pointers, with bucket and element
+//     temporaries allocated contiguously and split at the "pivot"
+//     (Figures 8/9): bucket b at arena index b, element i at m+i;
+//   - the spinerec record unpacked into separate spine / rowsum /
+//     spinesum vectors (structure-of-arrays) to avoid stride-4 bank
+//     patterns;
+//   - loop fission in the SPINETREE loop (gather pass, then scatter
+//     pass), exactly what the Cray compiler emitted;
+//   - the SPINESUM conditional compiled as a masked scatter whose
+//     false lanes write a dummy value to one dummy location, with
+//     whole-strip early exit when all lanes are false (§4.1 loop 3);
+//   - direct bucket initialization (§4's "minor change");
+//   - a row length chosen near sqrt(n) avoiding bank multiples (§4.4).
+package vecmp
+
+import (
+	"fmt"
+
+	"multiprefix/internal/core"
+	"multiprefix/internal/vector"
+)
+
+// Config tunes the vectorized engine.
+type Config struct {
+	// RowLength is the grid row length; 0 picks
+	// core.ChooseRowLength(n, banks, bankBusy) — near sqrt(n), skipping
+	// strides that alias memory banks.
+	RowLength int
+	// ConstantValues declares that every value equals the same known
+	// constant (the integer-sort case of §5.1.1: a vector of ones).
+	// The ROWSUM and PREFIXSUM loops then skip the value load, the
+	// optimization the paper credits for part of Table 1.
+	ConstantValues bool
+	// MarkerSpineTest replaces the paper's rowsum != identity test
+	// with an explicit parent marker (one extra scatter per element in
+	// ROWSUMS). The paper's test is exact for strictly positive
+	// values; see core's package docs for the general-case caveat.
+	MarkerSpineTest bool
+}
+
+// PhaseCycles is the per-phase simulated cost of one run.
+type PhaseCycles struct {
+	Init      float64
+	Spinetree float64
+	Rowsums   float64
+	Spinesums float64
+	Multisums float64
+	Reduce    float64 // the rowsum+spinesum bucket combine of §4.2
+}
+
+// Total sums all phases.
+func (p PhaseCycles) Total() float64 {
+	return p.Init + p.Spinetree + p.Rowsums + p.Spinesums + p.Multisums + p.Reduce
+}
+
+// Result carries the outputs and the cost accounting.
+type Result[T vector.Elem] struct {
+	Multi      []T
+	Reductions []T
+	Phases     PhaseCycles
+	Grid       core.Grid
+}
+
+// state is the arena plus vector registers for one run.
+type state[T vector.Elem] struct {
+	m    *vector.Machine
+	op   core.Op[T]
+	cfg  Config
+	grid core.Grid
+	n, b int // b = bucket count
+
+	labels []int32
+	values []T
+
+	spine    []int32
+	rowsum   []T
+	spinesum []T
+	isSpine  []int32 // marker mode only
+
+	// vector registers (VL-independent scratch; sized to row/col needs)
+	regIdx  []int32
+	regIdx2 []int32
+	regA    []T
+	regB    []T
+	regC    []T
+	mask    []bool
+}
+
+// Multiprefix runs the vectorized multiprefix operation on machine m.
+// labels are int32 bucket indices in [0, buckets). The operator must be
+// one of the elementwise combines the vector unit supports (ADD, MULT,
+// MAX, MIN, AND, OR — any core.Op over an Elem type works; Combine is
+// applied lane-wise).
+func Multiprefix[T vector.Elem](m *vector.Machine, op core.Op[T], values []T, labels []int32, buckets int, cfg Config) (*Result[T], error) {
+	s, err := newState(m, op, values, labels, buckets, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result[T]{Grid: s.grid}
+	mark := m.Mark()
+	s.init()
+	res.Phases.Init = m.Since(mark)
+
+	mark = m.Mark()
+	s.phaseSpinetree()
+	res.Phases.Spinetree = m.Since(mark)
+
+	mark = m.Mark()
+	s.phaseRowsums()
+	res.Phases.Rowsums = m.Since(mark)
+
+	mark = m.Mark()
+	s.phaseSpinesums()
+	res.Phases.Spinesums = m.Since(mark)
+
+	mark = m.Mark()
+	res.Reductions = s.reduce()
+	res.Phases.Reduce = m.Since(mark)
+
+	mark = m.Mark()
+	res.Multi = s.phaseMultisums()
+	res.Phases.Multisums = m.Since(mark)
+	return res, nil
+}
+
+// Multireduce runs only the reduction computation (§4.2): identical to
+// Multiprefix through SPINESUMS, then the cheap bucket combine; the
+// expensive PREFIXSUM loop never runs. Result.Multi is nil.
+func Multireduce[T vector.Elem](m *vector.Machine, op core.Op[T], values []T, labels []int32, buckets int, cfg Config) (*Result[T], error) {
+	s, err := newState(m, op, values, labels, buckets, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result[T]{Grid: s.grid}
+	mark := m.Mark()
+	s.init()
+	res.Phases.Init = m.Since(mark)
+
+	mark = m.Mark()
+	s.phaseSpinetree()
+	res.Phases.Spinetree = m.Since(mark)
+
+	mark = m.Mark()
+	s.phaseRowsums()
+	res.Phases.Rowsums = m.Since(mark)
+
+	mark = m.Mark()
+	s.phaseSpinesums()
+	res.Phases.Spinesums = m.Since(mark)
+
+	mark = m.Mark()
+	res.Reductions = s.reduce()
+	res.Phases.Reduce = m.Since(mark)
+	return res, nil
+}
+
+func newState[T vector.Elem](m *vector.Machine, op core.Op[T], values []T, labels []int32, buckets int, cfg Config) (*state[T], error) {
+	if !op.Valid() {
+		return nil, fmt.Errorf("vecmp: operator has nil Combine")
+	}
+	if len(values) != len(labels) {
+		return nil, fmt.Errorf("vecmp: %d values, %d labels", len(values), len(labels))
+	}
+	if buckets < 0 {
+		return nil, fmt.Errorf("vecmp: negative bucket count %d", buckets)
+	}
+	for i, l := range labels {
+		if l < 0 || int(l) >= buckets {
+			return nil, fmt.Errorf("vecmp: labels[%d]=%d outside [0,%d)", i, l, buckets)
+		}
+	}
+	if !cfg.MarkerSpineTest && op.IsIdentity == nil {
+		return nil, fmt.Errorf("vecmp: operator %q lacks IsIdentity; the paper's spine test needs it (or set MarkerSpineTest)", op.Name)
+	}
+	n := len(values)
+	p := cfg.RowLength
+	if p <= 0 {
+		banks := m.Config().Banks
+		p = core.ChooseRowLength(n, banks, m.Config().BankBusy)
+	}
+	grid := core.NewGrid(n, p)
+	arena := buckets + n
+	regLen := grid.P
+	if grid.Rows > regLen {
+		regLen = grid.Rows
+	}
+	if buckets > regLen {
+		regLen = buckets
+	}
+	s := &state[T]{
+		m: m, op: op, cfg: cfg, grid: grid, n: n, b: buckets,
+		labels:   labels,
+		values:   values,
+		spine:    make([]int32, arena),
+		rowsum:   make([]T, arena),
+		spinesum: make([]T, arena),
+		regIdx:   make([]int32, regLen),
+		regIdx2:  make([]int32, regLen),
+		regA:     make([]T, regLen),
+		regB:     make([]T, regLen),
+		regC:     make([]T, regLen),
+		mask:     make([]bool, regLen),
+	}
+	if cfg.MarkerSpineTest {
+		s.isSpine = make([]int32, arena)
+	}
+	return s, nil
+}
+
+// init clears the arena: buckets' spine pointers to themselves
+// (directly, the §4 variant) and the scratch sums to the identity.
+func (s *state[T]) init() {
+	s.initSpine()
+	s.initSums()
+}
+
+// initSpine sets every bucket's spine pointer to itself: one iota +
+// store loop over the buckets (direct initialization, §4).
+func (s *state[T]) initSpine() {
+	m := s.m
+	if s.b == 0 {
+		return
+	}
+	m.BeginLoop()
+	idx := s.regIdx[:min(s.b, len(s.regIdx))]
+	for lo := 0; lo < s.b; lo += len(idx) {
+		hi := min(lo+len(idx), s.b)
+		chunk := idx[:hi-lo]
+		vector.Iota(m, chunk, lo)
+		vector.Store(m, s.spine[lo:hi], chunk)
+	}
+}
+
+// initSums clears rowsum/spinesum (and the marker, when in use) to the
+// identity over the whole arena. Separated from initSpine because a
+// reused Plan re-clears the sums on every evaluation while the
+// spinetree survives.
+func (s *state[T]) initSums() {
+	m := s.m
+	arena := s.b + s.n
+	if arena == 0 {
+		return
+	}
+	m.BeginLoop()
+	reg := s.regA[:min(arena, len(s.regA))]
+	vector.VBroadcast(m, reg, s.op.Identity)
+	for lo := 0; lo < arena; lo += len(reg) {
+		hi := min(lo+len(reg), arena)
+		vector.Store(m, s.rowsum[lo:hi], reg[:hi-lo])
+		vector.Store(m, s.spinesum[lo:hi], reg[:hi-lo])
+	}
+	if s.isSpine != nil {
+		m.BeginLoop()
+		zero := s.regIdx[:min(arena, len(s.regIdx))]
+		vector.VBroadcast(m, zero, 0)
+		for lo := 0; lo < arena; lo += len(zero) {
+			hi := min(lo+len(zero), arena)
+			vector.Store(m, s.isSpine[lo:hi], zero[:hi-lo])
+		}
+	}
+}
+
+// phaseSpinetree: paper §4.1 loop 1, one fissioned loop per row, rows
+// top to bottom:
+//
+//	spine[i] = bucket[label[i]]   (gather pass)
+//	bucket[label[i]] = i          (scatter pass, ARB by lane order)
+func (s *state[T]) phaseSpinetree() {
+	m := s.m
+	for r := s.grid.Rows - 1; r >= 0; r-- {
+		lo, hi := s.grid.Row(r)
+		k := hi - lo
+		m.BeginLoop()
+		lab := s.regIdx[:k]
+		vector.Load(m, lab, s.labels[lo:hi])
+		got := s.regIdx2[:k]
+		vector.Gather(m, got, s.spine, lab)
+		vector.Store(m, s.spine[s.b+lo:s.b+hi], got)
+		// Scatter pass (fission): labels reloaded, addresses formed.
+		vector.Load(m, lab, s.labels[lo:hi])
+		addr := got
+		vector.Iota(m, addr, s.b+lo)
+		vector.Scatter(m, s.spine, lab, addr)
+	}
+}
+
+// phaseRowsums: paper §4.1 loop 2, one loop per column (constant
+// stride = row length):
+//
+//	rowsum[spine[i]] += value[i]
+func (s *state[T]) phaseRowsums() {
+	m := s.m
+	for c := 0; c < s.grid.P; c++ {
+		k := s.grid.ColumnLen(c)
+		if k == 0 {
+			continue
+		}
+		m.BeginLoop()
+		sp := s.regIdx[:k]
+		vector.LoadStride(m, sp, s.spine, s.b+c, s.grid.P)
+		cur := s.regA[:k]
+		vector.Gather(m, cur, s.rowsum, sp)
+		val := s.regB[:k]
+		if s.cfg.ConstantValues {
+			vector.VBroadcast(m, val, s.values[c])
+		} else {
+			vector.LoadStride(m, val, s.values, c, s.grid.P)
+		}
+		next := s.regC[:k]
+		vector.VOp(m, next, cur, val, s.op.Combine)
+		vector.Scatter(m, s.rowsum, sp, next)
+		if s.isSpine != nil {
+			ones := s.regIdx2[:k]
+			vector.VBroadcast(m, ones, 1)
+			vector.Scatter(m, s.isSpine, sp, ones)
+		}
+	}
+}
+
+// phaseSpinesums: paper §4.1 loop 3, one loop per row, bottom to top:
+//
+//	if (rowsum[i] != 0) spinesum[spine[i]] = rowsum[i] + spinesum[i]
+//
+// compiled strip-wise: the mask source is loaded and tested; an
+// all-false strip exits early without touching spine or spinesum; a
+// mixed strip scatters all lanes with false lanes aimed at the dummy
+// location (vector.ScatterMasked implements that contract).
+func (s *state[T]) phaseSpinesums() {
+	m := s.m
+	vl := m.Config().VL
+	for r := 0; r < s.grid.Rows; r++ {
+		lo, hi := s.grid.Row(r)
+		m.BeginLoop()
+		for slo := lo; slo < hi; slo += vl {
+			shi := min(slo+vl, hi)
+			k := shi - slo
+			mask := s.mask[:k]
+			rs := s.regA[:k]
+			if s.isSpine != nil {
+				mk := s.regIdx[:k]
+				vector.Load(m, mk, s.isSpine[s.b+slo:s.b+shi])
+				vector.VCmpNE(m, mask, mk, 0)
+			} else {
+				vector.Load(m, rs, s.rowsum[s.b+slo:s.b+shi])
+				vector.VCmpNE(m, mask, rs, s.op.Identity)
+			}
+			any := false
+			for _, t := range mask {
+				if t {
+					any = true
+					break
+				}
+			}
+			if !any {
+				// Early exit: "the loop jumps ahead to the next group
+				// of 64 elements" — only the strip-skip branch cost.
+				m.ScalarOp("strip-skip", 1)
+				continue
+			}
+			if s.isSpine != nil {
+				vector.Load(m, rs, s.rowsum[s.b+slo:s.b+shi])
+			}
+			ss := s.regB[:k]
+			vector.Load(m, ss, s.spinesum[s.b+slo:s.b+shi])
+			fwd := s.regC[:k]
+			vector.VOp(m, fwd, ss, rs, s.op.Combine)
+			sp := s.regIdx2[:k]
+			vector.Load(m, sp, s.spine[s.b+slo:s.b+shi])
+			vector.ScatterMasked(m, s.spinesum, sp, fwd, mask)
+		}
+	}
+}
+
+// reduce produces the per-bucket reductions: reduction = spinesum ⊕
+// rowsum, "a simple addition of two vectors... only slightly more than
+// 1 clock tick per element" (§4.2). Must run before MULTISUMS, which
+// goes on to mutate the bucket spinesums.
+func (s *state[T]) reduce() []T {
+	m := s.m
+	out := make([]T, s.b)
+	if s.b == 0 {
+		return out
+	}
+	m.BeginLoop()
+	reg := len(s.regA)
+	for lo := 0; lo < s.b; lo += reg {
+		hi := min(lo+reg, s.b)
+		k := hi - lo
+		a := s.regA[:k]
+		b := s.regB[:k]
+		c := s.regC[:k]
+		vector.Load(m, a, s.spinesum[lo:hi])
+		vector.Load(m, b, s.rowsum[lo:hi])
+		vector.VOp(m, c, a, b, s.op.Combine)
+		vector.Store(m, out[lo:hi], c)
+	}
+	return out
+}
+
+// phaseMultisums: paper §4.1 loop 4, one loop per column:
+//
+//	multi[i] = spinesum[spine[i]]
+//	spinesum[spine[i]] += value[i]
+func (s *state[T]) phaseMultisums() []T {
+	m := s.m
+	multi := make([]T, s.n)
+	for c := 0; c < s.grid.P; c++ {
+		k := s.grid.ColumnLen(c)
+		if k == 0 {
+			continue
+		}
+		m.BeginLoop()
+		sp := s.regIdx[:k]
+		vector.LoadStride(m, sp, s.spine, s.b+c, s.grid.P)
+		cur := s.regA[:k]
+		vector.Gather(m, cur, s.spinesum, sp)
+		vector.StoreStride(m, multi, cur, c, s.grid.P)
+		val := s.regB[:k]
+		if s.cfg.ConstantValues {
+			vector.VBroadcast(m, val, s.values[c])
+		} else {
+			vector.LoadStride(m, val, s.values, c, s.grid.P)
+		}
+		next := s.regC[:k]
+		vector.VOp(m, next, cur, val, s.op.Combine)
+		vector.Scatter(m, s.spinesum, sp, next)
+	}
+	return multi
+}

@@ -1,0 +1,258 @@
+package vecmp
+
+import (
+	"math/rand"
+	"testing"
+
+	"multiprefix/internal/core"
+	"multiprefix/internal/vector"
+)
+
+func toInt(labels []int32) []int {
+	out := make([]int, len(labels))
+	for i, l := range labels {
+		out[i] = int(l)
+	}
+	return out
+}
+
+// TestVectorizedMatchesSerial: the vectorized engine must agree with
+// the serial reference across label distributions, row lengths, both
+// spine tests, and the constant-values fast path.
+func TestVectorizedMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	type tc struct {
+		name   string
+		n, b   int
+		genLbl func(i int) int32
+		genVal func(i int) int64
+	}
+	positive := func(int) int64 { return int64(rng.Intn(50)) + 1 }
+	cases := []tc{
+		{name: "uniform", n: 500, b: 37, genLbl: func(int) int32 { return int32(rng.Intn(37)) }, genVal: positive},
+		{name: "all-equal", n: 300, b: 1, genLbl: func(int) int32 { return 0 }, genVal: positive},
+		{name: "distinct", n: 128, b: 128, genLbl: func(i int) int32 { return int32(i) }, genVal: positive},
+		{name: "tiny", n: 3, b: 2, genLbl: func(i int) int32 { return int32(i % 2) }, genVal: positive},
+		{name: "single", n: 1, b: 1, genLbl: func(int) int32 { return 0 }, genVal: positive},
+		{name: "skewed", n: 777, b: 9, genLbl: func(int) int32 {
+			if rng.Intn(10) < 8 {
+				return 0
+			}
+			return int32(1 + rng.Intn(8))
+		}, genVal: positive},
+	}
+	for _, c := range cases {
+		labels := make([]int32, c.n)
+		values := make([]int64, c.n)
+		for i := range labels {
+			labels[i] = c.genLbl(i)
+			values[i] = c.genVal(i)
+		}
+		want, err := core.Serial(core.AddInt64, values, toInt(labels), c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range []Config{{}, {RowLength: 1}, {RowLength: 7}, {MarkerSpineTest: true}} {
+			m := vector.NewDefault()
+			got, err := Multiprefix(m, core.AddInt64, values, labels, c.b, cfg)
+			if err != nil {
+				t.Fatalf("%s/%+v: %v", c.name, cfg, err)
+			}
+			for i := range want.Multi {
+				if got.Multi[i] != want.Multi[i] {
+					t.Fatalf("%s/%+v: Multi[%d] = %d, want %d", c.name, cfg, i, got.Multi[i], want.Multi[i])
+				}
+			}
+			for b := range want.Reductions {
+				if got.Reductions[b] != want.Reductions[b] {
+					t.Fatalf("%s/%+v: Reductions[%d] = %d, want %d", c.name, cfg, b, got.Reductions[b], want.Reductions[b])
+				}
+			}
+			if m.Cycles() <= 0 {
+				t.Fatalf("%s: no cycles charged", c.name)
+			}
+		}
+	}
+}
+
+func TestVectorizedConstantValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, b := 1000, 16
+	labels := RandomLabels(rng, n, b)
+	ones := Ones(n)
+	want, err := core.Serial(core.AddInt64, ones, toInt(labels), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mConst := vector.NewDefault()
+	got, err := Multiprefix(mConst, core.AddInt64, ones, labels, b, Config{ConstantValues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Multi {
+		if got.Multi[i] != want.Multi[i] {
+			t.Fatalf("Multi[%d] = %d, want %d", i, got.Multi[i], want.Multi[i])
+		}
+	}
+	// §5.1.1: skipping the value loads must make the engine cheaper.
+	mPlain := vector.NewDefault()
+	if _, err := Multiprefix(mPlain, core.AddInt64, ones, labels, b, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if mConst.Cycles() >= mPlain.Cycles() {
+		t.Errorf("constant-values run (%v) not cheaper than plain (%v)", mConst.Cycles(), mPlain.Cycles())
+	}
+}
+
+func TestVectorizedFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, b := 400, 11
+	labels := RandomLabels(rng, n, b)
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(rng.Intn(100) + 1)
+	}
+	want, err := core.Serial(core.AddFloat64, values, toInt(labels), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vector.NewDefault()
+	got, err := Multiprefix(m, core.AddFloat64, values, labels, b, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Multi {
+		if got.Multi[i] != want.Multi[i] {
+			t.Fatalf("Multi[%d] = %v, want %v", i, got.Multi[i], want.Multi[i])
+		}
+	}
+}
+
+func TestVectorizedMultireduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, b := 600, 13
+	labels := RandomLabels(rng, n, b)
+	values := make([]int64, n)
+	for i := range values {
+		values[i] = int64(rng.Intn(100)) + 1
+	}
+	want, err := core.SerialReduce(core.AddInt64, values, toInt(labels), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vector.NewDefault()
+	got, err := Multireduce(m, core.AddInt64, values, labels, b, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Multi != nil {
+		t.Error("multireduce should not produce Multi")
+	}
+	for i := range want {
+		if got.Reductions[i] != want[i] {
+			t.Fatalf("Reductions[%d] = %d, want %d", i, got.Reductions[i], want[i])
+		}
+	}
+	if got.Phases.Multisums != 0 {
+		t.Error("multireduce charged MULTISUMS cycles")
+	}
+}
+
+func TestVectorizedValidation(t *testing.T) {
+	m := vector.NewDefault()
+	if _, err := Multiprefix(m, core.AddInt64, []int64{1}, []int32{0, 1}, 2, Config{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Multiprefix(m, core.AddInt64, []int64{1}, []int32{5}, 2, Config{}); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	if _, err := Multiprefix(m, core.AddInt64, []int64{1}, []int32{0}, -1, Config{}); err == nil {
+		t.Error("negative bucket count accepted")
+	}
+	bare := core.Op[int64]{Name: "bare", Combine: func(a, b int64) int64 { return a + b }}
+	if _, err := Multiprefix(m, bare, []int64{1}, []int32{0}, 1, Config{}); err == nil {
+		t.Error("missing IsIdentity accepted without MarkerSpineTest")
+	}
+	if _, err := Multiprefix(m, bare, []int64{1}, []int32{0}, 1, Config{MarkerSpineTest: true}); err != nil {
+		t.Errorf("MarkerSpineTest should not need IsIdentity: %v", err)
+	}
+	var invalid core.Op[int64]
+	if _, err := Multiprefix(m, invalid, []int64{1}, []int32{0}, 1, Config{}); err == nil {
+		t.Error("nil Combine accepted")
+	}
+}
+
+func TestVectorizedEmptyInput(t *testing.T) {
+	m := vector.NewDefault()
+	res, err := Multiprefix(m, core.AddInt64, nil, nil, 4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Multi) != 0 || len(res.Reductions) != 4 {
+		t.Errorf("empty-input result: %+v", res)
+	}
+	for _, r := range res.Reductions {
+		if r != 0 {
+			t.Errorf("reductions not identity: %v", res.Reductions)
+		}
+	}
+}
+
+func TestVectorizedMaxOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, b := 256, 7
+	labels := RandomLabels(rng, n, b)
+	values := make([]int64, n)
+	for i := range values {
+		values[i] = int64(rng.Intn(1000) - 500)
+	}
+	want, err := core.Serial(core.MaxInt64, values, toInt(labels), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vector.NewDefault()
+	// MAX over possibly-negative values: the marker test is the safe
+	// choice (identity may legitimately appear as data).
+	got, err := Multiprefix(m, core.MaxInt64, values, labels, b, Config{MarkerSpineTest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Multi {
+		if got.Multi[i] != want.Multi[i] {
+			t.Fatalf("Multi[%d] = %d, want %d", i, got.Multi[i], want.Multi[i])
+		}
+	}
+}
+
+func newTestRng() *rand.Rand { return rand.New(rand.NewSource(99)) }
+
+// TestVectorizedInt32: the machine handles any 64-bit-word-shaped Elem;
+// int32 exercises the third instantiation.
+func TestVectorizedInt32(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n, b := 300, 9
+	labels := RandomLabels(rng, n, b)
+	values := make([]int32, n)
+	for i := range values {
+		values[i] = int32(rng.Intn(100)) + 1
+	}
+	op := core.Op[int32]{
+		Name:       "+int32",
+		Combine:    func(a, b int32) int32 { return a + b },
+		IsIdentity: func(x int32) bool { return x == 0 },
+	}
+	want, err := core.Serial(op, values, toInt(labels), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vector.NewDefault()
+	got, err := Multiprefix(m, op, values, labels, b, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Multi {
+		if got.Multi[i] != want.Multi[i] {
+			t.Fatalf("Multi[%d] = %d, want %d", i, got.Multi[i], want.Multi[i])
+		}
+	}
+}

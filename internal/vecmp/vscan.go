@@ -1,0 +1,85 @@
+package vecmp
+
+import "multiprefix/internal/vector"
+
+// VecExclusiveScan computes an exclusive prefix sum on the vector
+// machine using the "partition method" the paper adopts for the bucket
+// recurrence of the integer sort (§5.1.1, citing Hockney & Jesshope):
+// the array is split into VL sections; a lock-step sweep carries one
+// running sum per section in a vector register (one strided load, one
+// add, one strided store per step); the section totals are then
+// scanned serially and added back with one vectorized pass.
+//
+// Returns the total. The input is replaced by its exclusive scan.
+func VecExclusiveScan[T vector.Elem](m *vector.Machine, xs []T) T {
+	n := len(xs)
+	var total T
+	if n == 0 {
+		return total
+	}
+	vl := m.Config().VL
+	secLen := PaddedSectionLen(n, vl, m.Config().Banks, m.Config().BankBusy)
+	numSec := (n + secLen - 1) / secLen
+
+	carry := make([]T, numSec)
+	reg := make([]T, numSec)
+	old := make([]T, numSec)
+
+	// Lock-step sweep: step j touches element j of every section.
+	// Sections long enough to have a j-th element form a prefix (only
+	// the last section is short).
+	m.BeginLoop()
+	for j := 0; j < secLen; j++ {
+		k := numSec
+		for k > 0 && (k-1)*secLen+j >= n {
+			k--
+		}
+		if k == 0 {
+			break
+		}
+		vector.LoadStride(m, reg[:k], xs, j, secLen)
+		copy(old[:k], carry[:k])                      // register move
+		vector.VAdd(m, carry[:k], carry[:k], reg[:k]) // carry += x
+		vector.StoreStride(m, xs, old[:k], j, secLen) // emit old carry
+	}
+
+	// Scan the section carries: numSec scalar steps.
+	m.ScalarOp("scan-carries", numSec)
+	offsets := make([]T, numSec)
+	for s := 0; s < numSec; s++ {
+		offsets[s] = total
+		total += carry[s]
+	}
+
+	// Add each section's offset back: stride-1 load, scalar add, store.
+	m.BeginLoop()
+	tmp := make([]T, secLen)
+	for s := 0; s < numSec; s++ {
+		lo := s * secLen
+		hi := min(lo+secLen, n)
+		if lo >= hi {
+			continue
+		}
+		k := hi - lo
+		vector.Load(m, tmp[:k], xs[lo:hi])
+		vector.VAddScalar(m, tmp[:k], tmp[:k], offsets[s])
+		vector.Store(m, xs[lo:hi], tmp[:k])
+	}
+	return total
+}
+
+// PaddedSectionLen returns a section length near ceil(n/vl), bumped so
+// the lock-step sweep's stride does not alias the memory banks — the
+// classic array-padding trick of vectorized Cray codes (a stride that
+// is a multiple of the bank count hits a single bank every access).
+func PaddedSectionLen(n, vl, banks, bankBusy int) int {
+	secLen := (n + vl - 1) / vl
+	aliases := func(p int) bool {
+		// A modulus of 1 divides everything and aliases nothing.
+		return (banks > 1 && p%banks == 0) || (bankBusy > 1 && p%bankBusy == 0)
+	}
+	for secLen > 1 && aliases(secLen) {
+		secLen++
+	}
+	return secLen
+}

@@ -1,0 +1,113 @@
+// Package vector simulates a register-based vector computer in the
+// style of the CRAY Y-MP: strip-mined vector instructions over
+// 64-element vector registers, interleaved memory banks, separate
+// gather/scatter paths, and hardware characteristics expressed in
+// clock ticks. Kernels execute on ordinary Go slices — results are
+// exact — while the machine accounts the simulated clock cost of every
+// vector instruction, including the data-dependent effects the paper's
+// §4.3 analyses:
+//
+//   - same-bank serialization when a gather/scatter strip hits one
+//     memory location repeatedly (the heavy-load hot-spot);
+//   - strided access penalties when the stride reaches few distinct
+//     banks (why §4.4 avoids row lengths that are bank multiples);
+//   - masked scatters compiled the way the paper describes (§4.1 loop
+//     3): false lanes write a dummy value to one dummy location, which
+//     itself becomes a hot-spot, unless a strip is entirely false, in
+//     which case the strip exits early.
+//
+// The paper measured a physical Y-MP; this package is the substitution
+// for it. Constants are calibrated so the four multiprefix loops land
+// near the paper's Table 3 characterization, and all baseline kernels
+// (CSR/JD sparse matrix-vector multiply, sort baselines) are charged in
+// the same currency, so relative comparisons are meaningful.
+package vector
+
+// Config describes the simulated machine. The zero value is not
+// usable; start from DefaultConfig.
+type Config struct {
+	// VL is the hardware vector register length (strip size).
+	VL int
+	// ClockNS is nanoseconds per clock tick (Y-MP: 6.0).
+	ClockNS float64
+	// Banks is the number of interleaved memory banks.
+	Banks int
+	// BankBusy is the bank recovery time in clocks (Y-MP: ~4).
+	BankBusy int
+	// Sections is the number of memory sections banks are grouped into
+	// (Y-MP: 4). A stride that is a multiple of the section count hits
+	// the same section on every access and pays SectionPenalty per
+	// element — why paper §4.4 avoids row lengths that are multiples
+	// of "the bank cycle time (4)". This is also what makes the
+	// 4-word spinerec record layout slow (§4: "such an access pattern
+	// would only make use of 1/4 of the memory banks"), motivating the
+	// structure-of-arrays unpacking.
+	Sections int
+	// SectionPenalty is the extra clocks per element for same-section
+	// strides.
+	SectionPenalty float64
+
+	// Per-element costs, in clocks, for one vector instruction.
+	// Two read pipes share load traffic; the single write pipe and the
+	// address-generation path make stores and indexed accesses dearer.
+	LoadPerElt    float64 // stride-1 vector load
+	StorePerElt   float64 // stride-1 vector store
+	StridePerElt  float64 // extra for non-unit stride (before bank effects)
+	GatherPerElt  float64 // indexed read
+	ScatterPerElt float64 // indexed write
+	// MaskedScatterPerElt is the per-element cost of a scatter under
+	// vector mask: the compiler's compressed-index method (paper §4.1
+	// loop 3) generates an index vector and dummy redirects per strip,
+	// considerably dearer than a plain scatter.
+	MaskedScatterPerElt float64
+	ALUPerElt           float64 // register-register elementwise op (mostly chained)
+	ReducePerElt        float64 // register reduction
+
+	// Per-strip startup costs, in clocks (instruction issue + memory
+	// path latency before the first element streams).
+	MemStartup     float64 // loads/stores
+	IndexedStartup float64 // gathers/scatters
+	ALUStartup     float64
+	ReduceStartup  float64
+
+	// LoopOverhead is the scalar cost of entering one vectorized loop
+	// (address setup, trip-count computation). Charged once per
+	// kernel-declared loop; it is what produces the n_1/2 half-
+	// performance lengths of Table 3.
+	LoopOverhead float64
+
+	// EarlyExitStrip is the cost of a masked-scatter strip whose mask
+	// is entirely false: the loop "jumps ahead to the next group of 64
+	// elements" (§4.1) after only the mask test.
+	EarlyExitStrip float64
+}
+
+// DefaultConfig returns the Y-MP-flavoured machine used by all
+// experiments. The constants are calibrated (see vecmp tests) so the
+// fitted (t_e, n_1/2) of the four multiprefix loops land near the
+// paper's Table 3 — SPINETREE ~5, ROWSUM ~4, SPINESUM ~7, PREFIXSUM
+// ~7 clocks per element with half-lengths of a few tens.
+func DefaultConfig() Config {
+	return Config{
+		VL:                  64,
+		ClockNS:             6.0,
+		Banks:               64,
+		BankBusy:            4,
+		Sections:            4,
+		SectionPenalty:      0.75,
+		LoadPerElt:          0.5,
+		StorePerElt:         1.0,
+		StridePerElt:        0.15,
+		GatherPerElt:        1.0,
+		ScatterPerElt:       1.0,
+		MaskedScatterPerElt: 2.3,
+		ALUPerElt:           0.25,
+		ReducePerElt:        0.5,
+		MemStartup:          8,
+		IndexedStartup:      15,
+		ALUStartup:          5,
+		ReduceStartup:       100,
+		LoopOverhead:        90,
+		EarlyExitStrip:      10,
+	}
+}

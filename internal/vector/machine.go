@@ -1,0 +1,200 @@
+package vector
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Machine accumulates the simulated clock cost of a kernel. It is not
+// safe for concurrent use; create one per measured kernel run.
+type Machine struct {
+	cfg    Config
+	cycles float64
+	instrs int64
+	byKind map[string]float64
+
+	// bankCount is scratch for per-strip conflict analysis, reused
+	// across instructions to avoid allocation.
+	bankCount []int32
+	bankDirty []int32
+}
+
+// New creates a machine with the given configuration.
+func New(cfg Config) *Machine {
+	if cfg.VL <= 0 || cfg.Banks <= 0 || cfg.BankBusy <= 0 {
+		panic("vector: invalid config")
+	}
+	return &Machine{
+		cfg:       cfg,
+		byKind:    make(map[string]float64),
+		bankCount: make([]int32, cfg.Banks),
+	}
+}
+
+// NewDefault creates a machine with DefaultConfig.
+func NewDefault() *Machine { return New(DefaultConfig()) }
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Cycles reports accumulated simulated clock ticks.
+func (m *Machine) Cycles() float64 { return m.cycles }
+
+// Seconds converts the accumulated clock ticks to simulated seconds.
+func (m *Machine) Seconds() float64 { return m.cycles * m.cfg.ClockNS * 1e-9 }
+
+// Instructions reports the number of vector instructions issued.
+func (m *Machine) Instructions() int64 { return m.instrs }
+
+// Reset zeroes all accounting.
+func (m *Machine) Reset() {
+	m.cycles = 0
+	m.instrs = 0
+	m.byKind = make(map[string]float64)
+}
+
+// Mark returns the current cycle count; use with Since for phase
+// breakdowns.
+func (m *Machine) Mark() float64 { return m.cycles }
+
+// Since returns the cycles accumulated after mark.
+func (m *Machine) Since(mark float64) float64 { return m.cycles - mark }
+
+// Breakdown formats per-instruction-kind cycle totals, largest first.
+func (m *Machine) Breakdown() string {
+	kinds := make([]string, 0, len(m.byKind))
+	for k := range m.byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return m.byKind[kinds[i]] > m.byKind[kinds[j]] })
+	var b strings.Builder
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "%-12s %14.0f\n", k, m.byKind[k])
+	}
+	return b.String()
+}
+
+// charge adds cycles under an instruction-kind label.
+func (m *Machine) charge(kind string, cycles float64) {
+	m.cycles += cycles
+	m.byKind[kind] += cycles
+	m.instrs++
+}
+
+// BeginLoop charges the scalar entry overhead of one vectorized loop.
+// Kernels call it once per loop nest they would have written in
+// FORTRAN/C; it is what gives loops their half-performance length.
+func (m *Machine) BeginLoop() { m.charge("loop", m.cfg.LoopOverhead) }
+
+// strips returns the number of VL-sized strips covering k elements.
+func (m *Machine) strips(k int) int {
+	if k <= 0 {
+		return 0
+	}
+	return (k + m.cfg.VL - 1) / m.cfg.VL
+}
+
+// chargeLinear charges a strip-mined instruction with uniform
+// per-element cost.
+func (m *Machine) chargeLinear(kind string, k int, startup, perElt float64) {
+	if k <= 0 {
+		return
+	}
+	m.charge(kind, float64(m.strips(k))*startup+float64(k)*perElt)
+}
+
+// chargeStride charges a strided memory instruction, adding the bank
+// serialization penalty when the stride reaches fewer distinct banks
+// than the bank recovery time requires.
+func (m *Machine) chargeStride(kind string, k, stride int, startup, perElt float64) {
+	if k <= 0 {
+		return
+	}
+	if stride < 0 {
+		stride = -stride
+	}
+	extra := 0.0
+	if stride != 1 {
+		extra += m.cfg.StridePerElt
+		distinct := m.cfg.Banks / gcd(stride%m.cfg.Banks, m.cfg.Banks)
+		if distinct < m.cfg.BankBusy {
+			// Every access revisits a recently-busy bank.
+			extra += float64(m.cfg.BankBusy)/float64(distinct) - 1
+		} else if m.cfg.Sections > 1 && stride%m.cfg.Sections == 0 {
+			// Same memory section on every access (the §4 record-
+			// stride and §4.4 bank-cycle-time effect).
+			extra += m.cfg.SectionPenalty
+		}
+	}
+	m.charge(kind, float64(m.strips(k))*startup+float64(k)*(perElt+extra))
+}
+
+// conflictPenalty computes, for one strip of indexed addresses, the
+// extra cycles lost to bank recovery: accesses that hit the same bank
+// within a strip must be BankBusy clocks apart, and the pipe can only
+// hide (stripLen - count) other accesses between them. Hitting one
+// address 64 times costs ~(63*BankBusy) extra — the hot-spot of §4.3.
+func (m *Machine) conflictPenalty(idx []int32) float64 {
+	if len(idx) < 2 {
+		return 0
+	}
+	m.bankDirty = m.bankDirty[:0]
+	banks := int32(m.cfg.Banks)
+	for _, a := range idx {
+		b := a % banks
+		if b < 0 {
+			b += banks
+		}
+		if m.bankCount[b] == 0 {
+			m.bankDirty = append(m.bankDirty, b)
+		}
+		m.bankCount[b]++
+	}
+	penalty := 0.0
+	for _, b := range m.bankDirty {
+		c := m.bankCount[b]
+		m.bankCount[b] = 0
+		if c < 2 {
+			continue
+		}
+		serial := float64(c-1) * float64(m.cfg.BankBusy)
+		hidden := float64(len(idx) - int(c))
+		if serial > hidden {
+			penalty += serial - hidden
+		}
+	}
+	return penalty
+}
+
+// chargeIndexed charges a gather/scatter: per-strip startup, per-
+// element cost, and per-strip bank conflict penalties derived from the
+// actual index values.
+func (m *Machine) chargeIndexed(kind string, idx []int32, startup, perElt float64) {
+	k := len(idx)
+	if k == 0 {
+		return
+	}
+	cycles := float64(m.strips(k))*startup + float64(k)*perElt
+	for lo := 0; lo < k; lo += m.cfg.VL {
+		hi := lo + m.cfg.VL
+		if hi > k {
+			hi = k
+		}
+		cycles += m.conflictPenalty(idx[lo:hi])
+	}
+	m.charge(kind, cycles)
+}
+
+func gcd(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	for a != 0 {
+		a, b = b%a, a
+	}
+	if b < 0 {
+		return -b
+	}
+	return b
+}

@@ -1,0 +1,342 @@
+package vector
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestCyclesSecondsInstructions(t *testing.T) {
+	m := NewDefault()
+	if m.Cycles() != 0 || m.Instructions() != 0 {
+		t.Fatal("fresh machine not zeroed")
+	}
+	dst := make([]int64, 100)
+	src := make([]int64, 100)
+	Load(m, dst, src)
+	if m.Cycles() <= 0 {
+		t.Fatal("load charged nothing")
+	}
+	wantSec := m.Cycles() * 6.0 * 1e-9
+	if math.Abs(m.Seconds()-wantSec) > 1e-18 {
+		t.Errorf("Seconds = %g, want %g", m.Seconds(), wantSec)
+	}
+	if m.Instructions() != 1 {
+		t.Errorf("Instructions = %d, want 1", m.Instructions())
+	}
+	m.Reset()
+	if m.Cycles() != 0 || m.Instructions() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestLoadCostModel(t *testing.T) {
+	cfg := DefaultConfig()
+	m := New(cfg)
+	k := 256 // exactly 4 strips
+	Load(m, make([]int64, k), make([]int64, k))
+	want := 4*cfg.MemStartup + float64(k)*cfg.LoadPerElt
+	if math.Abs(m.Cycles()-want) > 1e-9 {
+		t.Errorf("cycles = %v, want %v", m.Cycles(), want)
+	}
+}
+
+func TestStoreCostsMoreThanLoad(t *testing.T) {
+	k := 1000
+	ml := NewDefault()
+	Load(ml, make([]int64, k), make([]int64, k))
+	ms := NewDefault()
+	Store(ms, make([]int64, k), make([]int64, k))
+	if ms.Cycles() <= ml.Cycles() {
+		t.Errorf("store (%v) should cost more than load (%v): one write pipe", ms.Cycles(), ml.Cycles())
+	}
+}
+
+func TestStridePenaltyAtBankMultiples(t *testing.T) {
+	cfg := DefaultConfig()
+	k := 1024
+	src := make([]int64, k*cfg.Banks+1)
+	cost := func(stride int) float64 {
+		m := New(cfg)
+		LoadStride(m, make([]int64, k), src, 0, stride)
+		return m.Cycles()
+	}
+	good := cost(7)             // coprime with banks
+	bankMult := cost(cfg.Banks) // every access hits one bank
+	if bankMult <= good*1.5 {
+		t.Errorf("stride=%d cost %v not clearly worse than stride=7 cost %v", cfg.Banks, bankMult, good)
+	}
+	half := cost(cfg.Banks / 2) // two banks
+	if half <= good {
+		t.Errorf("stride=%d cost %v should exceed stride=7 cost %v", cfg.Banks/2, half, good)
+	}
+	if bankMult <= half {
+		t.Errorf("one-bank stride should be worst: %v vs %v", bankMult, half)
+	}
+}
+
+func TestGatherHotSpotPenalty(t *testing.T) {
+	k := 4096
+	base := make([]int64, 8192)
+	spread := make([]int32, k)
+	for i := range spread {
+		spread[i] = int32((i * 97) % len(base)) // varied banks
+	}
+	same := make([]int32, k) // all to location 5
+	for i := range same {
+		same[i] = 5
+	}
+	mSpread := NewDefault()
+	Gather(mSpread, make([]int64, k), base, spread)
+	mSame := NewDefault()
+	Gather(mSame, make([]int64, k), base, same)
+	ratio := mSame.Cycles() / mSpread.Cycles()
+	if ratio < 2 {
+		t.Errorf("hot-spot gather only %.2fx dearer than spread gather", ratio)
+	}
+	// The paper's heavy-load SPINETREE ran ~12-13 clk/elt vs 5.3: the
+	// hot-spot multiplier on the indexed part is roughly 2.5-4x.
+	if ratio > 8 {
+		t.Errorf("hot-spot penalty implausibly large: %.2fx", ratio)
+	}
+}
+
+func TestScatterDuplicateLastLaneWins(t *testing.T) {
+	m := NewDefault()
+	base := make([]int64, 4)
+	Scatter(m, base, []int32{2, 2, 2}, []int64{7, 8, 9})
+	if base[2] != 9 {
+		t.Errorf("base[2] = %d, want 9 (last lane)", base[2])
+	}
+}
+
+func TestScatterMaskedSemantics(t *testing.T) {
+	m := NewDefault()
+	base := make([]int64, 8)
+	idx := []int32{1, 2, 3, 4}
+	src := []int64{10, 20, 30, 40}
+	mask := []bool{true, false, true, false}
+	ScatterMasked(m, base, idx, src, mask)
+	if base[1] != 10 || base[3] != 30 {
+		t.Errorf("true lanes not written: %v", base)
+	}
+	if base[2] != 0 || base[4] != 0 {
+		t.Errorf("false lanes must not write: %v", base)
+	}
+}
+
+// TestScatterMaskedAllFalseEarlyExit: strips with no true lanes cost
+// only the early-exit constant (§4.3 heavy load: "the loop runs in as
+// little as 2 to 3 clock ticks per element" overall because most
+// strips exit).
+func TestScatterMaskedAllFalseEarlyExit(t *testing.T) {
+	cfg := DefaultConfig()
+	k := 64 * 16
+	base := make([]int64, 1024)
+	idx := make([]int32, k)
+	src := make([]int64, k)
+	mask := make([]bool, k) // all false
+	m := New(cfg)
+	ScatterMasked(m, base, idx, src, mask)
+	want := 16 * cfg.EarlyExitStrip
+	if math.Abs(m.Cycles()-want) > 1e-9 {
+		t.Errorf("all-false masked scatter = %v cycles, want %v", m.Cycles(), want)
+	}
+}
+
+// TestScatterMaskedDummyContention: mostly-false strips redirect false
+// lanes to the dummy location, which becomes a hot-spot — the §4.3
+// light-load pathology. A mostly-false scatter must cost MORE per
+// element than a mostly-true one to distinct addresses.
+func TestScatterMaskedDummyContention(t *testing.T) {
+	k := 64 * 8
+	base := make([]int64, 8192)
+	idx := make([]int32, k)
+	src := make([]int64, k)
+	for i := range idx {
+		idx[i] = int32((i*131 + 7) % len(base))
+	}
+	mostlyFalse := make([]bool, k)
+	mostlyTrue := make([]bool, k)
+	for i := range mostlyFalse {
+		mostlyFalse[i] = i%64 == 0 // 1 true lane per strip
+		mostlyTrue[i] = i%64 != 0  // 63 true lanes per strip
+	}
+	mf := NewDefault()
+	ScatterMasked(mf, base, idx, src, mostlyFalse)
+	mt := NewDefault()
+	ScatterMasked(mt, base, idx, src, mostlyTrue)
+	if mf.Cycles() <= mt.Cycles() {
+		t.Errorf("dummy-location contention missing: mostly-false %v <= mostly-true %v", mf.Cycles(), mt.Cycles())
+	}
+}
+
+func TestBreakdownAndMark(t *testing.T) {
+	m := NewDefault()
+	mark := m.Mark()
+	Load(m, make([]int64, 10), make([]int64, 10))
+	Store(m, make([]int64, 10), make([]int64, 10))
+	if m.Since(mark) != m.Cycles() {
+		t.Errorf("Since(0) = %v, want %v", m.Since(mark), m.Cycles())
+	}
+	out := m.Breakdown()
+	if !strings.Contains(out, "load") || !strings.Contains(out, "store") {
+		t.Errorf("breakdown missing kinds:\n%s", out)
+	}
+}
+
+func TestGCD(t *testing.T) {
+	cases := [][3]int{{0, 64, 64}, {64, 64, 64}, {48, 64, 16}, {7, 64, 1}, {-8, 64, 8}}
+	for _, c := range cases {
+		if got := gcd(c[0], c[1]); got != c[2] {
+			t.Errorf("gcd(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+func TestVectorALUOps(t *testing.T) {
+	m := NewDefault()
+	a := []int64{1, 2, 3}
+	b := []int64{10, 20, 30}
+	dst := make([]int64, 3)
+	VAdd(m, dst, a, b)
+	if dst[2] != 33 {
+		t.Errorf("VAdd: %v", dst)
+	}
+	VMul(m, dst, a, b)
+	if dst[2] != 90 {
+		t.Errorf("VMul: %v", dst)
+	}
+	VAddScalar(m, dst, a, 100)
+	if dst[0] != 101 {
+		t.Errorf("VAddScalar: %v", dst)
+	}
+	VBroadcast(m, dst, 7)
+	if dst[1] != 7 {
+		t.Errorf("VBroadcast: %v", dst)
+	}
+	VOp(m, dst, a, b, func(x, y int64) int64 {
+		if x > y {
+			return x
+		}
+		return y
+	})
+	if dst[0] != 10 {
+		t.Errorf("VOp max: %v", dst)
+	}
+	mask := make([]bool, 3)
+	VCmpNE(m, mask, []int64{0, 5, 0}, 0)
+	if mask[0] || !mask[1] || mask[2] {
+		t.Errorf("VCmpNE: %v", mask)
+	}
+	if s := VSum(m, []int64{1, 2, 3, 4}); s != 10 {
+		t.Errorf("VSum = %d", s)
+	}
+	idx := make([]int32, 4)
+	Iota(m, idx, 5)
+	if idx[3] != 8 {
+		t.Errorf("Iota: %v", idx)
+	}
+}
+
+func TestLoadStoreStrideSemantics(t *testing.T) {
+	m := NewDefault()
+	src := []int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	dst := make([]int64, 3)
+	LoadStride(m, dst, src, 1, 3)
+	if dst[0] != 1 || dst[1] != 4 || dst[2] != 7 {
+		t.Errorf("LoadStride: %v", dst)
+	}
+	out := make([]int64, 10)
+	StoreStride(m, out, dst, 2, 2)
+	if out[2] != 1 || out[4] != 4 || out[6] != 7 {
+		t.Errorf("StoreStride: %v", out)
+	}
+}
+
+func TestScalarOpCost(t *testing.T) {
+	m := NewDefault()
+	m.ScalarOp("hist", 100)
+	if m.Cycles() != 100*ScalarClocksPerOp {
+		t.Errorf("scalar cycles = %v", m.Cycles())
+	}
+}
+
+// TestHalfPerformanceLength: with per-loop overhead included, the
+// fitted n_1/2 of a simple loop should be tens of elements, as in
+// Table 3 — i.e. half performance is reached at small vector lengths.
+func TestHalfPerformanceLength(t *testing.T) {
+	cfg := DefaultConfig()
+	timePer := func(k int) float64 {
+		m := New(cfg)
+		m.BeginLoop()
+		Load(m, make([]int64, k), make([]int64, k))
+		Store(m, make([]int64, k), make([]int64, k))
+		return m.Cycles() / float64(k)
+	}
+	asym := timePer(1 << 16)
+	// Find where per-element time is ~2x asymptotic.
+	nHalf := -1
+	for k := 1; k <= 4096; k++ {
+		if timePer(k) <= 2*asym {
+			nHalf = k
+			break
+		}
+	}
+	if nHalf < 5 || nHalf > 200 {
+		t.Errorf("n_1/2 = %d, want tens of elements (Table 3 reports 20-40)", nHalf)
+	}
+}
+
+// TestSectionStridePenalty: strides that are multiples of the section
+// count (the Y-MP's bank cycle time, 4) pay the §4.4 section penalty;
+// odd strides don't; full bank aliasing costs much more.
+func TestSectionStridePenalty(t *testing.T) {
+	cfg := DefaultConfig()
+	k := 2048
+	src := make([]int64, k*cfg.Banks+1)
+	cost := func(stride int) float64 {
+		m := New(cfg)
+		LoadStride(m, make([]int64, k), src, 0, stride)
+		return m.Cycles()
+	}
+	odd := cost(7)
+	section := cost(4) // multiple of Sections, not of Banks
+	bank := cost(cfg.Banks)
+	if section <= odd {
+		t.Errorf("stride 4 (%v) should cost more than stride 7 (%v)", section, odd)
+	}
+	if bank <= section {
+		t.Errorf("bank-aliased stride (%v) should cost more than section-aliased (%v)", bank, section)
+	}
+}
+
+// TestRecordLayoutPenalty reproduces the §4 motivation for unpacking
+// the 4-word spinerec into separate vectors: sequential access to one
+// field of an array-of-records is a stride-4 walk that uses only a
+// quarter of the memory sections, while the structure-of-arrays layout
+// streams at stride 1.
+func TestRecordLayoutPenalty(t *testing.T) {
+	cfg := DefaultConfig()
+	n := 4096
+	records := make([]int64, 4*n) // AoS: field at records[4*i]
+	fields := make([]int64, n)    // SoA
+
+	mAoS := New(cfg)
+	LoadStride(mAoS, make([]int64, n), records, 0, 4)
+	mSoA := New(cfg)
+	Load(mSoA, make([]int64, n), fields)
+	if mAoS.Cycles() <= mSoA.Cycles()*1.2 {
+		t.Errorf("record-stride load (%v) should clearly exceed unpacked load (%v)",
+			mAoS.Cycles(), mSoA.Cycles())
+	}
+}

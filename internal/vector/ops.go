@@ -1,0 +1,189 @@
+package vector
+
+// Elem is the set of element types the vector unit handles; the Y-MP
+// worked on 64-bit words regardless of interpretation.
+type Elem interface {
+	~int64 | ~float64 | ~int32
+}
+
+// The primitives below model single vector instructions at the
+// register-transfer level: loads/gathers fill a "vector register" (a
+// Go slice the kernel manages), ALU ops combine registers, and
+// stores/scatters drain them. Costs follow the machine config; results
+// are computed exactly.
+
+// Load models a stride-1 vector load of len(dst) elements:
+// dst[j] = src[j].
+func Load[T Elem](m *Machine, dst, src []T) {
+	copy(dst, src)
+	m.chargeLinear("load", len(dst), m.cfg.MemStartup, m.cfg.LoadPerElt)
+}
+
+// LoadStride models a strided load: dst[j] = src[base + j*stride] for
+// j in [0, len(dst)).
+func LoadStride[T Elem](m *Machine, dst []T, src []T, base, stride int) {
+	for j := range dst {
+		dst[j] = src[base+j*stride]
+	}
+	m.chargeStride("load.s", len(dst), stride, m.cfg.MemStartup, m.cfg.LoadPerElt)
+}
+
+// Store models a stride-1 vector store: dst[j] = src[j].
+func Store[T Elem](m *Machine, dst, src []T) {
+	copy(dst, src)
+	m.chargeLinear("store", len(src), m.cfg.MemStartup, m.cfg.StorePerElt)
+}
+
+// StoreStride models a strided store: dst[base + j*stride] = src[j].
+func StoreStride[T Elem](m *Machine, dst []T, src []T, base, stride int) {
+	for j := range src {
+		dst[base+j*stride] = src[j]
+	}
+	m.chargeStride("store.s", len(src), stride, m.cfg.MemStartup, m.cfg.StorePerElt)
+}
+
+// Gather models an indexed read: dst[j] = base[idx[j]]. Bank conflicts
+// within each strip are charged from the actual indices.
+func Gather[T Elem](m *Machine, dst []T, base []T, idx []int32) {
+	for j := range dst {
+		dst[j] = base[idx[j]]
+	}
+	m.chargeIndexed("gather", idx, m.cfg.IndexedStartup, m.cfg.GatherPerElt)
+}
+
+// Scatter models an indexed write: base[idx[j]] = src[j]. Later lanes
+// win on duplicate indices, matching hardware scatter and realizing
+// the CRCW-ARB arbitrary write when lanes collide.
+func Scatter[T Elem](m *Machine, base []T, idx []int32, src []T) {
+	for j, ix := range idx {
+		base[ix] = src[j]
+	}
+	m.chargeIndexed("scatter", idx, m.cfg.IndexedStartup, m.cfg.ScatterPerElt)
+}
+
+// ScatterMasked models the compiled conditional scatter of paper §4.1
+// (the SPINESUM loop): within each strip, if every lane is false the
+// strip exits early for EarlyExitStrip clocks; otherwise all lanes
+// scatter, with false lanes redirected to a single dummy location that
+// the bank model then treats as a hot-spot. Only true lanes take
+// architectural effect.
+func ScatterMasked[T Elem](m *Machine, base []T, idx []int32, src []T, mask []bool) {
+	k := len(idx)
+	if k == 0 {
+		return
+	}
+	// The dummy location: one scratch word; address 0 stands in for it
+	// in the bank model (any fixed address behaves identically).
+	const dummy = int32(0)
+	effIdx := make([]int32, 0, m.cfg.VL)
+	cycles := 0.0
+	for lo := 0; lo < k; lo += m.cfg.VL {
+		hi := lo + m.cfg.VL
+		if hi > k {
+			hi = k
+		}
+		any := false
+		for j := lo; j < hi; j++ {
+			if mask[j] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			cycles += m.cfg.EarlyExitStrip
+			continue
+		}
+		effIdx = effIdx[:0]
+		for j := lo; j < hi; j++ {
+			if mask[j] {
+				base[idx[j]] = src[j]
+				effIdx = append(effIdx, idx[j])
+			} else {
+				effIdx = append(effIdx, dummy)
+			}
+		}
+		cycles += m.cfg.IndexedStartup + float64(hi-lo)*m.cfg.MaskedScatterPerElt + m.conflictPenalty(effIdx)
+	}
+	m.charge("scatter.m", cycles)
+}
+
+// VOp combines two registers elementwise: dst[j] = fn(a[j], b[j]).
+// Chained ALU work is cheap relative to memory traffic.
+func VOp[T Elem](m *Machine, dst, a, b []T, fn func(x, y T) T) {
+	for j := range dst {
+		dst[j] = fn(a[j], b[j])
+	}
+	m.chargeLinear("alu", len(dst), m.cfg.ALUStartup, m.cfg.ALUPerElt)
+}
+
+// VAdd is the common VOp specialization dst = a + b.
+func VAdd[T Elem](m *Machine, dst, a, b []T) {
+	for j := range dst {
+		dst[j] = a[j] + b[j]
+	}
+	m.chargeLinear("alu", len(dst), m.cfg.ALUStartup, m.cfg.ALUPerElt)
+}
+
+// VMul is dst = a * b.
+func VMul[T Elem](m *Machine, dst, a, b []T) {
+	for j := range dst {
+		dst[j] = a[j] * b[j]
+	}
+	m.chargeLinear("alu", len(dst), m.cfg.ALUStartup, m.cfg.ALUPerElt)
+}
+
+// VAddScalar is dst = a + s.
+func VAddScalar[T Elem](m *Machine, dst, a []T, s T) {
+	for j := range dst {
+		dst[j] = a[j] + s
+	}
+	m.chargeLinear("alu", len(dst), m.cfg.ALUStartup, m.cfg.ALUPerElt)
+}
+
+// VBroadcast fills a register with a scalar (register-only, cheap).
+func VBroadcast[T Elem](m *Machine, dst []T, s T) {
+	for j := range dst {
+		dst[j] = s
+	}
+	m.chargeLinear("alu", len(dst), m.cfg.ALUStartup, m.cfg.ALUPerElt/4)
+}
+
+// VCmpNE produces mask[j] = (a[j] != s) — the vector-mask generation
+// the SPINESUM loop needs.
+func VCmpNE[T Elem](m *Machine, mask []bool, a []T, s T) {
+	for j := range a {
+		mask[j] = a[j] != s
+	}
+	m.chargeLinear("mask", len(a), m.cfg.ALUStartup, m.cfg.ALUPerElt)
+}
+
+// VSum reduces a register to a scalar.
+func VSum[T Elem](m *Machine, a []T) T {
+	var s T
+	for _, x := range a {
+		s += x
+	}
+	m.chargeLinear("reduce", len(a), m.cfg.ReduceStartup, m.cfg.ReducePerElt)
+	return s
+}
+
+// Iota fills dst[j] = int32(base + j) (address computation, cheap).
+func Iota(m *Machine, dst []int32, base int) {
+	for j := range dst {
+		dst[j] = int32(base + j)
+	}
+	m.chargeLinear("alu", len(dst), m.cfg.ALUStartup, m.cfg.ALUPerElt/4)
+}
+
+// ScalarOp charges k scalar (non-vectorized) operations — 1 clock
+// each plus nothing else. Used for the deliberately-unvectorizable
+// parts of baseline kernels (e.g. the serial histogram loop of a
+// FORTRAN bucket sort).
+func (m *Machine) ScalarOp(kind string, k int) {
+	m.charge("scalar."+kind, float64(k)*ScalarClocksPerOp)
+}
+
+// ScalarClocksPerOp is the simulated cost of one scalar memory-touching
+// operation. Scalar code on the Y-MP ran far below vector speed; a
+// load-modify-store iteration costs on the order of ten clocks.
+const ScalarClocksPerOp = 10.0

@@ -1,0 +1,167 @@
+package multiprefix
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestComputePaperExample is the package-level round trip on the
+// paper's Figure 1 structure.
+func TestComputePaperExample(t *testing.T) {
+	values := []int64{1, 2, 1, 2, 1, 1, 2, 3}
+	labels := []int{1, 1, 2, 1, 2, 1, 2, 1}
+	res, err := Compute(AddInt64, values, labels, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMulti := []int64{0, 1, 0, 3, 1, 5, 2, 6}
+	for i := range wantMulti {
+		if res.Multi[i] != wantMulti[i] {
+			t.Errorf("Multi[%d] = %d, want %d", i, res.Multi[i], wantMulti[i])
+		}
+	}
+	if res.Reductions[1] != 9 || res.Reductions[2] != 4 {
+		t.Errorf("Reductions = %v", res.Reductions)
+	}
+}
+
+// TestComputeLargeUsesParallelPath crosses the auto threshold and
+// must still agree with Serial.
+func TestComputeLargeUsesParallelPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, m := 50000, 257
+	values := make([]int64, n)
+	labels := make([]int, n)
+	for i := range values {
+		values[i] = int64(rng.Intn(100))
+		labels[i] = rng.Intn(m)
+	}
+	want, err := Serial(AddInt64, values, labels, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Compute(AddInt64, values, labels, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Multi {
+		if got.Multi[i] != want.Multi[i] {
+			t.Fatalf("Multi[%d] = %d, want %d", i, got.Multi[i], want.Multi[i])
+		}
+	}
+	red, err := Reduce(AddInt64, values, labels, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range want.Reductions {
+		if red[k] != want.Reductions[k] {
+			t.Fatalf("Reduce[%d] = %d, want %d", k, red[k], want.Reductions[k])
+		}
+	}
+}
+
+func TestPublicEngines(t *testing.T) {
+	values := []int64{5, -2, 7, 1, 0, 3}
+	labels := []int{0, 1, 0, 1, 2, 0}
+	want, err := Serial(AddInt64, values, labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := Spinetree(AddInt64, values, labels, 3, Config{}); err != nil || got.Multi[5] != want.Multi[5] {
+		t.Errorf("Spinetree: %v, err=%v", got, err)
+	}
+	if got, err := Parallel(AddInt64, values, labels, 3, Config{Workers: 2}); err != nil || got.Multi[5] != want.Multi[5] {
+		t.Errorf("Parallel: %v, err=%v", got, err)
+	}
+	if got, err := Chunked(AddInt64, values, labels, 3, Config{Workers: 2}); err != nil || got.Multi[5] != want.Multi[5] {
+		t.Errorf("Chunked: %v, err=%v", got, err)
+	}
+}
+
+func TestPublicValidationError(t *testing.T) {
+	_, err := Compute(AddInt64, []int64{1}, []int{7}, 3)
+	if !errors.Is(err, ErrBadInput) {
+		t.Errorf("err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestSegmentedScanPublic(t *testing.T) {
+	values := []int64{1, 2, 3, 4, 5}
+	segs := []bool{false, false, true, false, true}
+	scans, totals, err := SegmentedScan(AddInt64, values, segs, SerialEngine[int64]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScans := []int64{0, 1, 0, 3, 0}
+	for i := range wantScans {
+		if scans[i] != wantScans[i] {
+			t.Errorf("scans[%d] = %d, want %d", i, scans[i], wantScans[i])
+		}
+	}
+	wantTotals := []int64{3, 7, 5}
+	for i := range wantTotals {
+		if totals[i] != wantTotals[i] {
+			t.Errorf("totals[%d] = %d, want %d", i, totals[i], wantTotals[i])
+		}
+	}
+}
+
+func TestFetchOpAndEnumeratePublic(t *testing.T) {
+	cells := []int64{10}
+	fetched, err := FetchOp(AddInt64, cells, []int{0, 0}, []int64{1, 2}, SerialEngine[int64]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fetched[0] != 10 || fetched[1] != 11 || cells[0] != 13 {
+		t.Errorf("fetched=%v cells=%v", fetched, cells)
+	}
+	ranks, counts, err := Enumerate([]int{0, 1, 0}, 2, SerialEngine[int64]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranks[2] != 1 || counts[0] != 2 {
+		t.Errorf("ranks=%v counts=%v", ranks, counts)
+	}
+}
+
+func TestRankAndSortPublic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 10, 10000} { // below and above autoThreshold
+		keys := make([]int32, n)
+		for i := range keys {
+			keys[i] = int32(rng.Intn(64))
+		}
+		ranks, err := Rank(keys, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sorted, err := Sort(keys, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sort.SliceIsSorted(sorted, func(a, b int) bool { return sorted[a] < sorted[b] }) {
+			t.Fatalf("n=%d: not sorted", n)
+		}
+		// Stability: equal keys keep input order, i.e. ranks of equal
+		// keys increase with input position.
+		last := map[int32]int64{}
+		for i, k := range keys {
+			if prev, ok := last[k]; ok && ranks[i] < prev {
+				t.Fatalf("n=%d: instability at %d", n, i)
+			}
+			last[k] = ranks[i]
+		}
+	}
+}
+
+func TestHistogramPublic(t *testing.T) {
+	counts, err := Histogram([]int{0, 2, 2, 1, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 1 || counts[1] != 1 || counts[2] != 3 {
+		t.Errorf("counts = %v", counts)
+	}
+}

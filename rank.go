@@ -1,0 +1,37 @@
+package multiprefix
+
+import (
+	"multiprefix/internal/core"
+	"multiprefix/internal/intsort"
+)
+
+// Rank assigns every key its position in sorted order, stably (equal
+// keys keep input order) — the integer-sorting algorithm of paper
+// Figure 11 and §5.1, built on two multiprefix calls. Keys must lie in
+// [0, maxKey).
+func Rank(keys []int32, maxKey int) ([]int64, error) {
+	if len(keys) < autoThreshold {
+		return intsort.RankMP(keys, maxKey, core.SerialEngine[int64]())
+	}
+	return intsort.RankMP(keys, maxKey, core.ChunkedEngine[int64](core.Config{}))
+}
+
+// Sort returns the keys in stable sorted order via Rank + permute —
+// a counting sort expressed through the multiprefix primitive.
+func Sort(keys []int32, maxKey int) ([]int32, error) {
+	ranks, err := Rank(keys, maxKey)
+	if err != nil {
+		return nil, err
+	}
+	return intsort.Permute(keys, ranks)
+}
+
+// Histogram counts key occurrences — the multireduce special case the
+// paper singles out (§1's "Vector Update Loop").
+func Histogram(keys []int, m int) ([]int64, error) {
+	ones := make([]int64, len(keys))
+	for i := range ones {
+		ones[i] = 1
+	}
+	return Reduce(AddInt64, ones, keys, m)
+}
