@@ -1,0 +1,37 @@
+# Build and verification entry points. `make check` is the tier-1+
+# verify command: everything tier-1 runs (build + tests) plus vet, the
+# race detector on the concurrent packages, and a short fuzz smoke of
+# the three root fuzz targets.
+
+GO ?= go
+FUZZTIME ?= 5s
+
+.PHONY: all build test check vet race fuzz-smoke bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1: what every change must keep green.
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Each fuzz target runs briefly from its seed corpus plus FUZZTIME of
+# random inputs; failures minimize and persist under testdata/fuzz.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzEnginesAgree$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzRankIsStableSort$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzSegmentedScan$$' -fuzztime $(FUZZTIME) .
+
+# Tier-1+: the full robustness gate.
+check: vet race fuzz-smoke
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...

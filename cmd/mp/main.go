@@ -14,10 +14,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"multiprefix"
 )
@@ -29,6 +31,13 @@ func main() {
 	engineName := flag.String("engine", "auto", "engine: auto, serial, spinetree, parallel, chunked")
 	reduceOnly := flag.Bool("reduce", false, "print only the per-label reductions (multireduce)")
 	flag.Parse()
+
+	// Interrupt (Ctrl-C) cancels a run in progress: the engines notice
+	// at their next barrier/chunk boundary and return context.Canceled
+	// instead of leaving a large computation spinning. Registered before
+	// the input is read so an interrupt during parsing also cancels.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	ops := map[string]multiprefix.Op[int64]{
 		"add": multiprefix.AddInt64,
@@ -75,16 +84,20 @@ func main() {
 	switch *engineName {
 	case "auto":
 		engine = func(op multiprefix.Op[int64], values []int64, labels []int, m int) (multiprefix.Result[int64], error) {
-			return multiprefix.Compute(op, values, labels, m)
+			return multiprefix.ComputeCtx(ctx, op, values, labels, m)
 		}
 	case "serial":
 		engine = multiprefix.SerialEngine[int64]()
 	case "spinetree":
 		engine = multiprefix.SpinetreeEngine[int64](multiprefix.Config{})
 	case "parallel":
-		engine = multiprefix.ParallelEngine[int64](multiprefix.Config{})
+		engine = func(op multiprefix.Op[int64], values []int64, labels []int, m int) (multiprefix.Result[int64], error) {
+			return multiprefix.ParallelCtx(ctx, op, values, labels, m, multiprefix.Config{})
+		}
 	case "chunked":
-		engine = multiprefix.ChunkedEngine[int64](multiprefix.Config{})
+		engine = func(op multiprefix.Op[int64], values []int64, labels []int, m int) (multiprefix.Result[int64], error) {
+			return multiprefix.ChunkedCtx(ctx, op, values, labels, m, multiprefix.Config{})
+		}
 	default:
 		log.Fatalf("unknown engine %q", *engineName)
 	}

@@ -1,10 +1,57 @@
 package core
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 
 	"multiprefix/internal/par"
 )
+
+// cancelStride is how many elements a chunked worker processes between
+// polls of the cancellation flag and context. Small enough that a
+// mid-run cancellation on multi-million-element inputs returns in well
+// under a chunk's full runtime; large enough that the poll is free.
+const cancelStride = 8192
+
+// chunkGuard is the shared failure state of one chunked run: the first
+// panic or cancellation is recorded and every worker drains at its
+// next stride boundary.
+type chunkGuard struct {
+	stop atomic.Bool
+	mu   sync.Mutex
+	err  error
+}
+
+func (g *chunkGuard) fail(err error) {
+	g.mu.Lock()
+	if g.err == nil {
+		g.err = err
+	}
+	g.mu.Unlock()
+	g.stop.Store(true)
+}
+
+func (g *chunkGuard) first() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}
+
+// interrupted polls the failure flag and the context; a cancelled
+// context is recorded as the run's failure.
+func (g *chunkGuard) interrupted(ctx context.Context) bool {
+	if g.stop.Load() {
+		return true
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			g.fail(err)
+			return true
+		}
+	}
+	return false
+}
 
 // Chunked computes the multiprefix operation with the practical
 // multicore decomposition (not from the paper; included as the modern
@@ -21,25 +68,27 @@ import (
 // touches; combines happen strictly in vector order, so non-commutative
 // operators are safe. Space is O(W·m) dense bucket storage, which is
 // the right trade for m up to a few million.
-func Chunked[T any](op Op[T], values []T, labels []int, m int, cfg Config) (Result[T], error) {
+//
+// The execution is hardened: a panic in Op.Combine inside any worker is
+// recovered into a typed *EnginePanicError and returned, and cfg.Ctx,
+// when set, cancels the run within cancelStride elements.
+func Chunked[T any](op Op[T], values []T, labels []int, m int, cfg Config) (res Result[T], err error) {
 	if err := checkInputs(op, values, labels, m); err != nil {
 		return Result[T]{}, err
 	}
+	if err := ctxErr(cfg.Ctx); err != nil {
+		return Result[T]{}, err
+	}
 	n := len(values)
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = par.DefaultWorkers()
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers := chunkWorkers(cfg.Workers, n)
+	phase := PhaseChunkLocal
+	defer recoverEnginePanic("chunked", &phase, &err)
 
 	multi := make([]T, n)
 	local := make([][]T, workers)     // per-chunk buckets, reused as offsets
 	touched := make([][]int, workers) // labels each chunk saw, in first-touch order
+	hook := cfg.FaultHook
+	var g chunkGuard
 
 	// Pass 1+2: local serial multiprefix per chunk.
 	var wg sync.WaitGroup
@@ -47,11 +96,19 @@ func Chunked[T any](op Op[T], values []T, labels []int, m int, cfg Config) (Resu
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					g.fail(newEnginePanic("chunked", PhaseChunkLocal, w, rec))
+				}
+			}()
 			lo, hi := par.Range(n, workers, w)
 			buckets := make([]T, m)
 			seen := make([]bool, m)
 			var order []int
 			for i := lo; i < hi; i++ {
+				if (i-lo)%cancelStride == 0 && g.interrupted(cfg.Ctx) {
+					return
+				}
 				l := labels[i]
 				if !seen[l] {
 					seen[l] = true
@@ -59,6 +116,9 @@ func Chunked[T any](op Op[T], values []T, labels []int, m int, cfg Config) (Resu
 					order = append(order, l)
 				}
 				multi[i] = buckets[l]
+				if hook != nil {
+					hook.Combine(PhaseChunkLocal, i)
+				}
 				buckets[l] = op.Combine(buckets[l], values[i])
 			}
 			local[w] = buckets
@@ -66,15 +126,25 @@ func Chunked[T any](op Op[T], values []T, labels []int, m int, cfg Config) (Resu
 		}(w)
 	}
 	wg.Wait()
+	if err := g.first(); err != nil {
+		return Result[T]{}, err
+	}
 
 	// Pass 3: exclusive scan across chunks, per label. running[l] holds
 	// the combine of chunks 0..w-1 for label l; each chunk's bucket slot
 	// is replaced by its offset (the exclusive prefix).
+	phase = PhaseChunkMerge
+	if err := ctxErr(cfg.Ctx); err != nil {
+		return Result[T]{}, err
+	}
 	running := make([]T, m)
 	fillIdentity(running, op.Identity)
 	for w := 0; w < workers; w++ {
 		for _, l := range touched[w] {
 			offset := running[l]
+			if hook != nil {
+				hook.Combine(PhaseChunkMerge, l)
+			}
 			running[l] = op.Combine(running[l], local[w][l])
 			local[w][l] = offset
 		}
@@ -82,30 +152,115 @@ func Chunked[T any](op Op[T], values []T, labels []int, m int, cfg Config) (Resu
 
 	// Pass 4: apply offsets. Chunk 0 needs no fix-up (offsets are the
 	// identity), so start at chunk 1.
+	phase = PhaseChunkApply
+	if err := ctxErr(cfg.Ctx); err != nil {
+		return Result[T]{}, err
+	}
 	wg.Add(workers - 1)
 	for w := 1; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					g.fail(newEnginePanic("chunked", PhaseChunkApply, w, rec))
+				}
+			}()
 			lo, hi := par.Range(n, workers, w)
 			offsets := local[w]
 			for i := lo; i < hi; i++ {
+				if (i-lo)%cancelStride == 0 && g.interrupted(cfg.Ctx) {
+					return
+				}
+				if hook != nil {
+					hook.Combine(PhaseChunkApply, i)
+				}
 				multi[i] = op.Combine(offsets[labels[i]], multi[i])
 			}
 		}(w)
 	}
 	wg.Wait()
+	if err := g.first(); err != nil {
+		return Result[T]{}, err
+	}
 
 	return Result[T]{Multi: multi, Reductions: running}, nil
 }
 
 // ChunkedReduce is the multireduce counterpart of Chunked: per-chunk
-// local reductions combined across chunks in vector order.
-func ChunkedReduce[T any](op Op[T], values []T, labels []int, m int, cfg Config) ([]T, error) {
+// local reductions combined across chunks in vector order, hardened
+// the same way.
+func ChunkedReduce[T any](op Op[T], values []T, labels []int, m int, cfg Config) (red []T, err error) {
 	if err := checkInputs(op, values, labels, m); err != nil {
 		return nil, err
 	}
+	if err := ctxErr(cfg.Ctx); err != nil {
+		return nil, err
+	}
 	n := len(values)
-	workers := cfg.Workers
+	workers := chunkWorkers(cfg.Workers, n)
+	phase := PhaseChunkLocal
+	defer recoverEnginePanic("chunked", &phase, &err)
+
+	local := make([][]T, workers)
+	touched := make([][]int, workers)
+	hook := cfg.FaultHook
+	var g chunkGuard
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					g.fail(newEnginePanic("chunked", PhaseChunkLocal, w, rec))
+				}
+			}()
+			lo, hi := par.Range(n, workers, w)
+			buckets := make([]T, m)
+			seen := make([]bool, m)
+			var order []int
+			for i := lo; i < hi; i++ {
+				if (i-lo)%cancelStride == 0 && g.interrupted(cfg.Ctx) {
+					return
+				}
+				l := labels[i]
+				if !seen[l] {
+					seen[l] = true
+					buckets[l] = op.Identity
+					order = append(order, l)
+				}
+				if hook != nil {
+					hook.Combine(PhaseChunkLocal, i)
+				}
+				buckets[l] = op.Combine(buckets[l], values[i])
+			}
+			local[w] = buckets
+			touched[w] = order
+		}(w)
+	}
+	wg.Wait()
+	if err := g.first(); err != nil {
+		return nil, err
+	}
+	phase = PhaseChunkMerge
+	if err := ctxErr(cfg.Ctx); err != nil {
+		return nil, err
+	}
+	out := make([]T, m)
+	fillIdentity(out, op.Identity)
+	for w := 0; w < workers; w++ {
+		for _, l := range touched[w] {
+			if hook != nil {
+				hook.Combine(PhaseChunkMerge, l)
+			}
+			out[l] = op.Combine(out[l], local[w][l])
+		}
+	}
+	return out, nil
+}
+
+// chunkWorkers resolves the worker count for the chunked engines.
+func chunkWorkers(workers, n int) int {
 	if workers <= 0 {
 		workers = par.DefaultWorkers()
 	}
@@ -115,37 +270,5 @@ func ChunkedReduce[T any](op Op[T], values []T, labels []int, m int, cfg Config)
 	if workers < 1 {
 		workers = 1
 	}
-	local := make([][]T, workers)
-	touched := make([][]int, workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			lo, hi := par.Range(n, workers, w)
-			buckets := make([]T, m)
-			seen := make([]bool, m)
-			var order []int
-			for i := lo; i < hi; i++ {
-				l := labels[i]
-				if !seen[l] {
-					seen[l] = true
-					buckets[l] = op.Identity
-					order = append(order, l)
-				}
-				buckets[l] = op.Combine(buckets[l], values[i])
-			}
-			local[w] = buckets
-			touched[w] = order
-		}(w)
-	}
-	wg.Wait()
-	out := make([]T, m)
-	fillIdentity(out, op.Identity)
-	for w := 0; w < workers; w++ {
-		for _, l := range touched[w] {
-			out[l] = op.Combine(out[l], local[w][l])
-		}
-	}
-	return out, nil
+	return workers
 }

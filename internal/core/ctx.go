@@ -1,0 +1,37 @@
+package core
+
+import "context"
+
+// ctxErr reports whether an optional context has been cancelled; a nil
+// context never is. Engines call it at entry (so an already-cancelled
+// context returns before any phase runs) and at their natural
+// synchronization boundaries.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// ParallelCtx is Parallel under a cancellation context: the run aborts
+// with ctx.Err() at the next barrier boundary after ctx is cancelled.
+// An already-cancelled context returns before any phase runs.
+func ParallelCtx[T any](ctx context.Context, op Op[T], values []T, labels []int, m int, cfg Config) (Result[T], error) {
+	cfg.Ctx = ctx
+	return Parallel(op, values, labels, m, cfg)
+}
+
+// ChunkedCtx is Chunked under a cancellation context: workers poll the
+// context every few thousand elements, so cancellation on inputs of any
+// size returns promptly with ctx.Err().
+func ChunkedCtx[T any](ctx context.Context, op Op[T], values []T, labels []int, m int, cfg Config) (Result[T], error) {
+	cfg.Ctx = ctx
+	return Chunked(op, values, labels, m, cfg)
+}
+
+// SpinetreeCtx is Spinetree under a cancellation context, checked at
+// phase boundaries.
+func SpinetreeCtx[T any](ctx context.Context, op Op[T], values []T, labels []int, m int, cfg Config) (Result[T], error) {
+	cfg.Ctx = ctx
+	return Spinetree(op, values, labels, m, cfg)
+}

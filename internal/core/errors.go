@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// EnginePanicError is what an engine returns when a panic — typically
+// from a user-supplied Op.Combine — was recovered during a run. Worker
+// goroutines that recover a panic release their barrier before
+// returning, so sibling workers drain instead of deadlocking, and the
+// whole run fails with this error rather than crashing the process.
+type EnginePanicError struct {
+	// Engine names the engine that recovered the panic: "serial",
+	// "spinetree", "parallel", "chunked" or "fallback".
+	Engine string
+	// Phase is the phase or pass that was executing, e.g. "rowsums" or
+	// "chunk-local"; empty when the panic escaped phase attribution.
+	Phase string
+	// Worker is the id of the panicking worker goroutine, or -1 when
+	// the panic happened on the calling goroutine.
+	Worker int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the stack of the recovering goroutine, captured at
+	// recovery time.
+	Stack []byte
+}
+
+func (e *EnginePanicError) Error() string {
+	where := e.Engine
+	if e.Phase != "" {
+		where += "/" + e.Phase
+	}
+	if e.Worker >= 0 {
+		return fmt.Sprintf("multiprefix: panic recovered in %s (worker %d): %v", where, e.Worker, e.Value)
+	}
+	return fmt.Sprintf("multiprefix: panic recovered in %s: %v", where, e.Value)
+}
+
+// Unwrap exposes the panic value when it was itself an error, so
+// errors.Is/As see through the recovery.
+func (e *EnginePanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// newEnginePanic builds an EnginePanicError for a value recovered from
+// a panic, capturing the current goroutine's stack.
+func newEnginePanic(engine, phase string, worker int, value any) *EnginePanicError {
+	return &EnginePanicError{Engine: engine, Phase: phase, Worker: worker, Value: value, Stack: debug.Stack()}
+}
+
+// recoverEnginePanic is the top-level shield deferred by engine entry
+// points: it converts a panic on the calling goroutine into a typed
+// error assigned to *err. phase points at a variable the engine updates
+// as it moves through its phases, so the error names where it was.
+func recoverEnginePanic(engine string, phase *string, err *error) {
+	if rec := recover(); rec != nil {
+		p := ""
+		if phase != nil {
+			p = *phase
+		}
+		*err = newEnginePanic(engine, p, -1, rec)
+	}
+}

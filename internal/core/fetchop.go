@@ -11,8 +11,14 @@ package core
 // This is exactly a multiprefix whose labels are the addresses, with
 // the initial cell contents folded in front of each class.
 func FetchOp[T any](op Op[T], cells []T, addrs []int, increments []T, engine Engine[T]) ([]T, error) {
+	if err := checkDerivedArgs(op, engine); err != nil {
+		return nil, err
+	}
 	if len(addrs) != len(increments) {
 		return nil, wrapBadInput("len(addrs)=%d, len(increments)=%d", len(addrs), len(increments))
+	}
+	if err := checkAddrs("addrs", addrs, len(cells)); err != nil {
+		return nil, err
 	}
 	res, err := engine(op, increments, addrs, len(cells))
 	if err != nil {
@@ -36,6 +42,15 @@ func FetchOp[T any](op Op[T], cells []T, addrs []int, increments []T, engine Eng
 // only the reduction values are used" — so this delegates to the
 // engine's multireduce and is deterministic, unlike the hardware.
 func CombiningSend[T any](op Op[T], dst []T, dest []int, values []T, engine Engine[T]) error {
+	if err := checkDerivedArgs(op, engine); err != nil {
+		return err
+	}
+	if len(dest) != len(values) {
+		return wrapBadInput("len(dest)=%d, len(values)=%d", len(dest), len(values))
+	}
+	if err := checkAddrs("dest", dest, len(dst)); err != nil {
+		return err
+	}
 	res, err := engine(op, values, dest, len(dst))
 	if err != nil {
 		return err
@@ -50,6 +65,12 @@ func CombiningSend[T any](op Op[T], dst []T, dest []int, values []T, engine Engi
 // each key and report which keys occurred. Keys that never occur do
 // not appear in the output map.
 func Beta[T any](op Op[T], values []T, keys []int, m int, engine Engine[T]) (map[int]T, error) {
+	if err := checkDerivedArgs(op, engine); err != nil {
+		return nil, err
+	}
+	if err := checkAddrs("keys", keys, m); err != nil {
+		return nil, err
+	}
 	res, err := engine(op, values, keys, m)
 	if err != nil {
 		return nil, err
@@ -68,6 +89,9 @@ func Beta[T any](op Op[T], values []T, keys []int, m int, engine Engine[T]) (map
 // inclusive_i = multi_i ⊕ a_i. A separate helper because the paper's
 // definition — and every engine here — is exclusive.
 func InclusiveMulti[T any](op Op[T], multi, values []T) ([]T, error) {
+	if !op.Valid() {
+		return nil, wrapBadInput("operator has nil Combine")
+	}
 	if len(multi) != len(values) {
 		return nil, wrapBadInput("len(multi)=%d, len(values)=%d", len(multi), len(values))
 	}
@@ -83,6 +107,12 @@ func InclusiveMulti[T any](op Op[T], multi, values []T) ([]T, error) {
 // ones, the paper's canonical example (Figure 7's final state). Also
 // returns the per-label counts (a histogram).
 func Enumerate(labels []int, m int, engine Engine[int64]) (ranks []int64, counts []int64, err error) {
+	if engine == nil {
+		return nil, nil, wrapBadInput("nil engine")
+	}
+	if err := checkAddrs("labels", labels, m); err != nil {
+		return nil, nil, err
+	}
 	ones := make([]int64, len(labels))
 	for i := range ones {
 		ones[i] = 1

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -26,64 +27,69 @@ import (
 // costs, so each step's elements are partitioned across cfg.Workers
 // goroutines instead — the standard processor-virtualization argument
 // (each worker simulates sqrt(n)/W virtual processors per step).
-func Parallel[T any](op Op[T], values []T, labels []int, m int, cfg Config) (Result[T], error) {
+//
+// The execution is hardened: a panic in Op.Combine (or injected via
+// cfg.FaultHook) inside any worker is recovered into a typed
+// *EnginePanicError, the panicking worker leaves the barrier so its
+// siblings drain instead of deadlocking, and the engine returns the
+// error with no goroutine leaked. cfg.Ctx, when set, cancels the run
+// at the next barrier boundary.
+func Parallel[T any](op Op[T], values []T, labels []int, m int, cfg Config) (res Result[T], err error) {
 	if err := checkInputs(op, values, labels, m); err != nil {
+		return Result[T]{}, err
+	}
+	if err := ctxErr(cfg.Ctx); err != nil {
 		return Result[T]{}, err
 	}
 	a, err := newArena(op, labels, m, cfg)
 	if err != nil {
 		return Result[T]{}, err
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = par.DefaultWorkers()
-	}
-	if workers > a.grid.P {
-		workers = a.grid.P // no point exceeding the widest pardo
-	}
-	if workers < 1 {
-		workers = 1
-	}
 	multi := make([]T, len(values))
-	run := parRunner[T]{a: a, op: op, values: values, labels: labels, multi: multi, workers: workers, test: cfg.SpineTest}
-	if cfg.MutexArb {
-		run.locks = make([]sync.Mutex, arbLockStripes)
-	}
+	run := newParRunner(a, op, values, labels, cfg)
+	run.multi = multi
+	phase := PhaseSpinetree
+	defer recoverEnginePanic("parallel", &phase, &err)
 	run.spinetree()
 	run.rowsums()
 	run.spinesums()
-	red := a.reductions(op)
+	if err := run.failure(); err != nil {
+		return Result[T]{}, err
+	}
+	phase = PhaseReduce
+	red := a.reductions(op, run.hook)
+	phase = PhaseMultisums
 	run.multisums()
+	if err := run.failure(); err != nil {
+		return Result[T]{}, err
+	}
 	return Result[T]{Multi: multi, Reductions: red}, nil
 }
 
-// ParallelReduce is the multireduce counterpart of Parallel.
-func ParallelReduce[T any](op Op[T], values []T, labels []int, m int, cfg Config) ([]T, error) {
+// ParallelReduce is the multireduce counterpart of Parallel, hardened
+// the same way.
+func ParallelReduce[T any](op Op[T], values []T, labels []int, m int, cfg Config) (red []T, err error) {
 	if err := checkInputs(op, values, labels, m); err != nil {
+		return nil, err
+	}
+	if err := ctxErr(cfg.Ctx); err != nil {
 		return nil, err
 	}
 	a, err := newArena(op, labels, m, cfg)
 	if err != nil {
 		return nil, err
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = par.DefaultWorkers()
-	}
-	if workers > a.grid.P {
-		workers = a.grid.P
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	run := parRunner[T]{a: a, op: op, values: values, labels: labels, workers: workers, test: cfg.SpineTest}
-	if cfg.MutexArb {
-		run.locks = make([]sync.Mutex, arbLockStripes)
-	}
+	run := newParRunner(a, op, values, labels, cfg)
+	phase := PhaseSpinetree
+	defer recoverEnginePanic("parallel", &phase, &err)
 	run.spinetree()
 	run.rowsums()
 	run.spinesums()
-	return a.reductions(op), nil
+	if err := run.failure(); err != nil {
+		return nil, err
+	}
+	phase = PhaseReduce
+	return a.reductions(op, run.hook), nil
 }
 
 // arbLockStripes is the stripe count for the MutexArb ablation.
@@ -98,13 +104,75 @@ type parRunner[T any] struct {
 	workers int
 	test    SpineTest
 	locks   []sync.Mutex // nil => atomic-store arbitration
+	ctx     context.Context
+	hook    FaultHook
+
+	// Failure channel between workers: the first panic or cancellation
+	// sets stop; every worker polls it at step boundaries and drains.
+	stop   atomic.Bool
+	failMu sync.Mutex
+	err    error // first failure, under failMu
+}
+
+func newParRunner[T any](a *arena[T], op Op[T], values []T, labels []int, cfg Config) *parRunner[T] {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	if workers > a.grid.P {
+		workers = a.grid.P // no point exceeding the widest pardo
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	r := &parRunner[T]{
+		a: a, op: op, values: values, labels: labels,
+		workers: workers, test: cfg.SpineTest, ctx: cfg.Ctx, hook: cfg.FaultHook,
+	}
+	if cfg.MutexArb {
+		r.locks = make([]sync.Mutex, arbLockStripes)
+	}
+	return r
+}
+
+// fail records the run's first failure and signals every worker to
+// drain at its next step boundary.
+func (r *parRunner[T]) fail(err error) {
+	r.failMu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.failMu.Unlock()
+	r.stop.Store(true)
+}
+
+// failure returns the first recorded failure, if any.
+func (r *parRunner[T]) failure() error {
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
+	return r.err
 }
 
 // launch runs body on every worker and waits. body receives the worker
-// id and a barrier shared by exactly the workers.
-func (r *parRunner[T]) launch(body func(w int, bar *par.Barrier)) {
+// id and a barrier shared by exactly the workers. A panic inside body
+// is recovered into an *EnginePanicError and the panicking worker
+// leaves the barrier (par.Barrier.Drop), so sibling workers complete
+// their phases with the shrunken party count instead of deadlocking.
+func (r *parRunner[T]) launch(phase string, body func(w int, bar *par.Barrier)) {
+	if r.stop.Load() {
+		return
+	}
+	guarded := func(w int, bar *par.Barrier) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				r.fail(newEnginePanic("parallel", phase, w, rec))
+				bar.Drop()
+			}
+		}()
+		body(w, bar)
+	}
 	if r.workers == 1 {
-		body(0, par.NewBarrier(1))
+		guarded(0, par.NewBarrier(1))
 		return
 	}
 	bar := par.NewBarrier(r.workers)
@@ -113,10 +181,46 @@ func (r *parRunner[T]) launch(body func(w int, bar *par.Barrier)) {
 	for w := 0; w < r.workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			body(w, bar)
+			guarded(w, bar)
 		}(w)
 	}
 	wg.Wait()
+}
+
+// bail polls for failure and cancellation at a step boundary. A true
+// return means the run is over: bail has already dropped the barrier
+// and the worker must return immediately. Worker 0 is the one that
+// polls the context, so a cancelled run fails within one barrier
+// boundary without every worker paying the ctx.Err() cost.
+func (r *parRunner[T]) bail(bar *par.Barrier, w int) bool {
+	if w == 0 && r.ctx != nil && !r.stop.Load() {
+		if err := r.ctx.Err(); err != nil {
+			r.fail(err)
+		}
+	}
+	if !r.stop.Load() {
+		return false
+	}
+	bar.Drop()
+	return true
+}
+
+// sync is one barrier arrival, preceded by the fault hook's barrier
+// event (stall/panic injection point).
+func (r *parRunner[T]) sync(bar *par.Barrier, phase string, w int) {
+	if r.hook != nil {
+		r.hook.Barrier(phase, w)
+	}
+	bar.Await()
+}
+
+// combine applies the operator, reporting the element to the fault
+// hook first.
+func (r *parRunner[T]) combine(phase string, i int, x, y T) T {
+	if r.hook != nil {
+		r.hook.Combine(phase, i)
+	}
+	return r.op.Combine(x, y)
 }
 
 // spinetree runs the SPINETREE phase: for each row, top to bottom, a
@@ -125,14 +229,17 @@ func (r *parRunner[T]) launch(body func(w int, bar *par.Barrier)) {
 // read-before-write semantics hold within the step.
 func (r *parRunner[T]) spinetree() {
 	a, m := r.a, r.a.m
-	r.launch(func(w int, bar *par.Barrier) {
+	r.launch(PhaseSpinetree, func(w int, bar *par.Barrier) {
 		for row := a.grid.Rows - 1; row >= 0; row-- {
+			if r.bail(bar, w) {
+				return
+			}
 			lo, hi := a.grid.Row(row)
 			wlo, whi := par.Range(hi-lo, r.workers, w)
 			for i := lo + wlo; i < lo+whi; i++ {
 				a.spine[m+i] = atomic.LoadInt32(&a.spine[r.labels[i]])
 			}
-			bar.Await()
+			r.sync(bar, PhaseSpinetree, w)
 			if r.locks == nil {
 				for i := lo + wlo; i < lo+whi; i++ {
 					atomic.StoreInt32(&a.spine[r.labels[i]], int32(m+i))
@@ -146,7 +253,7 @@ func (r *parRunner[T]) spinetree() {
 					mu.Unlock()
 				}
 			}
-			bar.Await()
+			r.sync(bar, PhaseSpinetree, w)
 		}
 	})
 }
@@ -156,20 +263,23 @@ func (r *parRunner[T]) spinetree() {
 // barrier between columns orders sibling updates so that a parent's
 // rowsum accumulates in vector order even for non-commutative ops.
 func (r *parRunner[T]) rowsums() {
-	a, m, op := r.a, r.a.m, r.op
-	r.launch(func(w int, bar *par.Barrier) {
+	a, m := r.a, r.a.m
+	r.launch(PhaseRowsums, func(w int, bar *par.Barrier) {
 		for c := 0; c < a.grid.P; c++ {
+			if r.bail(bar, w) {
+				return
+			}
 			colLen := a.grid.ColumnLen(c)
 			wlo, whi := par.Range(colLen, r.workers, w)
 			for k := wlo; k < whi; k++ {
 				i := c + k*a.grid.P
 				p := a.spine[m+i]
-				a.rowsum[p] = op.Combine(a.rowsum[p], r.values[i])
+				a.rowsum[p] = r.combine(PhaseRowsums, i, a.rowsum[p], r.values[i])
 				if a.isSpine != nil {
 					a.isSpine[p] = true
 				}
 			}
-			bar.Await()
+			r.sync(bar, PhaseRowsums, w)
 		}
 	})
 }
@@ -178,19 +288,26 @@ func (r *parRunner[T]) rowsums() {
 // one spine element per class per row and distinct parents across
 // classes make each step EREW.
 func (r *parRunner[T]) spinesums() {
-	a, m, op := r.a, r.a.m, r.op
-	r.launch(func(w int, bar *par.Barrier) {
+	a, m := r.a, r.a.m
+	r.launch(PhaseSpinesums, func(w int, bar *par.Barrier) {
 		for row := 0; row < a.grid.Rows; row++ {
+			if r.bail(bar, w) {
+				return
+			}
 			lo, hi := a.grid.Row(row)
 			wlo, whi := par.Range(hi-lo, r.workers, w)
 			for i := lo + wlo; i < lo+whi; i++ {
-				if !a.spineElement(m+i, r.test) {
+				ok := a.spineElement(m+i, r.test)
+				if r.hook != nil {
+					ok = r.hook.SpineTest(i, ok)
+				}
+				if !ok {
 					continue
 				}
 				p := a.spine[m+i]
-				a.spinesum[p] = op.Combine(a.spinesum[m+i], a.rowsum[m+i])
+				a.spinesum[p] = r.combine(PhaseSpinesums, i, a.spinesum[m+i], a.rowsum[m+i])
 			}
-			bar.Await()
+			r.sync(bar, PhaseSpinesums, w)
 		}
 	})
 }
@@ -198,18 +315,21 @@ func (r *parRunner[T]) spinesums() {
 // multisums runs the MULTISUMS phase column by column; same EREW
 // argument as rowsums.
 func (r *parRunner[T]) multisums() {
-	a, m, op := r.a, r.a.m, r.op
-	r.launch(func(w int, bar *par.Barrier) {
+	a, m := r.a, r.a.m
+	r.launch(PhaseMultisums, func(w int, bar *par.Barrier) {
 		for c := 0; c < a.grid.P; c++ {
+			if r.bail(bar, w) {
+				return
+			}
 			colLen := a.grid.ColumnLen(c)
 			wlo, whi := par.Range(colLen, r.workers, w)
 			for k := wlo; k < whi; k++ {
 				i := c + k*a.grid.P
 				p := a.spine[m+i]
 				r.multi[i] = a.spinesum[p]
-				a.spinesum[p] = op.Combine(a.spinesum[p], r.values[i])
+				a.spinesum[p] = r.combine(PhaseMultisums, i, a.spinesum[p], r.values[i])
 			}
-			bar.Await()
+			r.sync(bar, PhaseMultisums, w)
 		}
 	})
 }

@@ -44,6 +44,34 @@ func wrapBadInput(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrBadInput, fmt.Sprintf(format, args...))
 }
 
+// checkAddrs validates that every entry of an address/label vector is a
+// legal index into a target of length m — the guard the derived
+// operations (FetchOp, CombiningSend, Beta, Enumerate) apply before
+// indexing user-supplied addresses, so a bad address is a wrapped
+// ErrBadInput instead of an index-out-of-range panic. It also shields
+// against custom Engine implementations that skip validation.
+func checkAddrs(name string, addrs []int, m int) error {
+	for i, a := range addrs {
+		if a < 0 || a >= m {
+			return wrapBadInput("%s[%d]=%d outside [0, %d)", name, i, a, m)
+		}
+	}
+	return nil
+}
+
+// checkDerivedArgs validates the (op, engine) pair every derived
+// operation receives: a zero Op (nil Combine) and a nil engine are both
+// rejected up front so no engine ever sees them.
+func checkDerivedArgs[T any](op Op[T], engine Engine[T]) error {
+	if !op.Valid() {
+		return wrapBadInput("operator has nil Combine")
+	}
+	if engine == nil {
+		return wrapBadInput("nil engine")
+	}
+	return nil
+}
+
 // fillIdentity sets every element of dst to the operator identity.
 func fillIdentity[T any](dst []T, identity T) {
 	for i := range dst {

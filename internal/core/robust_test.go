@@ -1,0 +1,441 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"multiprefix/internal/fault"
+)
+
+// robustInput builds one fixed multi-row input large enough that every
+// phase of every engine does real work: multiple grid rows (so SPINESUMS
+// combines fire) and multiple chunks per worker.
+func robustInput(n, m int) (values []int64, labels []int) {
+	rng := rand.New(rand.NewSource(42))
+	values = make([]int64, n)
+	labels = make([]int, n)
+	for i := range values {
+		values[i] = int64(rng.Intn(100) + 1)
+		labels[i] = rng.Intn(m)
+	}
+	return values, labels
+}
+
+// waitNoGoroutineLeak polls until the goroutine count returns to the
+// baseline (draining workers may still be parked an instant after the
+// engine returns its error).
+func waitNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			k := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s", before, now, buf[:k])
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestPanicInjectionAllPhases is the phase-coverage matrix of the
+// hardened engines: a fault.Injector panics inside exactly one engine
+// event of each phase, and the engine must return a *EnginePanicError
+// naming that engine and phase, with no goroutine leaked. The SPINETREE
+// phase applies no combines, so its injection point is the barrier
+// event instead.
+func TestPanicInjectionAllPhases(t *testing.T) {
+	values, labels := robustInput(4000, 37)
+	m := 37
+
+	type probe struct {
+		engine string // expected EnginePanicError.Engine
+		phase  string // expected EnginePanicError.Phase and injection target
+		event  fault.Event
+		run    func(cfg Config) error
+	}
+	parallel := func(cfg Config) error {
+		_, err := Parallel(AddInt64, values, labels, m, cfg)
+		return err
+	}
+	chunked := func(cfg Config) error {
+		_, err := Chunked(AddInt64, values, labels, m, cfg)
+		return err
+	}
+	spinetree := func(cfg Config) error {
+		_, err := Spinetree(AddInt64, values, labels, m, cfg)
+		return err
+	}
+	probes := []probe{
+		{"parallel", PhaseSpinetree, fault.EventBarrier, parallel},
+		{"parallel", PhaseRowsums, fault.EventCombine, parallel},
+		{"parallel", PhaseSpinesums, fault.EventCombine, parallel},
+		{"parallel", PhaseReduce, fault.EventCombine, parallel},
+		{"parallel", PhaseMultisums, fault.EventCombine, parallel},
+		{"chunked", PhaseChunkLocal, fault.EventCombine, chunked},
+		{"chunked", PhaseChunkMerge, fault.EventCombine, chunked},
+		{"chunked", PhaseChunkApply, fault.EventCombine, chunked},
+		{"spinetree", PhaseRowsums, fault.EventCombine, spinetree},
+		{"spinetree", PhaseSpinesums, fault.EventCombine, spinetree},
+		{"spinetree", PhaseReduce, fault.EventCombine, spinetree},
+		{"spinetree", PhaseMultisums, fault.EventCombine, spinetree},
+	}
+	for _, p := range probes {
+		t.Run(p.engine+"/"+p.phase, func(t *testing.T) {
+			in := fault.New()
+			in.PanicEvent = p.event
+			in.PanicPhase = p.phase
+			before := runtime.NumGoroutine()
+			err := p.run(Config{Workers: 4, FaultHook: in})
+			var pe *EnginePanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("want *EnginePanicError, got %v", err)
+			}
+			if pe.Engine != p.engine {
+				t.Errorf("Engine = %q, want %q", pe.Engine, p.engine)
+			}
+			if pe.Phase != p.phase {
+				t.Errorf("Phase = %q, want %q", pe.Phase, p.phase)
+			}
+			if len(pe.Stack) == 0 {
+				t.Error("no stack captured")
+			}
+			waitNoGoroutineLeak(t, before)
+		})
+	}
+}
+
+// TestSerialPanicRecovered covers the engines that take no FaultHook:
+// a panic straight out of Op.Combine still comes back typed.
+func TestSerialPanicRecovered(t *testing.T) {
+	values, labels := robustInput(100, 7)
+	boom := Op[int64]{Name: "boom", Combine: func(x, y int64) int64 { panic("combine exploded") }}
+
+	_, err := Serial(boom, values, labels, 7)
+	var pe *EnginePanicError
+	if !errors.As(err, &pe) || pe.Engine != "serial" {
+		t.Fatalf("Serial: want serial EnginePanicError, got %v", err)
+	}
+	_, err = SerialReduce(boom, values, labels, 7)
+	if !errors.As(err, &pe) || pe.Engine != "serial" {
+		t.Fatalf("SerialReduce: want serial EnginePanicError, got %v", err)
+	}
+}
+
+// TestReduceEnginesPanicRecovered covers the reduce-only entry points
+// under combine injection.
+func TestReduceEnginesPanicRecovered(t *testing.T) {
+	values, labels := robustInput(4000, 37)
+	runs := map[string]func(cfg Config) error{
+		"parallel": func(cfg Config) error {
+			_, err := ParallelReduce(AddInt64, values, labels, 37, cfg)
+			return err
+		},
+		"chunked": func(cfg Config) error {
+			_, err := ChunkedReduce(AddInt64, values, labels, 37, cfg)
+			return err
+		},
+		"spinetree": func(cfg Config) error {
+			_, err := SpinetreeReduce(AddInt64, values, labels, 37, cfg)
+			return err
+		},
+	}
+	for name, run := range runs {
+		t.Run(name, func(t *testing.T) {
+			in := fault.New()
+			in.PanicEvent = fault.EventCombine
+			before := runtime.NumGoroutine()
+			err := run(Config{Workers: 4, FaultHook: in})
+			var pe *EnginePanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("want *EnginePanicError, got %v", err)
+			}
+			if pe.Engine != name {
+				t.Errorf("Engine = %q, want %q", pe.Engine, name)
+			}
+			waitNoGoroutineLeak(t, before)
+		})
+	}
+}
+
+// TestParallelPanicFallbackAcceptance is the issue's acceptance
+// scenario: an Op.Combine that panics exactly once under Parallel with
+// 8 workers returns *EnginePanicError with no goroutine leaked, and
+// wrapping the same engine in Fallback degrades to the serial
+// reference, whose result matches a plain Serial run.
+func TestParallelPanicFallbackAcceptance(t *testing.T) {
+	values, labels := robustInput(20000, 64)
+	m := 64
+	var tripped atomic.Bool
+	op := Op[int64]{
+		Name: "add-once-faulty",
+		Combine: func(x, y int64) int64 {
+			if tripped.CompareAndSwap(false, true) {
+				panic("transient combine failure")
+			}
+			return x + y
+		},
+	}
+	cfg := Config{Workers: 8}
+
+	before := runtime.NumGoroutine()
+	_, err := Parallel(op, values, labels, m, cfg)
+	var pe *EnginePanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *EnginePanicError, got %v", err)
+	}
+	if pe.Engine != "parallel" || pe.Worker < 0 {
+		t.Errorf("unexpected attribution: engine %q worker %d", pe.Engine, pe.Worker)
+	}
+	waitNoGoroutineLeak(t, before)
+
+	tripped.Store(false)
+	var report FallbackReport
+	eng := Fallback(ParallelEngine[int64](cfg), &report)
+	got, err := eng(op, values, labels, m)
+	if err != nil {
+		t.Fatalf("fallback engine: %v", err)
+	}
+	if !report.FellBack {
+		t.Error("report.FellBack = false, want true")
+	}
+	if !errors.As(report.PrimaryErr, &pe) {
+		t.Errorf("report.PrimaryErr = %v, want *EnginePanicError", report.PrimaryErr)
+	}
+	want := mustSerial(t, values, labels, m)
+	checkAgainstSerial(t, "fallback", got, want)
+}
+
+// countingOp returns an add operator that counts combine applications.
+func countingOp(calls *atomic.Int64) Op[int64] {
+	return Op[int64]{Name: "counting-add", Combine: func(x, y int64) int64 {
+		calls.Add(1)
+		return x + y
+	}}
+}
+
+// TestPreCancelledContext: an already-cancelled context must return
+// context.Canceled from every ctx-aware entry point before a single
+// combine runs.
+func TestPreCancelledContext(t *testing.T) {
+	values, labels := robustInput(4000, 37)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	op := countingOp(&calls)
+
+	runs := map[string]func() error{
+		"ParallelCtx": func() error {
+			_, err := ParallelCtx(ctx, op, values, labels, 37, Config{Workers: 4})
+			return err
+		},
+		"ChunkedCtx": func() error {
+			_, err := ChunkedCtx(ctx, op, values, labels, 37, Config{Workers: 4})
+			return err
+		},
+		"SpinetreeCtx": func() error {
+			_, err := SpinetreeCtx(ctx, op, values, labels, 37, Config{})
+			return err
+		},
+	}
+	for name, run := range runs {
+		t.Run(name, func(t *testing.T) {
+			calls.Store(0)
+			if err := run(); !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if c := calls.Load(); c != 0 {
+				t.Errorf("%d combines ran under a pre-cancelled context", c)
+			}
+		})
+	}
+}
+
+// TestChunkedCtxMidRunCancel cancels from inside Op.Combine partway
+// through a large run; the chunked workers must notice within
+// cancelStride elements, so total work stops far short of n.
+func TestChunkedCtxMidRunCancel(t *testing.T) {
+	n, m := 1<<20, 256
+	values, labels := robustInput(n, m)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	op := Op[int64]{Name: "cancel-add", Combine: func(x, y int64) int64 {
+		if calls.Add(1) == 5000 {
+			cancel()
+		}
+		return x + y
+	}}
+	before := runtime.NumGoroutine()
+	_, err := ChunkedCtx(ctx, op, values, labels, m, Config{Workers: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c := calls.Load(); c > int64(n)/2 {
+		t.Errorf("cancellation was not prompt: %d of %d combines ran", c, n)
+	}
+	waitNoGoroutineLeak(t, before)
+}
+
+// TestParallelCtxMidRunCancel: same scenario for the barrier-
+// synchronous engine, which polls at barrier boundaries.
+func TestParallelCtxMidRunCancel(t *testing.T) {
+	n, m := 200000, 64
+	values, labels := robustInput(n, m)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	op := Op[int64]{Name: "cancel-add", Combine: func(x, y int64) int64 {
+		if calls.Add(1) == 2000 {
+			cancel()
+		}
+		return x + y
+	}}
+	before := runtime.NumGoroutine()
+	_, err := ParallelCtx(ctx, op, values, labels, m, Config{Workers: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	waitNoGoroutineLeak(t, before)
+}
+
+// TestFallbackNoRetryOnBadInput: invalid input must not trigger the
+// serial retry — it would fail identically, and hiding the validation
+// error behind a second run helps nobody.
+func TestFallbackNoRetryOnBadInput(t *testing.T) {
+	var report FallbackReport
+	eng := Fallback(ParallelEngine[int64](Config{}), &report)
+	_, err := eng(AddInt64, []int64{1, 2}, []int{0, 9}, 3)
+	if !errors.Is(err, ErrBadInput) {
+		t.Fatalf("err = %v, want ErrBadInput", err)
+	}
+	if report.FellBack {
+		t.Error("fell back on invalid input")
+	}
+}
+
+// TestFallbackNoRetryOnCancellation: a cancelled run stays cancelled.
+func TestFallbackNoRetryOnCancellation(t *testing.T) {
+	var report FallbackReport
+	cancelled := Engine[int64](func(op Op[int64], values []int64, labels []int, m int) (Result[int64], error) {
+		return Result[int64]{}, context.Canceled
+	})
+	eng := Fallback(cancelled, &report)
+	_, err := eng(AddInt64, []int64{1}, []int{0}, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if report.FellBack {
+		t.Error("fell back on cancellation")
+	}
+	if report.PrimaryErr == nil {
+		t.Error("report.PrimaryErr not recorded")
+	}
+}
+
+// TestFallbackShieldsForeignEngine: a third-party Engine that panics on
+// the calling goroutine (no recovery of its own) is shielded and the
+// run degrades to Serial.
+func TestFallbackShieldsForeignEngine(t *testing.T) {
+	values, labels := robustInput(500, 11)
+	var report FallbackReport
+	wild := Engine[int64](func(op Op[int64], values []int64, labels []int, m int) (Result[int64], error) {
+		panic("third-party engine bug")
+	})
+	eng := Fallback(wild, &report)
+	got, err := eng(AddInt64, values, labels, 11)
+	if err != nil {
+		t.Fatalf("fallback: %v", err)
+	}
+	var pe *EnginePanicError
+	if !errors.As(report.PrimaryErr, &pe) || pe.Engine != "fallback" {
+		t.Errorf("PrimaryErr = %v, want fallback EnginePanicError", report.PrimaryErr)
+	}
+	if !report.FellBack {
+		t.Error("report.FellBack = false")
+	}
+	checkAgainstSerial(t, "fallback", got, mustSerial(t, values, labels, 11))
+}
+
+// TestFallbackPassThrough: a healthy primary's result is returned
+// untouched and the report stays clean.
+func TestFallbackPassThrough(t *testing.T) {
+	values, labels := robustInput(500, 11)
+	var report FallbackReport
+	eng := Fallback(ChunkedEngine[int64](Config{Workers: 2}), &report)
+	got, err := eng(AddInt64, values, labels, 11)
+	if err != nil {
+		t.Fatalf("fallback: %v", err)
+	}
+	if report.FellBack || report.PrimaryErr != nil {
+		t.Errorf("report = %+v, want zero", report)
+	}
+	checkAgainstSerial(t, "fallback", got, mustSerial(t, values, labels, 11))
+}
+
+// TestBarrierStallInjection: a deliberately stalled worker (the slow-
+// straggler fault) must delay but never corrupt a Parallel run.
+func TestBarrierStallInjection(t *testing.T) {
+	values, labels := robustInput(4000, 37)
+	in := fault.New()
+	in.StallPhase = PhaseRowsums
+	in.StallWorker = 1
+	in.Stall = 20 * time.Millisecond
+	got, err := Parallel(AddInt64, values, labels, 37, Config{Workers: 4, FaultHook: in})
+	if err != nil {
+		t.Fatalf("Parallel: %v", err)
+	}
+	if in.Barriers.Load() == 0 {
+		t.Fatal("barrier hook never fired")
+	}
+	checkAgainstSerial(t, "stalled", got, mustSerial(t, values, labels, 37))
+}
+
+// TestSpineTestFlipInjection: a spurious spine-test failure may corrupt
+// the numeric answer (that is the fault being modeled) but must never
+// panic, deadlock, or write out of bounds.
+func TestSpineTestFlipInjection(t *testing.T) {
+	values, labels := robustInput(4000, 37)
+	for flip := 0; flip < 3; flip++ {
+		in := fault.New()
+		in.FlipIndex = flip
+		if _, err := Spinetree(AddInt64, values, labels, 37, Config{FaultHook: in}); err != nil {
+			t.Fatalf("flip %d: Spinetree: %v", flip, err)
+		}
+		if in.Tests.Load() == 0 {
+			t.Fatalf("flip %d: spine-test hook never fired", flip)
+		}
+		in2 := fault.New()
+		in2.FlipIndex = flip
+		if _, err := Parallel(AddInt64, values, labels, 37, Config{Workers: 4, FaultHook: in2}); err != nil {
+			t.Fatalf("flip %d: Parallel: %v", flip, err)
+		}
+	}
+}
+
+// TestSeededInjectionAcrossEngines: the seedable injector hits a
+// reproducible element, and both goroutine engines survive it for a
+// spread of seeds — fuzz-style variety, replayable from the seed.
+func TestSeededInjectionAcrossEngines(t *testing.T) {
+	values, labels := robustInput(4000, 37)
+	for seed := int64(0); seed < 5; seed++ {
+		for _, phase := range []string{PhaseRowsums, PhaseMultisums} {
+			in := fault.Seeded(seed, len(values), phase)
+			before := runtime.NumGoroutine()
+			_, err := Parallel(AddInt64, values, labels, 37, Config{Workers: 4, FaultHook: in})
+			var pe *EnginePanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("seed %d phase %s: want *EnginePanicError, got %v", seed, phase, err)
+			}
+			waitNoGoroutineLeak(t, before)
+		}
+	}
+}

@@ -10,6 +10,9 @@ package core
 // Returns the per-element exclusive scans and the per-segment totals
 // (in segment order).
 func SegmentedScan[T any](op Op[T], values []T, segments []bool, engine Engine[T]) (scans []T, totals []T, err error) {
+	if err := checkDerivedArgs(op, engine); err != nil {
+		return nil, nil, err
+	}
 	if len(values) != len(segments) {
 		return nil, nil, wrapBadInput("len(values)=%d, len(segments)=%d", len(values), len(segments))
 	}

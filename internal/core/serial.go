@@ -7,10 +7,11 @@ package core
 //
 // Values carry labels in [0, m). The returned Result has Multi of
 // length len(values) and Reductions of length m.
-func Serial[T any](op Op[T], values []T, labels []int, m int) (Result[T], error) {
+func Serial[T any](op Op[T], values []T, labels []int, m int) (res Result[T], err error) {
 	if err := checkInputs(op, values, labels, m); err != nil {
 		return Result[T]{}, err
 	}
+	defer recoverEnginePanic("serial", nil, &err)
 	multi := make([]T, len(values))
 	buckets := make([]T, m)
 	fillIdentity(buckets, op.Identity)
@@ -26,10 +27,11 @@ func Serial[T any](op Op[T], values []T, labels []int, m int) (Result[T], error)
 // operation of paper §4.2) with a single pass. It is the reference for
 // every multireduce engine and for histogramming (op = AddInt64,
 // values all 1).
-func SerialReduce[T any](op Op[T], values []T, labels []int, m int) ([]T, error) {
+func SerialReduce[T any](op Op[T], values []T, labels []int, m int) (red []T, err error) {
 	if err := checkInputs(op, values, labels, m); err != nil {
 		return nil, err
 	}
+	defer recoverEnginePanic("serial", nil, &err)
 	buckets := make([]T, m)
 	fillIdentity(buckets, op.Identity)
 	for i, v := range values {
@@ -42,7 +44,7 @@ func SerialReduce[T any](op Op[T], values []T, labels []int, m int) ([]T, error)
 // SerialInto is Serial writing into caller-provided storage, for
 // allocation-free benchmarking. multi must have length len(values) and
 // buckets length m; both are overwritten.
-func SerialInto[T any](op Op[T], values []T, labels []int, multi, buckets []T) error {
+func SerialInto[T any](op Op[T], values []T, labels []int, multi, buckets []T) (err error) {
 	m := len(buckets)
 	if err := checkInputs(op, values, labels, m); err != nil {
 		return err
@@ -50,6 +52,7 @@ func SerialInto[T any](op Op[T], values []T, labels []int, multi, buckets []T) e
 	if len(multi) != len(values) {
 		return errLen("multi", len(multi), len(values))
 	}
+	defer recoverEnginePanic("serial", nil, &err)
 	fillIdentity(buckets, op.Identity)
 	for i, v := range values {
 		l := labels[i]

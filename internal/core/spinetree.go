@@ -1,6 +1,9 @@
 package core
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // SpineTest selects how the SPINESUMS phase identifies spine elements
 // (elements that acquired children during the SPINETREE phase).
@@ -39,6 +42,17 @@ type Config struct {
 	// Results are identical (any winner is a legal CRCW-ARB outcome);
 	// this exists as the arbitration ablation called out in DESIGN.md.
 	MutexArb bool
+	// Ctx, when non-nil, cancels a run in progress: the Parallel engine
+	// polls it at barrier boundaries, Chunked every few thousand
+	// elements within a chunk, and the sequential engines at phase
+	// boundaries. A cancelled run returns ctx.Err() (context.Canceled
+	// or context.DeadlineExceeded). The ParallelCtx/ChunkedCtx wrappers
+	// set this field.
+	Ctx context.Context
+	// FaultHook, when non-nil, receives engine-internal events (combine
+	// applications, barrier arrivals, spine tests) for deterministic
+	// fault injection; see the FaultHook interface and internal/fault.
+	FaultHook FaultHook
 }
 
 // arena is the pivot-layout temporary storage of paper §4 (Figures 8/9):
@@ -129,11 +143,14 @@ func (a *arena[T]) phaseSpinetree(labels []int) {
 // visits a parent's children in vector order, so non-commutative
 // operators combine correctly; within one column every element has a
 // distinct parent (Theorem 1 / Corollary 1), so the step is EREW.
-func (a *arena[T]) phaseRowsums(op Op[T], values []T) {
+func (a *arena[T]) phaseRowsums(op Op[T], values []T, hook FaultHook) {
 	m := a.m
 	for c := 0; c < a.grid.P; c++ {
 		for i := c; i < a.n; i += a.grid.P {
 			p := a.spine[m+i]
+			if hook != nil {
+				hook.Combine(PhaseRowsums, i)
+			}
 			a.rowsum[p] = op.Combine(a.rowsum[p], values[i])
 			if a.isSpine != nil {
 				a.isSpine[p] = true
@@ -148,15 +165,22 @@ func (a *arena[T]) phaseRowsums(op Op[T], values []T) {
 // spine element per class per row exists (Theorem 2), and a spine
 // element has at most one spine child (Corollary 2), so every write
 // target is unique: EREW.
-func (a *arena[T]) phaseSpinesums(op Op[T], test SpineTest) {
+func (a *arena[T]) phaseSpinesums(op Op[T], test SpineTest, hook FaultHook) {
 	m := a.m
 	for r := 0; r < a.grid.Rows; r++ {
 		lo, hi := a.grid.Row(r)
 		for i := lo; i < hi; i++ {
-			if !a.spineElement(m+i, test) {
+			ok := a.spineElement(m+i, test)
+			if hook != nil {
+				ok = hook.SpineTest(i, ok)
+			}
+			if !ok {
 				continue
 			}
 			p := a.spine[m+i]
+			if hook != nil {
+				hook.Combine(PhaseSpinesums, i)
+			}
 			a.spinesum[p] = op.Combine(a.spinesum[m+i], a.rowsum[m+i])
 		}
 	}
@@ -175,12 +199,15 @@ func (a *arena[T]) spineElement(idx int, test SpineTest) bool {
 // class element) and then appends its own value for the next sibling.
 // Column order is vector order within each row, so results arrive in
 // vector order; distinct parents per column keep the step EREW.
-func (a *arena[T]) phaseMultisums(op Op[T], values, multi []T) {
+func (a *arena[T]) phaseMultisums(op Op[T], values, multi []T, hook FaultHook) {
 	m := a.m
 	for c := 0; c < a.grid.P; c++ {
 		for i := c; i < a.n; i += a.grid.P {
 			p := a.spine[m+i]
 			multi[i] = a.spinesum[p]
+			if hook != nil {
+				hook.Combine(PhaseMultisums, i)
+			}
 			a.spinesum[p] = op.Combine(a.spinesum[p], values[i])
 		}
 	}
@@ -189,9 +216,12 @@ func (a *arena[T]) phaseMultisums(op Op[T], values, multi []T) {
 // reductions finalizes the per-label reductions: each bucket's class
 // total is spinesum (rows below the top) combined with rowsum (the top
 // row), in that order to preserve vector order (paper §4.2).
-func (a *arena[T]) reductions(op Op[T]) []T {
+func (a *arena[T]) reductions(op Op[T], hook FaultHook) []T {
 	red := make([]T, a.m)
 	for b := 0; b < a.m; b++ {
+		if hook != nil {
+			hook.Combine(PhaseReduce, b)
+		}
 		red[b] = op.Combine(a.spinesum[b], a.rowsum[b])
 	}
 	return red
@@ -202,36 +232,61 @@ func (a *arena[T]) reductions(op Op[T]) []T {
 // in O(n + m) space; the point of the sequential engine is bit-exact
 // equivalence with Serial for any Grid shape, which the tests verify,
 // plus exposure of the intermediate structure for traces.
-func Spinetree[T any](op Op[T], values []T, labels []int, m int, cfg Config) (Result[T], error) {
+func Spinetree[T any](op Op[T], values []T, labels []int, m int, cfg Config) (res Result[T], err error) {
 	if err := checkInputs(op, values, labels, m); err != nil {
+		return Result[T]{}, err
+	}
+	if err := ctxErr(cfg.Ctx); err != nil {
 		return Result[T]{}, err
 	}
 	a, err := newArena(op, labels, m, cfg)
 	if err != nil {
 		return Result[T]{}, err
 	}
+	phase := PhaseSpinetree
+	defer recoverEnginePanic("spinetree", &phase, &err)
 	multi := make([]T, len(values))
+	var red []T
 	a.phaseSpinetree(labels)
-	a.phaseRowsums(op, values)
-	a.phaseSpinesums(op, cfg.SpineTest)
-	red := a.reductions(op)
-	a.phaseMultisums(op, values, multi)
+	for _, step := range []struct {
+		name string
+		run  func()
+	}{
+		{PhaseRowsums, func() { a.phaseRowsums(op, values, cfg.FaultHook) }},
+		{PhaseSpinesums, func() { a.phaseSpinesums(op, cfg.SpineTest, cfg.FaultHook) }},
+		{PhaseReduce, func() { red = a.reductions(op, cfg.FaultHook) }},
+		{PhaseMultisums, func() { a.phaseMultisums(op, values, multi, cfg.FaultHook) }},
+	} {
+		if err := ctxErr(cfg.Ctx); err != nil {
+			return Result[T]{}, err
+		}
+		phase = step.name
+		step.run()
+	}
 	return Result[T]{Multi: multi, Reductions: red}, nil
 }
 
 // SpinetreeReduce computes only the reductions (multireduce, §4.2),
 // skipping the MULTISUMS phase entirely — the saving the paper
 // quantifies as ~6 of ~7 clocks per element for the final phase.
-func SpinetreeReduce[T any](op Op[T], values []T, labels []int, m int, cfg Config) ([]T, error) {
+func SpinetreeReduce[T any](op Op[T], values []T, labels []int, m int, cfg Config) (red []T, err error) {
 	if err := checkInputs(op, values, labels, m); err != nil {
+		return nil, err
+	}
+	if err := ctxErr(cfg.Ctx); err != nil {
 		return nil, err
 	}
 	a, err := newArena(op, labels, m, cfg)
 	if err != nil {
 		return nil, err
 	}
+	phase := PhaseSpinetree
+	defer recoverEnginePanic("spinetree", &phase, &err)
 	a.phaseSpinetree(labels)
-	a.phaseRowsums(op, values)
-	a.phaseSpinesums(op, cfg.SpineTest)
-	return a.reductions(op), nil
+	phase = PhaseRowsums
+	a.phaseRowsums(op, values, cfg.FaultHook)
+	phase = PhaseSpinesums
+	a.phaseSpinesums(op, cfg.SpineTest, cfg.FaultHook)
+	phase = PhaseReduce
+	return a.reductions(op, cfg.FaultHook), nil
 }

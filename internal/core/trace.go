@@ -54,15 +54,15 @@ func TraceSpinetree[T any](op Op[T], values []T, labels []int, m int, cfg Config
 	}
 	t.Spine = snap()
 
-	a.phaseRowsums(op, values)
+	a.phaseRowsums(op, values, cfg.FaultHook)
 	t.Rowsum = append([]T(nil), a.rowsum...)
 
-	a.phaseSpinesums(op, cfg.SpineTest)
+	a.phaseSpinesums(op, cfg.SpineTest, cfg.FaultHook)
 	t.Spinesum = append([]T(nil), a.spinesum...)
 
-	t.Reductions = a.reductions(op)
+	t.Reductions = a.reductions(op, cfg.FaultHook)
 	multi := make([]T, a.n)
-	a.phaseMultisums(op, values, multi)
+	a.phaseMultisums(op, values, multi, cfg.FaultHook)
 	t.Multi = multi
 	return t, nil
 }

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFetchOpRejectsBadAddresses: every address must be validated
+// before any indexing, so a hostile address vector yields a wrapped
+// ErrBadInput — never an index-out-of-range panic — and the cells are
+// untouched.
+func TestFetchOpRejectsBadAddresses(t *testing.T) {
+	for _, bad := range [][]int{
+		{0, -1, 1},          // negative
+		{0, 3, 1},           // == len(cells)
+		{0, 1 << 30, 1},     // far too large
+		{-1, -1, -1},        // all negative
+		{2, 1, 0, 0, 0, -5}, // bad entry last
+	} {
+		cells := []int64{10, 20, 30}
+		orig := append([]int64(nil), cells...)
+		incs := make([]int64, len(bad))
+		for i := range incs {
+			incs[i] = int64(i + 1)
+		}
+		_, err := FetchOp(AddInt64, cells, bad, incs, SerialEngine[int64]())
+		if !errors.Is(err, ErrBadInput) {
+			t.Fatalf("addrs %v: err = %v, want ErrBadInput", bad, err)
+		}
+		if !equalInt64(cells, orig) {
+			t.Errorf("addrs %v: cells mutated to %v before validation failed", bad, cells)
+		}
+	}
+}
+
+// TestCombiningSendRejectsBadDest: same contract for the combining
+// send's destination vector.
+func TestCombiningSendRejectsBadDest(t *testing.T) {
+	for _, bad := range [][]int{
+		{-1},
+		{0, 4},
+		{1, 2, -7},
+	} {
+		dst := []int64{1, 2, 3, 4}
+		orig := append([]int64(nil), dst...)
+		vals := make([]int64, len(bad))
+		err := CombiningSend(AddInt64, dst, bad, vals, SerialEngine[int64]())
+		if !errors.Is(err, ErrBadInput) {
+			t.Fatalf("dest %v: err = %v, want ErrBadInput", bad, err)
+		}
+		if !equalInt64(dst, orig) {
+			t.Errorf("dest %v: dst mutated to %v before validation failed", bad, dst)
+		}
+	}
+}
+
+// TestDerivedOpsRejectBadIndices: Beta keys and Enumerate labels get
+// the same address validation.
+func TestDerivedOpsRejectBadIndices(t *testing.T) {
+	if _, err := Beta(AddInt64, []int64{1, 2}, []int{0, 5}, 3, SerialEngine[int64]()); !errors.Is(err, ErrBadInput) {
+		t.Errorf("Beta with key 5 of 3: err = %v, want ErrBadInput", err)
+	}
+	if _, err := Beta(AddInt64, []int64{1}, []int{-2}, 3, SerialEngine[int64]()); !errors.Is(err, ErrBadInput) {
+		t.Errorf("Beta with key -2: err = %v, want ErrBadInput", err)
+	}
+	if _, _, err := Enumerate([]int{0, 3}, 2, SerialEngine[int64]()); !errors.Is(err, ErrBadInput) {
+		t.Errorf("Enumerate with label 3 of 2: err = %v, want ErrBadInput", err)
+	}
+	if _, _, err := Enumerate([]int{-1}, 2, SerialEngine[int64]()); !errors.Is(err, ErrBadInput) {
+		t.Errorf("Enumerate with label -1: err = %v, want ErrBadInput", err)
+	}
+}
+
+// TestZeroOpRejectedEverywhere: a zero Op (nil Combine) must be turned
+// away by every entry point with a wrapped ErrBadInput, not passed into
+// a phase where it would dereference nil mid-run.
+func TestZeroOpRejectedEverywhere(t *testing.T) {
+	var zero Op[int64]
+	values := []int64{1, 2, 3}
+	labels := []int{0, 1, 0}
+	segs := []bool{true, false, true}
+	entries := map[string]func() error{
+		"Serial": func() error {
+			_, err := Serial(zero, values, labels, 2)
+			return err
+		},
+		"SerialReduce": func() error {
+			_, err := SerialReduce(zero, values, labels, 2)
+			return err
+		},
+		"SerialInto": func() error {
+			multi := make([]int64, 3)
+			red := make([]int64, 2)
+			return SerialInto(zero, values, labels, multi, red)
+		},
+		"Spinetree": func() error {
+			_, err := Spinetree(zero, values, labels, 2, Config{})
+			return err
+		},
+		"SpinetreeReduce": func() error {
+			_, err := SpinetreeReduce(zero, values, labels, 2, Config{})
+			return err
+		},
+		"Parallel": func() error {
+			_, err := Parallel(zero, values, labels, 2, Config{})
+			return err
+		},
+		"ParallelReduce": func() error {
+			_, err := ParallelReduce(zero, values, labels, 2, Config{})
+			return err
+		},
+		"Chunked": func() error {
+			_, err := Chunked(zero, values, labels, 2, Config{})
+			return err
+		},
+		"ChunkedReduce": func() error {
+			_, err := ChunkedReduce(zero, values, labels, 2, Config{})
+			return err
+		},
+		"SegmentedScan": func() error {
+			_, _, err := SegmentedScan(zero, values, segs, SerialEngine[int64]())
+			return err
+		},
+		"FetchOp": func() error {
+			_, err := FetchOp(zero, []int64{0, 0}, []int{0, 1, 0}, values, SerialEngine[int64]())
+			return err
+		},
+		"CombiningSend": func() error {
+			return CombiningSend(zero, []int64{0, 0}, []int{0, 1, 0}, values, SerialEngine[int64]())
+		},
+		"Beta": func() error {
+			_, err := Beta(zero, values, labels, 2, SerialEngine[int64]())
+			return err
+		},
+		"InclusiveMulti": func() error {
+			_, err := InclusiveMulti(zero, values, values)
+			return err
+		},
+	}
+	for name, run := range entries {
+		t.Run(name, func(t *testing.T) {
+			if err := run(); !errors.Is(err, ErrBadInput) {
+				t.Fatalf("err = %v, want ErrBadInput", err)
+			}
+		})
+	}
+}
+
+// TestNilEngineRejected: the derived operations reject a nil engine up
+// front instead of calling it.
+func TestNilEngineRejected(t *testing.T) {
+	values := []int64{1, 2}
+	if _, _, err := SegmentedScan(AddInt64, values, []bool{true, false}, nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("SegmentedScan: err = %v, want ErrBadInput", err)
+	}
+	if _, err := FetchOp(AddInt64, []int64{0}, []int{0, 0}, values, nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("FetchOp: err = %v, want ErrBadInput", err)
+	}
+	if err := CombiningSend(AddInt64, []int64{0}, []int{0, 0}, values, nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("CombiningSend: err = %v, want ErrBadInput", err)
+	}
+	if _, err := Beta(AddInt64, values, []int{0, 0}, 1, nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("Beta: err = %v, want ErrBadInput", err)
+	}
+	if _, _, err := Enumerate([]int{0, 0}, 1, nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("Enumerate: err = %v, want ErrBadInput", err)
+	}
+}

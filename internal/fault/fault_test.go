@@ -1,0 +1,136 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// mustPanic runs fn and reports the recovered value, failing the test
+// if fn returns normally.
+func mustPanic(t *testing.T, fn func()) (rec any) {
+	t.Helper()
+	defer func() { rec = recover() }()
+	fn()
+	t.Fatal("expected panic, got normal return")
+	return nil
+}
+
+// TestNewIsInert: a freshly constructed injector counts events but
+// injects nothing.
+func TestNewIsInert(t *testing.T) {
+	in := New()
+	in.Combine("rowsums", 0)
+	in.Barrier("rowsums", 0)
+	if got := in.SpineTest(0, true); got != true {
+		t.Error("SpineTest altered result with no flip configured")
+	}
+	if got := in.SpineTest(1, false); got != false {
+		t.Error("SpineTest altered result with no flip configured")
+	}
+	if in.Combines.Load() != 1 || in.Barriers.Load() != 1 || in.Tests.Load() != 2 {
+		t.Errorf("counters = %d/%d/%d, want 1/1/2",
+			in.Combines.Load(), in.Barriers.Load(), in.Tests.Load())
+	}
+}
+
+// TestCombinePanicMatching: the panic fires only at the configured
+// (event, phase, index) coordinate; "" and -1 are wildcards.
+func TestCombinePanicMatching(t *testing.T) {
+	in := New()
+	in.PanicEvent = EventCombine
+	in.PanicPhase = "rowsums"
+	in.PanicIndex = 3
+	in.PanicValue = "boom"
+
+	in.Combine("rowsums", 2)   // wrong index
+	in.Combine("spinesums", 3) // wrong phase
+	in.Barrier("rowsums", 3)   // wrong event
+	if rec := mustPanic(t, func() { in.Combine("rowsums", 3) }); rec != "boom" {
+		t.Errorf("panic value = %v, want boom", rec)
+	}
+
+	any := New()
+	any.PanicEvent = EventCombine // phase "" and index -1 match anything
+	mustPanic(t, func() { any.Combine("whatever", 99) })
+}
+
+// TestDefaultPanicValueDescriptive: an unset PanicValue panics with a
+// string naming the coordinate, so test failures are self-explaining.
+func TestDefaultPanicValueDescriptive(t *testing.T) {
+	in := New()
+	in.PanicEvent = EventSpineTest
+	rec := mustPanic(t, func() { in.SpineTest(7, true) })
+	s, ok := rec.(string)
+	if !ok || s == "" {
+		t.Fatalf("panic value = %#v, want descriptive string", rec)
+	}
+}
+
+// TestSpineTestFlip: only the configured element's result inverts.
+func TestSpineTestFlip(t *testing.T) {
+	in := New()
+	in.FlipIndex = 5
+	if got := in.SpineTest(5, true); got != false {
+		t.Error("flip index did not invert true")
+	}
+	if got := in.SpineTest(5, false); got != true {
+		t.Error("flip index did not invert false")
+	}
+	if got := in.SpineTest(4, true); got != true {
+		t.Error("non-flip index was inverted")
+	}
+}
+
+// TestStallFiresOnce: the straggler stall sleeps on the first matching
+// barrier arrival only — repeated arrivals must not re-stall, or a
+// stalled test would multiply its runtime by the barrier count.
+func TestStallFiresOnce(t *testing.T) {
+	in := New()
+	in.StallPhase = "rowsums"
+	in.StallWorker = 1
+	in.Stall = 50 * time.Millisecond
+
+	start := time.Now()
+	in.Barrier("rowsums", 0) // wrong worker: no stall
+	if d := time.Since(start); d > 25*time.Millisecond {
+		t.Fatalf("non-matching worker stalled for %v", d)
+	}
+	start = time.Now()
+	in.Barrier("rowsums", 1)
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("matching arrival stalled only %v, want ~50ms", d)
+	}
+	start = time.Now()
+	in.Barrier("rowsums", 1) // consumed: no second stall
+	if d := time.Since(start); d > 25*time.Millisecond {
+		t.Fatalf("stall fired twice (second arrival took %v)", d)
+	}
+}
+
+// TestSeededDeterminism: the same (seed, n, phase) always selects the
+// same element; the selection is always in range; and different seeds
+// spread across the index space.
+func TestSeededDeterminism(t *testing.T) {
+	const n = 1000
+	seen := make(map[int]bool)
+	for seed := int64(0); seed < 50; seed++ {
+		a := Seeded(seed, n, "rowsums")
+		b := Seeded(seed, n, "rowsums")
+		if a.PanicIndex != b.PanicIndex {
+			t.Fatalf("seed %d: indices %d and %d differ", seed, a.PanicIndex, b.PanicIndex)
+		}
+		if a.PanicIndex < 0 || a.PanicIndex >= n {
+			t.Fatalf("seed %d: index %d out of [0,%d)", seed, a.PanicIndex, n)
+		}
+		if a.PanicEvent != EventCombine || a.PanicPhase != "rowsums" {
+			t.Fatalf("seed %d: wrong injection point %v/%q", seed, a.PanicEvent, a.PanicPhase)
+		}
+		seen[a.PanicIndex] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("50 seeds hit only %d distinct indices; splitmix64 not spreading", len(seen))
+	}
+	if z := Seeded(7, 0, "x"); z.PanicIndex != 0 {
+		t.Errorf("n=0: PanicIndex = %d, want 0", z.PanicIndex)
+	}
+}

@@ -10,7 +10,9 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -102,6 +104,26 @@ func (b *Barrier) Await() {
 	b.mu.Unlock()
 }
 
+// Drop permanently removes one party from the barrier: the departing
+// goroutine promises never to call Await again. If the goroutines
+// already waiting now form a complete phase, they are released. Drop is
+// how a worker aborts a barrier-synchronous computation — after a
+// recovered panic or a cancellation — without deadlocking its siblings:
+// each departing worker Drops instead of Awaiting, and the remaining
+// workers' phases keep completing with the shrunken party count.
+func (b *Barrier) Drop() {
+	b.mu.Lock()
+	if b.parties > 0 {
+		b.parties--
+	}
+	if b.parties > 0 && b.waiting >= b.parties {
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
 // Pool runs a fixed set of workers that repeatedly execute synchronous
 // steps. All workers run the same step function (with their worker id);
 // a step does not begin until the previous step has completed on every
@@ -112,6 +134,31 @@ type Pool struct {
 	done    chan struct{}
 	wg      sync.WaitGroup
 	barrier *Barrier
+
+	mu       sync.Mutex
+	panicked error // first *WorkerPanic recovered in the current step
+}
+
+// WorkerPanic is the error Pool.Step returns when a worker's step
+// function panicked. The panic is recovered inside the worker, which
+// still arrives at the step barrier, so the pool stays usable for
+// subsequent steps.
+type WorkerPanic struct {
+	Worker int    // id of the panicking worker
+	Value  any    // recovered panic value
+	Stack  []byte // stack captured at recovery
+}
+
+func (e *WorkerPanic) Error() string {
+	return fmt.Sprintf("par: worker %d panicked during step: %v", e.Worker, e.Value)
+}
+
+// Unwrap exposes the panic value when it was itself an error.
+func (e *WorkerPanic) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
 }
 
 // NewPool starts workers goroutines waiting for steps.
@@ -141,7 +188,7 @@ func (p *Pool) run(worker int) {
 	for {
 		select {
 		case step := <-p.steps:
-			step(worker)
+			p.safeStep(step, worker)
 			p.barrier.Await()
 		case <-p.done:
 			return
@@ -149,13 +196,35 @@ func (p *Pool) run(worker int) {
 	}
 }
 
+// safeStep executes one step on one worker, recovering a panic so the
+// worker still reaches the step barrier and the pool survives.
+func (p *Pool) safeStep(step func(worker int), worker int) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			p.mu.Lock()
+			if p.panicked == nil {
+				p.panicked = &WorkerPanic{Worker: worker, Value: rec, Stack: debug.Stack()}
+			}
+			p.mu.Unlock()
+		}
+	}()
+	step(worker)
+}
+
 // Step runs fn on every worker and returns when all have finished.
-// It must not be called concurrently from multiple goroutines.
-func (p *Pool) Step(fn func(worker int)) {
+// It must not be called concurrently from multiple goroutines. If any
+// worker's fn panicked, the first recovered panic is returned as a
+// *WorkerPanic; the pool and its barrier remain usable either way.
+func (p *Pool) Step(fn func(worker int)) error {
 	for w := 0; w < p.workers; w++ {
 		p.steps <- fn
 	}
 	p.barrier.Await()
+	p.mu.Lock()
+	err := p.panicked
+	p.panicked = nil
+	p.mu.Unlock()
+	return err
 }
 
 // Close shuts the pool down. The pool must be idle (no Step in flight).

@@ -1,0 +1,131 @@
+package par
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBarrierDropReleasesWaiters: when the departing party's Drop makes
+// the remaining waiters a complete phase, they are released immediately
+// rather than waiting for an arrival that will never come.
+func TestBarrierDropReleasesWaiters(t *testing.T) {
+	b := NewBarrier(3)
+	var released sync.WaitGroup
+	released.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			b.Await()
+			released.Done()
+		}()
+	}
+	// Let both goroutines park at the barrier, then drop the third party.
+	time.Sleep(10 * time.Millisecond)
+	b.Drop()
+
+	done := make(chan struct{})
+	go func() {
+		released.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiters not released after Drop")
+	}
+}
+
+// TestBarrierDropThenAwait: after a Drop the barrier keeps cycling with
+// the shrunken party count.
+func TestBarrierDropThenAwait(t *testing.T) {
+	b := NewBarrier(3)
+	b.Drop() // now a 2-party barrier
+	var phase atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 10; k++ {
+				b.Await()
+				phase.Add(1)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("barrier deadlocked after Drop")
+	}
+	if got := phase.Load(); got != 20 {
+		t.Errorf("phase count = %d, want 20", got)
+	}
+}
+
+// TestBarrierDropLastParty: dropping the only party is a no-op, not a
+// panic or a negative party count.
+func TestBarrierDropLastParty(t *testing.T) {
+	b := NewBarrier(1)
+	b.Drop()
+	b.Drop() // extra Drop must also be harmless
+}
+
+// TestPoolStepPanicRecovered: a panic inside one worker's step function
+// is recovered, reported as *WorkerPanic from Step, and leaves the pool
+// fully usable for subsequent steps.
+func TestPoolStepPanicRecovered(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+
+	err := p.Step(func(w int) {
+		if w == 2 {
+			panic("step exploded")
+		}
+	})
+	var wp *WorkerPanic
+	if !errors.As(err, &wp) {
+		t.Fatalf("Step error = %v, want *WorkerPanic", err)
+	}
+	if wp.Worker != 2 {
+		t.Errorf("Worker = %d, want 2", wp.Worker)
+	}
+	if wp.Value != "step exploded" {
+		t.Errorf("Value = %v, want %q", wp.Value, "step exploded")
+	}
+	if len(wp.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+
+	// The pool must still run clean steps, and the panic must not be
+	// re-reported.
+	var ran atomic.Int64
+	if err := p.Step(func(w int) { ran.Add(1) }); err != nil {
+		t.Fatalf("clean step after panic: %v", err)
+	}
+	if ran.Load() != 4 {
+		t.Errorf("clean step ran on %d workers, want 4", ran.Load())
+	}
+}
+
+// TestPoolStepPanicUnwrap: a panic whose value is an error is exposed
+// through errors.Is.
+func TestPoolStepPanicUnwrap(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	sentinel := errors.New("sentinel failure")
+	err := p.Step(func(w int) {
+		if w == 0 {
+			panic(sentinel)
+		}
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is(err, sentinel) = false; err = %v", err)
+	}
+}

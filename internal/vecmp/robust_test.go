@@ -1,6 +1,7 @@
 package vecmp
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -129,5 +130,53 @@ func TestCostMonotonicity(t *testing.T) {
 	}
 	if mDear.Cycles() <= mBase.Cycles() {
 		t.Errorf("doubling memory costs did not increase cycles: %v vs %v", mDear.Cycles(), mBase.Cycles())
+	}
+}
+
+// TestCycleBudgetAborts: a machine with a tiny cycle budget must abort
+// the kernel with a typed error wrapping vector.ErrBudgetExhausted,
+// while an ample budget changes nothing — the simulator's equivalent
+// of a deadline, so a pathological load cannot pin a simulation.
+func TestCycleBudgetAborts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, b := 4000, 64
+	labels := RandomLabels(rng, n, b)
+	values := make([]int64, n)
+	for i := range values {
+		values[i] = int64(rng.Intn(50)) + 1
+	}
+
+	tiny := vector.DefaultConfig()
+	tiny.CycleBudget = 500 // a few loop overheads; nowhere near enough
+	m := vector.New(tiny)
+	if _, err := Multiprefix(m, core.AddInt64, values, labels, b, Config{}); !errors.Is(err, vector.ErrBudgetExhausted) {
+		t.Fatalf("Multiprefix under tiny budget: err = %v, want ErrBudgetExhausted", err)
+	}
+	m2 := vector.New(tiny)
+	if _, err := Multireduce(m2, core.AddInt64, values, labels, b, Config{}); !errors.Is(err, vector.ErrBudgetExhausted) {
+		t.Fatalf("Multireduce under tiny budget: err = %v, want ErrBudgetExhausted", err)
+	}
+
+	ample := vector.DefaultConfig()
+	ample.CycleBudget = 1e12
+	m3 := vector.New(ample)
+	got, err := Multiprefix(m3, core.AddInt64, values, labels, b, Config{})
+	if err != nil {
+		t.Fatalf("Multiprefix under ample budget: %v", err)
+	}
+	want, err := core.Serial(core.AddInt64, values, toInt(labels), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Multi {
+		if got.Multi[i] != want.Multi[i] {
+			t.Fatalf("Multi[%d] = %d, want %d", i, got.Multi[i], want.Multi[i])
+		}
+	}
+
+	// Budget 0 (the default) means unlimited: identical run, no error.
+	m4 := vector.NewDefault()
+	if _, err := Multiprefix(m4, core.AddInt64, values, labels, b, Config{}); err != nil {
+		t.Fatalf("unlimited budget: %v", err)
 	}
 }

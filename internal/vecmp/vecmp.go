@@ -110,22 +110,37 @@ func Multiprefix[T vector.Elem](m *vector.Machine, op core.Op[T], values []T, la
 	mark = m.Mark()
 	s.phaseSpinetree()
 	res.Phases.Spinetree = m.Since(mark)
+	if err := m.BudgetErr(); err != nil {
+		return nil, err
+	}
 
 	mark = m.Mark()
 	s.phaseRowsums()
 	res.Phases.Rowsums = m.Since(mark)
+	if err := m.BudgetErr(); err != nil {
+		return nil, err
+	}
 
 	mark = m.Mark()
 	s.phaseSpinesums()
 	res.Phases.Spinesums = m.Since(mark)
+	if err := m.BudgetErr(); err != nil {
+		return nil, err
+	}
 
 	mark = m.Mark()
 	res.Reductions = s.reduce()
 	res.Phases.Reduce = m.Since(mark)
+	if err := m.BudgetErr(); err != nil {
+		return nil, err
+	}
 
 	mark = m.Mark()
 	res.Multi = s.phaseMultisums()
 	res.Phases.Multisums = m.Since(mark)
+	if err := m.BudgetErr(); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -145,18 +160,30 @@ func Multireduce[T vector.Elem](m *vector.Machine, op core.Op[T], values []T, la
 	mark = m.Mark()
 	s.phaseSpinetree()
 	res.Phases.Spinetree = m.Since(mark)
+	if err := m.BudgetErr(); err != nil {
+		return nil, err
+	}
 
 	mark = m.Mark()
 	s.phaseRowsums()
 	res.Phases.Rowsums = m.Since(mark)
+	if err := m.BudgetErr(); err != nil {
+		return nil, err
+	}
 
 	mark = m.Mark()
 	s.phaseSpinesums()
 	res.Phases.Spinesums = m.Since(mark)
+	if err := m.BudgetErr(); err != nil {
+		return nil, err
+	}
 
 	mark = m.Mark()
 	res.Reductions = s.reduce()
 	res.Phases.Reduce = m.Since(mark)
+	if err := m.BudgetErr(); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -274,6 +301,9 @@ func (s *state[T]) initSums() {
 func (s *state[T]) phaseSpinetree() {
 	m := s.m
 	for r := s.grid.Rows - 1; r >= 0; r-- {
+		if m.Exhausted() {
+			return // budget gone; the caller's BudgetErr check reports it
+		}
 		lo, hi := s.grid.Row(r)
 		k := hi - lo
 		m.BeginLoop()
@@ -297,6 +327,9 @@ func (s *state[T]) phaseSpinetree() {
 func (s *state[T]) phaseRowsums() {
 	m := s.m
 	for c := 0; c < s.grid.P; c++ {
+		if m.Exhausted() {
+			return
+		}
 		k := s.grid.ColumnLen(c)
 		if k == 0 {
 			continue
@@ -335,6 +368,9 @@ func (s *state[T]) phaseSpinesums() {
 	m := s.m
 	vl := m.Config().VL
 	for r := 0; r < s.grid.Rows; r++ {
+		if m.Exhausted() {
+			return
+		}
 		lo, hi := s.grid.Row(r)
 		m.BeginLoop()
 		for slo := lo; slo < hi; slo += vl {
@@ -411,6 +447,9 @@ func (s *state[T]) phaseMultisums() []T {
 	m := s.m
 	multi := make([]T, s.n)
 	for c := 0; c < s.grid.P; c++ {
+		if m.Exhausted() {
+			return multi
+		}
 		k := s.grid.ColumnLen(c)
 		if k == 0 {
 			continue

@@ -80,6 +80,15 @@ type Config struct {
 	// is entirely false: the loop "jumps ahead to the next group of 64
 	// elements" (§4.1) after only the mask test.
 	EarlyExitStrip float64
+
+	// CycleBudget, when positive, bounds the simulated clock ticks a
+	// run may account. Once accumulated cycles exceed the budget the
+	// machine reports Exhausted and budget-aware kernels (vecmp) abort
+	// with an error wrapping ErrBudgetExhausted — the simulator's
+	// equivalent of a deadline on a real machine, so a pathological
+	// input (e.g. an all-hot-spot load) cannot pin a simulation
+	// indefinitely. Zero means unlimited.
+	CycleBudget float64
 }
 
 // DefaultConfig returns the Y-MP-flavoured machine used by all

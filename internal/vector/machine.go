@@ -1,10 +1,15 @@
 package vector
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 )
+
+// ErrBudgetExhausted is wrapped by the error a budget-aware kernel
+// returns once a machine's accounted cycles exceed Config.CycleBudget.
+var ErrBudgetExhausted = errors.New("vector: cycle budget exhausted")
 
 // Machine accumulates the simulated clock cost of a kernel. It is not
 // safe for concurrent use; create one per measured kernel run.
@@ -52,6 +57,23 @@ func (m *Machine) Reset() {
 	m.cycles = 0
 	m.instrs = 0
 	m.byKind = make(map[string]float64)
+}
+
+// Exhausted reports whether the machine has accounted more cycles than
+// its Config.CycleBudget allows (always false for budget 0). Kernels
+// with natural checkpoints (per loop, per phase) poll it and abort via
+// BudgetErr.
+func (m *Machine) Exhausted() bool {
+	return m.cfg.CycleBudget > 0 && m.cycles > m.cfg.CycleBudget
+}
+
+// BudgetErr returns a typed error wrapping ErrBudgetExhausted when the
+// budget is exceeded, nil otherwise.
+func (m *Machine) BudgetErr() error {
+	if !m.Exhausted() {
+		return nil
+	}
+	return fmt.Errorf("%w: %.0f cycles accounted, budget %.0f", ErrBudgetExhausted, m.cycles, m.cfg.CycleBudget)
 }
 
 // Mark returns the current cycle count; use with Since for phase

@@ -32,6 +32,8 @@
 package multiprefix
 
 import (
+	"context"
+
 	"multiprefix/internal/core"
 )
 
@@ -53,6 +55,21 @@ type Engine[T any] = core.Engine[T]
 
 // ErrBadInput is wrapped by every input-validation failure.
 var ErrBadInput = core.ErrBadInput
+
+// EnginePanicError is returned when a panic — typically from a
+// user-supplied Op.Combine — was recovered inside an engine. Worker
+// goroutines release their barrier before returning, so the process
+// survives, no goroutine leaks, and the run fails with this typed
+// error instead of crashing.
+type EnginePanicError = core.EnginePanicError
+
+// FallbackReport records what a Fallback engine observed during its
+// most recent run.
+type FallbackReport = core.FallbackReport
+
+// FaultHook receives engine-internal events for deterministic fault
+// injection (see Config.FaultHook); production code leaves it nil.
+type FaultHook = core.FaultHook
 
 // Predeclared operators. AddInt64 is the multiprefix-PLUS operator the
 // paper concentrates on.
@@ -97,6 +114,57 @@ func Reduce[T any](op Op[T], values []T, labels []int, m int) ([]T, error) {
 		return core.SerialReduce(op, values, labels, m)
 	}
 	return core.ChunkedReduce(op, values, labels, m, Config{})
+}
+
+// ComputeCtx is Compute under a cancellation context: an already-
+// cancelled context returns ctx.Err() before any phase runs, and a
+// mid-run cancellation aborts within a few thousand elements. A nil
+// context is treated as context.Background().
+func ComputeCtx[T any](ctx context.Context, op Op[T], values []T, labels []int, m int) (Result[T], error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Result[T]{}, err
+		}
+	}
+	if len(values) < autoThreshold {
+		return core.Serial(op, values, labels, m)
+	}
+	return core.ChunkedCtx(ctx, op, values, labels, m, Config{})
+}
+
+// ReduceCtx is Reduce under a cancellation context; a nil context is
+// treated as context.Background().
+func ReduceCtx[T any](ctx context.Context, op Op[T], values []T, labels []int, m int) ([]T, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if len(values) < autoThreshold {
+		return core.SerialReduce(op, values, labels, m)
+	}
+	cfg := Config{Ctx: ctx}
+	return core.ChunkedReduce(op, values, labels, m, cfg)
+}
+
+// ParallelCtx is Parallel under a cancellation context, polled at
+// barrier boundaries.
+func ParallelCtx[T any](ctx context.Context, op Op[T], values []T, labels []int, m int, cfg Config) (Result[T], error) {
+	return core.ParallelCtx(ctx, op, values, labels, m, cfg)
+}
+
+// ChunkedCtx is Chunked under a cancellation context, polled every few
+// thousand elements within each chunk.
+func ChunkedCtx[T any](ctx context.Context, op Op[T], values []T, labels []int, m int, cfg Config) (Result[T], error) {
+	return core.ChunkedCtx(ctx, op, values, labels, m, cfg)
+}
+
+// Fallback wraps an engine so that a panic or internal error degrades
+// to the serial reference engine instead of failing the request;
+// invalid input and cancellation are returned as-is. See
+// core.Fallback for the report semantics.
+func Fallback[T any](primary Engine[T], report *FallbackReport) Engine[T] {
+	return core.Fallback(primary, report)
 }
 
 // Serial runs the one-pass reference algorithm (paper Figure 2).

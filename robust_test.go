@@ -1,0 +1,167 @@
+package multiprefix
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// bigInput builds a >=1M-element input, forcing Compute's chunked path.
+func bigInput(n, m int) (values []int64, labels []int) {
+	rng := rand.New(rand.NewSource(11))
+	values = make([]int64, n)
+	labels = make([]int, n)
+	for i := range values {
+		values[i] = int64(rng.Intn(100))
+		labels[i] = rng.Intn(m)
+	}
+	return values, labels
+}
+
+// TestComputeCtxPreCancelled: an already-cancelled context returns
+// context.Canceled before any phase runs — not a single combine fires.
+func TestComputeCtxPreCancelled(t *testing.T) {
+	values, labels := bigInput(1<<20, 128)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	op := Op[int64]{Name: "counting-add", Combine: func(x, y int64) int64 {
+		calls.Add(1)
+		return x + y
+	}}
+	_, err := ComputeCtx(ctx, op, values, labels, 128)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c := calls.Load(); c != 0 {
+		t.Errorf("%d combines ran under a pre-cancelled context", c)
+	}
+	if _, err := ReduceCtx(ctx, op, values, labels, 128); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ReduceCtx err = %v, want context.Canceled", err)
+	}
+}
+
+// TestComputeCtxMidRunCancel: cancelling mid-run on a >=1M-element
+// input aborts within one chunk-polling boundary — promptly, and
+// having done only a small fraction of the work.
+func TestComputeCtxMidRunCancel(t *testing.T) {
+	n := 1 << 20
+	values, labels := bigInput(n, 128)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	op := Op[int64]{Name: "cancelling-add", Combine: func(x, y int64) int64 {
+		if calls.Add(1) == 4000 {
+			cancel()
+		}
+		return x + y
+	}}
+	start := time.Now()
+	_, err := ComputeCtx(ctx, op, values, labels, 128)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c := calls.Load(); c > int64(n)/2 {
+		t.Errorf("cancellation not prompt: %d of %d combines ran", c, n)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancelled run took %v", elapsed)
+	}
+}
+
+// TestComputeCtxHealthy: with a live context the results are identical
+// to Compute, on both sides of the engine-selection threshold.
+func TestComputeCtxHealthy(t *testing.T) {
+	for _, n := range []int{100, 10000} {
+		values, labels := bigInput(n, 16)
+		want, err := Compute(AddInt64, values, labels, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ComputeCtx(context.Background(), AddInt64, values, labels, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Multi {
+			if got.Multi[i] != want.Multi[i] {
+				t.Fatalf("n=%d: Multi[%d] = %d, want %d", n, i, got.Multi[i], want.Multi[i])
+			}
+		}
+		wantRed, err := Reduce(AddInt64, values, labels, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRed, err := ReduceCtx(context.Background(), AddInt64, values, labels, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range wantRed {
+			if gotRed[k] != wantRed[k] {
+				t.Fatalf("n=%d: Reductions[%d] = %d, want %d", n, k, gotRed[k], wantRed[k])
+			}
+		}
+	}
+}
+
+// TestFacadeFallback: the package-level Fallback wrapper degrades a
+// panicking engine to the serial reference.
+func TestFacadeFallback(t *testing.T) {
+	values, labels := bigInput(1000, 8)
+	var report FallbackReport
+	wild := func(op Op[int64], values []int64, labels []int, m int) (Result[int64], error) {
+		panic("engine bug")
+	}
+	eng := Fallback(Engine[int64](wild), &report)
+	got, err := eng(AddInt64, values, labels, 8)
+	if err != nil {
+		t.Fatalf("fallback: %v", err)
+	}
+	if !report.FellBack {
+		t.Error("report.FellBack = false")
+	}
+	var pe *EnginePanicError
+	if !errors.As(report.PrimaryErr, &pe) {
+		t.Errorf("PrimaryErr = %v, want *EnginePanicError", report.PrimaryErr)
+	}
+	want, err := Serial(AddInt64, values, labels, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Multi {
+		if got.Multi[i] != want.Multi[i] {
+			t.Fatalf("Multi[%d] = %d, want %d", i, got.Multi[i], want.Multi[i])
+		}
+	}
+}
+
+// TestFacadeCtxEngines: the exported ParallelCtx/ChunkedCtx wrappers
+// honor cancellation.
+func TestFacadeCtxEngines(t *testing.T) {
+	values, labels := bigInput(5000, 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ParallelCtx(ctx, AddInt64, values, labels, 16, Config{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("ParallelCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := ChunkedCtx(ctx, AddInt64, values, labels, 16, Config{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("ChunkedCtx err = %v, want context.Canceled", err)
+	}
+	live := context.Background()
+	got, err := ParallelCtx(live, AddInt64, values, labels, 16, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Serial(AddInt64, values, labels, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Multi {
+		if got.Multi[i] != want.Multi[i] {
+			t.Fatalf("Multi[%d] = %d, want %d", i, got.Multi[i], want.Multi[i])
+		}
+	}
+}
