@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test check vet race fuzz-smoke bench
+.PHONY: all build test check vet race fuzz-smoke bench bench-smoke bench-json
 
 all: build test
 
@@ -27,11 +27,24 @@ race:
 # random inputs; failures minimize and persist under testdata/fuzz.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzEnginesAgree$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzAutoMatchesSerial$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzRankIsStableSort$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzSegmentedScan$$' -fuzztime $(FUZZTIME) .
 
-# Tier-1+: the full robustness gate.
-check: vet race fuzz-smoke
+# Tier-1+: the full robustness gate: vet (includes cmd/benchjson),
+# race, fuzz smoke, and a one-iteration pass over every benchmark so a
+# broken benchmark cannot land silently.
+check: vet race fuzz-smoke bench-smoke
+	$(GO) build -o /dev/null ./cmd/benchjson
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# One iteration of every benchmark: compile + run smoke, not a
+# measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Regenerate the committed engine-performance snapshot.
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_engines.json

@@ -9,6 +9,7 @@ package multiprefix
 // numbers measure the simulator itself.
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -257,6 +258,60 @@ func BenchmarkEngineParallel(b *testing.B) {
 		if _, err := core.Parallel(AddInt64, values, labels, 1<<12, Config{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEnginePooled measures the zero-allocation hot path: every
+// engine on reusable Workspace buffers with the int64-sum fast kernel.
+// Compare against the BenchmarkEngine* baselines above; cmd/benchjson
+// records the same comparison in BENCH_engines.json.
+func BenchmarkEnginePooled(b *testing.B) {
+	values, labels := benchInput(1<<18, 1<<10)
+	cfg := Config{Workers: 4}
+	ws := NewWorkspace[int64]()
+	buf := ws.Acquire()
+	defer ws.Release(buf)
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"serial", func() error { _, err := buf.Serial(AddInt64, values, labels, 1<<10); return err }},
+		{"spinetree", func() error { _, err := buf.Spinetree(AddInt64, values, labels, 1<<10, cfg); return err }},
+		{"chunked", func() error { _, err := buf.Chunked(AddInt64, values, labels, 1<<10, cfg); return err }},
+		{"parallel", func() error { _, err := buf.Parallel(AddInt64, values, labels, 1<<10, cfg); return err }},
+		{"auto", func() error { _, err := buf.Auto(AddInt64, values, labels, 1<<10, cfg); return err }},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			if err := tc.run(); err != nil { // warm the pooled storage
+				b.Fatal(err)
+			}
+			b.SetBytes(1 << 18 * 8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := tc.run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineAuto measures the adaptive engine end to end,
+// including its per-call shape dispatch, on both sides of the
+// calibrated crossover.
+func BenchmarkEngineAuto(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 18} {
+		values, labels := benchInput(n, 1<<8)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(n) * 8)
+			for i := 0; i < b.N; i++ {
+				if _, err := Auto(AddInt64, values, labels, 1<<8, Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

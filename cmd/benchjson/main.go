@@ -1,0 +1,202 @@
+// Command benchjson measures the multiprefix engines — unpooled
+// generic baseline, unpooled fast-path, and pooled fast-path — across
+// input sizes and writes a machine-readable JSON snapshot (ns/op,
+// allocs/op, ns/elem per engine × size, plus the simulated vectorized
+// engine's clocks per element). The committed BENCH_engines.json at
+// the repo root is the reference snapshot; `make bench-json`
+// regenerates it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"multiprefix/internal/core"
+	"multiprefix/internal/vecmp"
+	"multiprefix/internal/vector"
+)
+
+// Entry is one engine × variant × size measurement.
+type Entry struct {
+	Engine      string  `json:"engine"`
+	Variant     string  `json:"variant"` // generic | fast | pooled
+	N           int     `json:"n"`
+	M           int     `json:"m"`
+	Reps        int     `json:"reps"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerElem   float64 `json:"ns_per_elem"`
+}
+
+// VecEntry is one simulated vectorized measurement, in the paper's
+// clocks-per-element currency.
+type VecEntry struct {
+	Kernel     string  `json:"kernel"`
+	N          int     `json:"n"`
+	M          int     `json:"m"`
+	ClkPerElem float64 `json:"clk_per_elem"`
+}
+
+// Report is the full snapshot.
+type Report struct {
+	GoVersion  string     `json:"go_version"`
+	GOOS       string     `json:"goos"`
+	GOARCH     string     `json:"goarch"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Workers    int        `json:"workers"`
+	Engines    []Entry    `json:"engines"`
+	Vectorized []VecEntry `json:"vectorized"`
+}
+
+// genericAdd is AddInt64 without the FastOp capability: the
+// per-element closure baseline the monomorphic kernels replace.
+var genericAdd = core.Op[int64]{
+	Name:       "+int64 (generic)",
+	Identity:   0,
+	Combine:    func(a, b int64) int64 { return a + b },
+	IsIdentity: func(x int64) bool { return x == 0 },
+}
+
+func input(n, m int) ([]int64, []int) {
+	rng := rand.New(rand.NewSource(1993))
+	values := make([]int64, n)
+	labels := make([]int, n)
+	for i := range values {
+		values[i] = int64(rng.Intn(1000))
+		labels[i] = rng.Intn(m)
+	}
+	return values, labels
+}
+
+// measure times fn (one full computation per call) with a hand-rolled
+// loop: a warm-up call, rep-count selection targeting ~200ms, then a
+// timed loop bracketed by runtime.ReadMemStats for the allocation
+// count. GC is left enabled; the pooled paths allocate nothing, so GC
+// noise only affects the baselines it would also affect in production.
+func measure(fn func()) (nsPerOp, allocsPerOp float64, reps int) {
+	fn() // warm-up: pools fill, teams start, calibration runs
+	t0 := time.Now()
+	fn()
+	per := time.Since(t0)
+	reps = int(200 * time.Millisecond / max(per, time.Microsecond))
+	reps = min(max(reps, 3), 10000)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	t0 = time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	nsPerOp = float64(elapsed.Nanoseconds()) / float64(reps)
+	allocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(reps)
+	return nsPerOp, allocsPerOp, reps
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "BENCH_engines.json", "output path")
+	quick := flag.Bool("quick", false, "single reduced size (CI smoke)")
+	flag.Parse()
+
+	workers := 4
+	cfg := core.Config{Workers: workers}
+	sizes := []struct{ n, m int }{{1 << 16, 1 << 8}, {1 << 20, 1 << 10}}
+	if *quick {
+		sizes = sizes[:1]
+	}
+
+	report := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+	}
+
+	ws := core.NewWorkspace[int64]()
+	b := ws.Acquire()
+	defer ws.Release(b)
+
+	for _, sz := range sizes {
+		values, labels := input(sz.n, sz.m)
+		run := func(engine, variant string, fn func()) {
+			ns, allocs, reps := measure(fn)
+			report.Engines = append(report.Engines, Entry{
+				Engine: engine, Variant: variant, N: sz.n, M: sz.m, Reps: reps,
+				NsPerOp: ns, AllocsPerOp: allocs, NsPerElem: ns / float64(sz.n),
+			})
+			fmt.Printf("%-10s %-8s n=%-8d m=%-5d %12.0f ns/op %8.1f allocs/op %7.2f ns/elem\n",
+				engine, variant, sz.n, sz.m, ns, allocs, ns/float64(sz.n))
+		}
+		check := func(err error) {
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		run("serial", "generic", func() { _, err := core.Serial(genericAdd, values, labels, sz.m); check(err) })
+		run("serial", "fast", func() { _, err := core.Serial(core.AddInt64, values, labels, sz.m); check(err) })
+		run("serial", "pooled", func() { _, err := b.Serial(core.AddInt64, values, labels, sz.m); check(err) })
+
+		run("spinetree", "generic", func() { _, err := core.Spinetree(genericAdd, values, labels, sz.m, cfg); check(err) })
+		run("spinetree", "fast", func() { _, err := core.Spinetree(core.AddInt64, values, labels, sz.m, cfg); check(err) })
+		run("spinetree", "pooled", func() { _, err := b.Spinetree(core.AddInt64, values, labels, sz.m, cfg); check(err) })
+
+		run("chunked", "generic", func() { _, err := core.Chunked(genericAdd, values, labels, sz.m, cfg); check(err) })
+		run("chunked", "fast", func() { _, err := core.Chunked(core.AddInt64, values, labels, sz.m, cfg); check(err) })
+		run("chunked", "pooled", func() { _, err := b.Chunked(core.AddInt64, values, labels, sz.m, cfg); check(err) })
+
+		run("parallel", "generic", func() { _, err := core.Parallel(genericAdd, values, labels, sz.m, cfg); check(err) })
+		run("parallel", "fast", func() { _, err := core.Parallel(core.AddInt64, values, labels, sz.m, cfg); check(err) })
+		run("parallel", "pooled", func() { _, err := b.Parallel(core.AddInt64, values, labels, sz.m, cfg); check(err) })
+
+		run("auto", "fast", func() { _, err := core.Auto(core.AddInt64, values, labels, sz.m, cfg); check(err) })
+		run("auto", "pooled", func() { _, err := b.Auto(core.AddInt64, values, labels, sz.m, cfg); check(err) })
+	}
+
+	// Simulated vectorized engine: the paper's clocks-per-element
+	// currency, via the pooled evaluation path.
+	{
+		n, m := 1<<16, 1<<8
+		if *quick {
+			n = 1 << 14
+		}
+		values, ilabels := input(n, m)
+		labels := make([]int32, n)
+		for i, l := range ilabels {
+			labels[i] = int32(l)
+		}
+		vws := vecmp.NewWorkspace[int64]()
+		vb := vws.Acquire()
+		defer vws.Release(vb)
+		machine := vector.NewDefault()
+		res, err := vecmp.MultiprefixIn(vb, machine, core.AddInt64, values, labels, m, vecmp.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		clk := res.Phases.Total() / float64(n)
+		report.Vectorized = append(report.Vectorized, VecEntry{
+			Kernel: "multiprefix", N: n, M: m, ClkPerElem: clk,
+		})
+		fmt.Printf("%-10s %-8s n=%-8d m=%-5d %38.2f clk/elem (simulated)\n", "vecmp", "pooled", n, m, clk)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -30,6 +30,7 @@ func main() {
 	opName := flag.String("op", "add", "operator: add, mul, max, min, or, and, xor")
 	engineName := flag.String("engine", "auto", "engine: auto, serial, spinetree, parallel, chunked")
 	reduceOnly := flag.Bool("reduce", false, "print only the per-label reductions (multireduce)")
+	verbose := flag.Bool("v", false, "report the engine the auto selector picked")
 	flag.Parse()
 
 	// Interrupt (Ctrl-C) cancels a run in progress: the engines notice
@@ -83,9 +84,12 @@ func main() {
 	var engine multiprefix.Engine[int64]
 	switch *engineName {
 	case "auto":
-		engine = func(op multiprefix.Op[int64], values []int64, labels []int, m int) (multiprefix.Result[int64], error) {
-			return multiprefix.ComputeCtx(ctx, op, values, labels, m)
+		cfg := multiprefix.Config{Ctx: ctx}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "mp: auto picked %s for n=%d m=%d\n",
+				multiprefix.AutoChoice(len(values), m, cfg), len(values), m)
 		}
+		engine = multiprefix.AutoEngine[int64](cfg)
 	case "serial":
 		engine = multiprefix.SerialEngine[int64]()
 	case "spinetree":

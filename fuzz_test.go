@@ -5,10 +5,13 @@ package multiprefix
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
+	"errors"
 	"testing"
 
 	"multiprefix/internal/core"
+	"multiprefix/internal/fault"
 	"multiprefix/internal/intsort"
 )
 
@@ -56,6 +59,85 @@ func FuzzEnginesAgree(f *testing.F) {
 		for k := range want.Reductions {
 			if st.Reductions[k] != want.Reductions[k] || ck.Reductions[k] != want.Reductions[k] {
 				t.Fatalf("reductions disagree at %d", k)
+			}
+		}
+	})
+}
+
+// FuzzAutoMatchesSerial drives the adaptive engine through every
+// branch (AutoCal overrides force serial/chunked/parallel on the same
+// input) and checks agreement with the serial reference — under clean
+// runs, under an injected mid-run panic (the Fallback must degrade to
+// serial and still produce the right answer), and under a
+// pre-cancelled context (which must surface context.Canceled from
+// every branch, never a wrong result).
+func FuzzAutoMatchesSerial(f *testing.F) {
+	f.Add([]byte{5, 0, 1, 0, 3, 255, 127, 2, 9, 9}, int64(1))
+	f.Add([]byte{1, 1, 1, 1}, int64(7))
+	f.Add(bytes.Repeat([]byte{7, 3, 3, 3}, 50), int64(42))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		values, labels, m := decodeInput(data)
+		want, err := core.Serial(AddInt64, values, labels, m)
+		if err != nil {
+			t.Fatalf("serial rejected derived input: %v", err)
+		}
+		branches := []Config{
+			{Workers: 1, AutoCal: &AutoCalibration{SerialMax: 1 << 20}},
+			{Workers: 3, AutoCal: &AutoCalibration{SerialMax: int(seed&7) - 1}},
+			{Workers: 3, AutoCal: &AutoCalibration{ParallelOverChunked: true}},
+		}
+		check := func(name string, got Result[int64]) {
+			t.Helper()
+			for i := range want.Multi {
+				if got.Multi[i] != want.Multi[i] {
+					t.Fatalf("%s: Multi[%d] = %d, want %d", name, i, got.Multi[i], want.Multi[i])
+				}
+			}
+			for k := range want.Reductions {
+				if got.Reductions[k] != want.Reductions[k] {
+					t.Fatalf("%s: Reductions[%d] = %d, want %d", name, k, got.Reductions[k], want.Reductions[k])
+				}
+			}
+		}
+		for _, cfg := range branches {
+			name := AutoChoice(len(values), m, cfg)
+			got, err := Auto(AddInt64, values, labels, m, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			check(name, got)
+			red, err := AutoReduce(AddInt64, values, labels, m, cfg)
+			if err != nil {
+				t.Fatalf("%s reduce: %v", name, err)
+			}
+			for k := range want.Reductions {
+				if red[k] != want.Reductions[k] {
+					t.Fatalf("%s: red[%d] = %d, want %d", name, k, red[k], want.Reductions[k])
+				}
+			}
+
+			// Injected panic in one combine: the Fallback machinery
+			// retries through the (hook-free) serial reference, so the
+			// caller still sees the right answer.
+			faulty := cfg
+			faulty.FaultHook = fault.Seeded(seed, len(values), "")
+			got, err = Auto(AddInt64, values, labels, m, faulty)
+			if err != nil {
+				t.Fatalf("%s faulty: %v", name, err)
+			}
+			check(name+"/faulty", got)
+
+			// Pre-cancelled context: context.Canceled from every
+			// branch, never a silently-wrong result.
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			cancelled := cfg
+			cancelled.Ctx = ctx
+			if _, err := Auto(AddInt64, values, labels, m, cancelled); !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s cancelled: err = %v, want context.Canceled", name, err)
+			}
+			if _, err := AutoReduce(AddInt64, values, labels, m, cancelled); !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s cancelled reduce: err = %v, want context.Canceled", name, err)
 			}
 		}
 	})

@@ -88,6 +88,7 @@ func Chunked[T any](op Op[T], values []T, labels []int, m int, cfg Config) (res 
 	local := make([][]T, workers)     // per-chunk buckets, reused as offsets
 	touched := make([][]int, workers) // labels each chunk saw, in first-touch order
 	hook := cfg.FaultHook
+	fast := op.fastKind(hook)
 	var g chunkGuard
 
 	// Pass 1+2: local serial multiprefix per chunk.
@@ -105,22 +106,7 @@ func Chunked[T any](op Op[T], values []T, labels []int, m int, cfg Config) (res 
 			buckets := make([]T, m)
 			seen := make([]bool, m)
 			var order []int
-			for i := lo; i < hi; i++ {
-				if (i-lo)%cancelStride == 0 && g.interrupted(cfg.Ctx) {
-					return
-				}
-				l := labels[i]
-				if !seen[l] {
-					seen[l] = true
-					buckets[l] = op.Identity
-					order = append(order, l)
-				}
-				multi[i] = buckets[l]
-				if hook != nil {
-					hook.Combine(PhaseChunkLocal, i)
-				}
-				buckets[l] = op.Combine(buckets[l], values[i])
-			}
+			order = chunkLocalPass(fast, op, values, labels, multi, buckets, seen, order, lo, hi, hook, &g, cfg.Ctx)
 			local[w] = buckets
 			touched[w] = order
 		}(w)
@@ -167,14 +153,23 @@ func Chunked[T any](op Op[T], values []T, labels []int, m int, cfg Config) (res 
 			}()
 			lo, hi := par.Range(n, workers, w)
 			offsets := local[w]
-			for i := lo; i < hi; i++ {
-				if (i-lo)%cancelStride == 0 && g.interrupted(cfg.Ctx) {
+			for seg := lo; seg < hi; seg += cancelStride {
+				if g.interrupted(cfg.Ctx) {
 					return
 				}
-				if hook != nil {
-					hook.Combine(PhaseChunkApply, i)
+				end := seg + cancelStride
+				if end > hi {
+					end = hi
 				}
-				multi[i] = op.Combine(offsets[labels[i]], multi[i])
+				if tryChunkApply(fast, labels, offsets, multi, seg, end) {
+					continue
+				}
+				for i := seg; i < end; i++ {
+					if hook != nil {
+						hook.Combine(PhaseChunkApply, i)
+					}
+					multi[i] = op.Combine(offsets[labels[i]], multi[i])
+				}
 			}
 		}(w)
 	}
@@ -204,6 +199,7 @@ func ChunkedReduce[T any](op Op[T], values []T, labels []int, m int, cfg Config)
 	local := make([][]T, workers)
 	touched := make([][]int, workers)
 	hook := cfg.FaultHook
+	fast := op.fastKind(hook)
 	var g chunkGuard
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -219,21 +215,7 @@ func ChunkedReduce[T any](op Op[T], values []T, labels []int, m int, cfg Config)
 			buckets := make([]T, m)
 			seen := make([]bool, m)
 			var order []int
-			for i := lo; i < hi; i++ {
-				if (i-lo)%cancelStride == 0 && g.interrupted(cfg.Ctx) {
-					return
-				}
-				l := labels[i]
-				if !seen[l] {
-					seen[l] = true
-					buckets[l] = op.Identity
-					order = append(order, l)
-				}
-				if hook != nil {
-					hook.Combine(PhaseChunkLocal, i)
-				}
-				buckets[l] = op.Combine(buckets[l], values[i])
-			}
+			order = chunkLocalPass(fast, op, values, labels, nil, buckets, seen, order, lo, hi, hook, &g, cfg.Ctx)
 			local[w] = buckets
 			touched[w] = order
 		}(w)
@@ -259,11 +241,48 @@ func ChunkedReduce[T any](op Op[T], values []T, labels []int, m int, cfg Config)
 	return out, nil
 }
 
-// chunkWorkers resolves the worker count for the chunked engines.
-func chunkWorkers(workers, n int) int {
-	if workers <= 0 {
-		workers = par.DefaultWorkers()
+// chunkLocalPass runs one chunk's local serial multiprefix over
+// [lo, hi) in cancelStride segments, polling the guard between
+// segments. multi == nil means reduce-only. Each segment runs the
+// monomorphic kernel when available, otherwise the generic loop with
+// fault-hook events. Returns the (possibly grown) first-touch order.
+func chunkLocalPass[T any](fast FastOp, op Op[T], values []T, labels []int, multi, buckets []T, seen []bool, order []int, lo, hi int, hook FaultHook, g *chunkGuard, ctx context.Context) []int {
+	for seg := lo; seg < hi; seg += cancelStride {
+		if g.interrupted(ctx) {
+			return order
+		}
+		end := seg + cancelStride
+		if end > hi {
+			end = hi
+		}
+		if o, ok := tryChunkLocal(fast, op.Identity, values, labels, multi, buckets, seen, order, seg, end); ok {
+			order = o
+			continue
+		}
+		for i := seg; i < end; i++ {
+			l := labels[i]
+			if !seen[l] {
+				seen[l] = true
+				buckets[l] = op.Identity
+				order = append(order, l)
+			}
+			if multi != nil {
+				multi[i] = buckets[l]
+			}
+			if hook != nil {
+				hook.Combine(PhaseChunkLocal, i)
+			}
+			buckets[l] = op.Combine(buckets[l], values[i])
+		}
 	}
+	return order
+}
+
+// chunkWorkers resolves the worker count for the chunked engines:
+// the shared par.ClampWorkers normalization, further capped by n (one
+// element per chunk at minimum).
+func chunkWorkers(workers, n int) int {
+	workers = par.ClampWorkers(workers)
 	if workers > n {
 		workers = n
 	}

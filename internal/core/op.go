@@ -18,6 +18,15 @@ type Op[T any] struct {
 	// It is only needed by SpineTestNonzero (the paper's rowsum != 0
 	// shortcut); leave nil otherwise.
 	IsIdentity func(x T) bool
+	// Fast optionally declares that Combine is semantically one of the
+	// built-in monomorphic kernels (see FastOp). When T is int64 or
+	// float64 and no FaultHook is observing combines, the engines then
+	// replace the per-element Combine indirect call with a direct
+	// specialized loop in their inner phases. The zero value (FastNone)
+	// always takes the generic path; a wrong declaration silently
+	// computes the declared operation instead of Combine, so only set it
+	// when they agree exactly (including Identity).
+	Fast FastOp
 }
 
 // Valid reports whether the operator has the mandatory fields set.
@@ -32,6 +41,7 @@ var (
 		Identity:   0,
 		Combine:    func(a, b int64) int64 { return a + b },
 		IsIdentity: func(x int64) bool { return x == 0 },
+		Fast:       FastAdd,
 	}
 	// MulInt64 is multiprefix-MULT over int64.
 	MulInt64 = Op[int64]{
@@ -51,6 +61,7 @@ var (
 			return b
 		},
 		IsIdentity: func(x int64) bool { return x == minInt64 },
+		Fast:       FastMax,
 	}
 	// MinInt64 is multiprefix-MIN over int64.
 	MinInt64 = Op[int64]{
@@ -96,6 +107,7 @@ var (
 		Identity:   0,
 		Combine:    func(a, b float64) float64 { return a + b },
 		IsIdentity: func(x float64) bool { return x == 0 },
+		Fast:       FastAdd,
 	}
 	MulFloat64 = Op[float64]{
 		Name:       "*float64",
@@ -113,6 +125,7 @@ var (
 			return b
 		},
 		IsIdentity: func(x float64) bool { return x == negInfFloat64 },
+		Fast:       FastMax,
 	}
 	MinFloat64 = Op[float64]{
 		Name:     "min float64",

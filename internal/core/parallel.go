@@ -103,6 +103,7 @@ type parRunner[T any] struct {
 	multi   []T
 	workers int
 	test    SpineTest
+	fast    FastOp
 	locks   []sync.Mutex // nil => atomic-store arbitration
 	ctx     context.Context
 	hook    FaultHook
@@ -112,22 +113,19 @@ type parRunner[T any] struct {
 	stop   atomic.Bool
 	failMu sync.Mutex
 	err    error // first failure, under failMu
+
+	// Prebound team-round bodies (see teamMain/teamMulti), created once
+	// per runner so the pooled path allocates no closures per call.
+	mainBody  func(w int, bar *par.Barrier)
+	multiBody func(w int, bar *par.Barrier)
 }
 
 func newParRunner[T any](a *arena[T], op Op[T], values []T, labels []int, cfg Config) *parRunner[T] {
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = par.DefaultWorkers()
-	}
-	if workers > a.grid.P {
-		workers = a.grid.P // no point exceeding the widest pardo
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers := parWorkers(cfg.Workers, a.grid.P)
 	r := &parRunner[T]{
 		a: a, op: op, values: values, labels: labels,
 		workers: workers, test: cfg.SpineTest, ctx: cfg.Ctx, hook: cfg.FaultHook,
+		fast: op.fastKind(cfg.FaultHook),
 	}
 	if cfg.MutexArb {
 		r.locks = make([]sync.Mutex, arbLockStripes)
@@ -227,50 +225,52 @@ func (r *parRunner[T]) combine(phase string, i int, x, y T) T {
 // gather half-step (concurrent read of bucket spines) and a scatter
 // half-step (ARB concurrent write), separated by barriers so that PRAM
 // read-before-write semantics hold within the step.
-func (r *parRunner[T]) spinetree() {
+func (r *parRunner[T]) spinetree() { r.launch(PhaseSpinetree, r.spinetreeLoop) }
+
+func (r *parRunner[T]) spinetreeLoop(w int, bar *par.Barrier) {
 	a, m := r.a, r.a.m
-	r.launch(PhaseSpinetree, func(w int, bar *par.Barrier) {
-		for row := a.grid.Rows - 1; row >= 0; row-- {
-			if r.bail(bar, w) {
-				return
-			}
-			lo, hi := a.grid.Row(row)
-			wlo, whi := par.Range(hi-lo, r.workers, w)
-			for i := lo + wlo; i < lo+whi; i++ {
-				a.spine[m+i] = atomic.LoadInt32(&a.spine[r.labels[i]])
-			}
-			r.sync(bar, PhaseSpinetree, w)
-			if r.locks == nil {
-				for i := lo + wlo; i < lo+whi; i++ {
-					atomic.StoreInt32(&a.spine[r.labels[i]], int32(m+i))
-				}
-			} else {
-				for i := lo + wlo; i < lo+whi; i++ {
-					l := r.labels[i]
-					mu := &r.locks[l%arbLockStripes]
-					mu.Lock()
-					a.spine[l] = int32(m + i)
-					mu.Unlock()
-				}
-			}
-			r.sync(bar, PhaseSpinetree, w)
+	for row := a.grid.Rows - 1; row >= 0; row-- {
+		if r.bail(bar, w) {
+			return
 		}
-	})
+		lo, hi := a.grid.Row(row)
+		wlo, whi := par.Range(hi-lo, r.workers, w)
+		for i := lo + wlo; i < lo+whi; i++ {
+			a.spine[m+i] = atomic.LoadInt32(&a.spine[r.labels[i]])
+		}
+		r.sync(bar, PhaseSpinetree, w)
+		if r.locks == nil {
+			for i := lo + wlo; i < lo+whi; i++ {
+				atomic.StoreInt32(&a.spine[r.labels[i]], int32(m+i))
+			}
+		} else {
+			for i := lo + wlo; i < lo+whi; i++ {
+				l := r.labels[i]
+				mu := &r.locks[l%arbLockStripes]
+				mu.Lock()
+				a.spine[l] = int32(m + i)
+				mu.Unlock()
+			}
+		}
+		r.sync(bar, PhaseSpinetree, w)
+	}
 }
 
 // rowsums runs the ROWSUMS phase column by column. Within a column all
 // parents are distinct (Corollary 1), so plain writes suffice; the
 // barrier between columns orders sibling updates so that a parent's
 // rowsum accumulates in vector order even for non-commutative ops.
-func (r *parRunner[T]) rowsums() {
+func (r *parRunner[T]) rowsums() { r.launch(PhaseRowsums, r.rowsumsLoop) }
+
+func (r *parRunner[T]) rowsumsLoop(w int, bar *par.Barrier) {
 	a, m := r.a, r.a.m
-	r.launch(PhaseRowsums, func(w int, bar *par.Barrier) {
-		for c := 0; c < a.grid.P; c++ {
-			if r.bail(bar, w) {
-				return
-			}
-			colLen := a.grid.ColumnLen(c)
-			wlo, whi := par.Range(colLen, r.workers, w)
+	for c := 0; c < a.grid.P; c++ {
+		if r.bail(bar, w) {
+			return
+		}
+		colLen := a.grid.ColumnLen(c)
+		wlo, whi := par.Range(colLen, r.workers, w)
+		if !a.tryRowsumsCol(r.fast, r.values, c, wlo, whi) {
 			for k := wlo; k < whi; k++ {
 				i := c + k*a.grid.P
 				p := a.spine[m+i]
@@ -279,23 +279,25 @@ func (r *parRunner[T]) rowsums() {
 					a.isSpine[p] = true
 				}
 			}
-			r.sync(bar, PhaseRowsums, w)
 		}
-	})
+		r.sync(bar, PhaseRowsums, w)
+	}
 }
 
 // spinesums runs the SPINESUMS phase row by row, bottom to top. At most
 // one spine element per class per row and distinct parents across
 // classes make each step EREW.
-func (r *parRunner[T]) spinesums() {
+func (r *parRunner[T]) spinesums() { r.launch(PhaseSpinesums, r.spinesumsLoop) }
+
+func (r *parRunner[T]) spinesumsLoop(w int, bar *par.Barrier) {
 	a, m := r.a, r.a.m
-	r.launch(PhaseSpinesums, func(w int, bar *par.Barrier) {
-		for row := 0; row < a.grid.Rows; row++ {
-			if r.bail(bar, w) {
-				return
-			}
-			lo, hi := a.grid.Row(row)
-			wlo, whi := par.Range(hi-lo, r.workers, w)
+	for row := 0; row < a.grid.Rows; row++ {
+		if r.bail(bar, w) {
+			return
+		}
+		lo, hi := a.grid.Row(row)
+		wlo, whi := par.Range(hi-lo, r.workers, w)
+		if !a.trySpinesumsRow(r.fast, r.op, r.test, lo+wlo, lo+whi) {
 			for i := lo + wlo; i < lo+whi; i++ {
 				ok := a.spineElement(m+i, r.test)
 				if r.hook != nil {
@@ -307,29 +309,101 @@ func (r *parRunner[T]) spinesums() {
 				p := a.spine[m+i]
 				a.spinesum[p] = r.combine(PhaseSpinesums, i, a.spinesum[m+i], a.rowsum[m+i])
 			}
-			r.sync(bar, PhaseSpinesums, w)
 		}
-	})
+		r.sync(bar, PhaseSpinesums, w)
+	}
 }
 
 // multisums runs the MULTISUMS phase column by column; same EREW
 // argument as rowsums.
-func (r *parRunner[T]) multisums() {
+func (r *parRunner[T]) multisums() { r.launch(PhaseMultisums, r.multisumsLoop) }
+
+// newPooledParRunner builds an empty runner whose team-round bodies
+// are bound once; reset rebinds the per-call state. The pooled engines
+// keep one of these per Buffers so a steady-state call allocates
+// neither closures nor the runner.
+func newPooledParRunner[T any]() *parRunner[T] {
+	r := &parRunner[T]{}
+	r.mainBody = r.teamMain
+	r.multiBody = r.teamMulti
+	return r
+}
+
+// reset rebinds the runner to one run's inputs. workers must equal the
+// team's worker count.
+func (r *parRunner[T]) reset(a *arena[T], op Op[T], values []T, labels []int, multi []T, workers int, cfg Config) {
+	r.a, r.op, r.values, r.labels, r.multi = a, op, values, labels, multi
+	r.workers = workers
+	r.test = cfg.SpineTest
+	r.ctx = cfg.Ctx
+	r.hook = cfg.FaultHook
+	r.fast = op.fastKind(cfg.FaultHook)
+	if cfg.MutexArb && r.locks == nil {
+		r.locks = make([]sync.Mutex, arbLockStripes)
+	} else if !cfg.MutexArb {
+		r.locks = nil
+	}
+	r.stop.Store(false)
+	r.err = nil
+}
+
+// teamMain is one team round covering the SPINETREE, ROWSUMS and
+// SPINESUMS phases back to back: within each phase the loop structure
+// (and thus the barrier arrival count) is identical on every worker,
+// and each phase's final row/column barrier orders its writes before
+// the next phase's reads, so no extra synchronization is needed
+// between phases. A worker that observes the stop flag after a phase
+// returns early; its siblings drain via their own bail polls, exactly
+// as in the per-phase launch path.
+func (r *parRunner[T]) teamMain(w int, bar *par.Barrier) {
+	phase := PhaseSpinetree
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.fail(newEnginePanic("parallel", phase, w, rec))
+			bar.Drop()
+		}
+	}()
+	r.spinetreeLoop(w, bar)
+	if r.stop.Load() {
+		return
+	}
+	phase = PhaseRowsums
+	r.rowsumsLoop(w, bar)
+	if r.stop.Load() {
+		return
+	}
+	phase = PhaseSpinesums
+	r.spinesumsLoop(w, bar)
+}
+
+// teamMulti is the second team round: the MULTISUMS phase, run after
+// the caller has taken the reductions off the arena.
+func (r *parRunner[T]) teamMulti(w int, bar *par.Barrier) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.fail(newEnginePanic("parallel", PhaseMultisums, w, rec))
+			bar.Drop()
+		}
+	}()
+	r.multisumsLoop(w, bar)
+}
+
+func (r *parRunner[T]) multisumsLoop(w int, bar *par.Barrier) {
 	a, m := r.a, r.a.m
-	r.launch(PhaseMultisums, func(w int, bar *par.Barrier) {
-		for c := 0; c < a.grid.P; c++ {
-			if r.bail(bar, w) {
-				return
-			}
-			colLen := a.grid.ColumnLen(c)
-			wlo, whi := par.Range(colLen, r.workers, w)
+	for c := 0; c < a.grid.P; c++ {
+		if r.bail(bar, w) {
+			return
+		}
+		colLen := a.grid.ColumnLen(c)
+		wlo, whi := par.Range(colLen, r.workers, w)
+		if !a.tryMultisumsCol(r.fast, r.values, r.multi, c, wlo, whi) {
 			for k := wlo; k < whi; k++ {
 				i := c + k*a.grid.P
 				p := a.spine[m+i]
 				r.multi[i] = a.spinesum[p]
 				a.spinesum[p] = r.combine(PhaseMultisums, i, a.spinesum[p], r.values[i])
 			}
-			r.sync(bar, PhaseMultisums, w)
 		}
-	})
+		r.sync(bar, PhaseMultisums, w)
+	}
 }

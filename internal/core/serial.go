@@ -15,10 +15,12 @@ func Serial[T any](op Op[T], values []T, labels []int, m int) (res Result[T], er
 	multi := make([]T, len(values))
 	buckets := make([]T, m)
 	fillIdentity(buckets, op.Identity)
-	for i, v := range values {
-		l := labels[i]
-		multi[i] = buckets[l]
-		buckets[l] = op.Combine(buckets[l], v)
+	if !tryBucketLoop(op.Fast, values, labels, multi, buckets) {
+		for i, v := range values {
+			l := labels[i]
+			multi[i] = buckets[l]
+			buckets[l] = op.Combine(buckets[l], v)
+		}
 	}
 	return Result[T]{Multi: multi, Reductions: buckets}, nil
 }
@@ -34,9 +36,11 @@ func SerialReduce[T any](op Op[T], values []T, labels []int, m int) (red []T, er
 	defer recoverEnginePanic("serial", nil, &err)
 	buckets := make([]T, m)
 	fillIdentity(buckets, op.Identity)
-	for i, v := range values {
-		l := labels[i]
-		buckets[l] = op.Combine(buckets[l], v)
+	if !tryBucketLoop(op.Fast, values, labels, nil, buckets) {
+		for i, v := range values {
+			l := labels[i]
+			buckets[l] = op.Combine(buckets[l], v)
+		}
 	}
 	return buckets, nil
 }
@@ -54,10 +58,12 @@ func SerialInto[T any](op Op[T], values []T, labels []int, multi, buckets []T) (
 	}
 	defer recoverEnginePanic("serial", nil, &err)
 	fillIdentity(buckets, op.Identity)
-	for i, v := range values {
-		l := labels[i]
-		multi[i] = buckets[l]
-		buckets[l] = op.Combine(buckets[l], v)
+	if !tryBucketLoop(op.Fast, values, labels, multi, buckets) {
+		for i, v := range values {
+			l := labels[i]
+			multi[i] = buckets[l]
+			buckets[l] = op.Combine(buckets[l], v)
+		}
 	}
 	return nil
 }

@@ -53,6 +53,10 @@ type Config struct {
 	// applications, barrier arrivals, spine tests) for deterministic
 	// fault injection; see the FaultHook interface and internal/fault.
 	FaultHook FaultHook
+	// AutoCal overrides the Auto engine's calibrated crossover points.
+	// nil selects the process-wide calibration (measured once, lazily,
+	// on first use); tests and tuned deployments pin explicit values.
+	AutoCal *AutoCalibration
 }
 
 // arena is the pivot-layout temporary storage of paper §4 (Figures 8/9):
@@ -66,6 +70,7 @@ type arena[T any] struct {
 	spine    []int32 // parent arena index
 	rowsum   []T
 	spinesum []T
+	marks    []bool       // backing storage for isSpine, kept across reuses
 	isSpine  []bool       // used by SpineTestMarker
 	isIdent  func(T) bool // used by SpineTestNonzero
 }
@@ -76,28 +81,52 @@ type arena[T any] struct {
 const maxArena = math.MaxInt32
 
 func newArena[T any](op Op[T], labels []int, m int, cfg Config) (*arena[T], error) {
+	a := &arena[T]{}
+	if err := a.prepare(op, labels, m, cfg); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// prepare (re)shapes the arena for one run, growing its vectors in
+// place so a reused arena (the Workspace path) allocates nothing once
+// warm. Every slot the phases read is rewritten here or during the
+// phases themselves, so stale contents from a previous run are
+// harmless.
+func (a *arena[T]) prepare(op Op[T], labels []int, m int, cfg Config) error {
 	n := len(labels)
 	if m+n > maxArena {
-		return nil, wrapBadInput("m+n=%d exceeds arena limit %d", m+n, maxArena)
+		return wrapBadInput("m+n=%d exceeds arena limit %d", m+n, maxArena)
 	}
 	if cfg.SpineTest == SpineTestNonzero && op.IsIdentity == nil {
-		return nil, wrapBadInput("SpineTestNonzero requires Op.IsIdentity (op %q has none)", op.Name)
+		return wrapBadInput("SpineTestNonzero requires Op.IsIdentity (op %q has none)", op.Name)
 	}
-	a := &arena[T]{
-		m:        m,
-		n:        n,
-		grid:     NewGrid(n, cfg.RowLength),
-		spine:    make([]int32, m+n),
-		rowsum:   make([]T, m+n),
-		spinesum: make([]T, m+n),
-	}
+	a.m, a.n = m, n
+	a.grid = NewGrid(n, cfg.RowLength)
+	a.spine = grown(a.spine, m+n)
+	a.rowsum = grown(a.rowsum, m+n)
+	a.spinesum = grown(a.spinesum, m+n)
 	if cfg.SpineTest == SpineTestMarker {
-		a.isSpine = make([]bool, m+n)
+		a.marks = grown(a.marks, m+n)
+		clear(a.marks)
+		a.isSpine = a.marks
+		a.isIdent = nil
 	} else {
+		a.isSpine = nil
 		a.isIdent = op.IsIdentity
 	}
 	a.init(op, labels, cfg.IndirectInit)
-	return a, nil
+	return nil
+}
+
+// grown returns s resized to n elements, reusing its backing array
+// when the capacity suffices. Contents beyond a fresh allocation are
+// unspecified; callers overwrite every slot they read.
+func grown[E any](s []E, n int) []E {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]E, n)
 }
 
 // init performs the initialization phase (paper Figure 3): temporary
@@ -145,7 +174,11 @@ func (a *arena[T]) phaseSpinetree(labels []int) {
 // distinct parent (Theorem 1 / Corollary 1), so the step is EREW.
 func (a *arena[T]) phaseRowsums(op Op[T], values []T, hook FaultHook) {
 	m := a.m
+	fast := op.fastKind(hook)
 	for c := 0; c < a.grid.P; c++ {
+		if a.tryRowsumsCol(fast, values, c, 0, a.grid.ColumnLen(c)) {
+			continue
+		}
 		for i := c; i < a.n; i += a.grid.P {
 			p := a.spine[m+i]
 			if hook != nil {
@@ -167,8 +200,12 @@ func (a *arena[T]) phaseRowsums(op Op[T], values []T, hook FaultHook) {
 // target is unique: EREW.
 func (a *arena[T]) phaseSpinesums(op Op[T], test SpineTest, hook FaultHook) {
 	m := a.m
+	fast := op.fastKind(hook)
 	for r := 0; r < a.grid.Rows; r++ {
 		lo, hi := a.grid.Row(r)
+		if a.trySpinesumsRow(fast, op, test, lo, hi) {
+			continue
+		}
 		for i := lo; i < hi; i++ {
 			ok := a.spineElement(m+i, test)
 			if hook != nil {
@@ -201,7 +238,11 @@ func (a *arena[T]) spineElement(idx int, test SpineTest) bool {
 // vector order; distinct parents per column keep the step EREW.
 func (a *arena[T]) phaseMultisums(op Op[T], values, multi []T, hook FaultHook) {
 	m := a.m
+	fast := op.fastKind(hook)
 	for c := 0; c < a.grid.P; c++ {
+		if a.tryMultisumsCol(fast, values, multi, c, 0, a.grid.ColumnLen(c)) {
+			continue
+		}
 		for i := c; i < a.n; i += a.grid.P {
 			p := a.spine[m+i]
 			multi[i] = a.spinesum[p]
@@ -218,13 +259,22 @@ func (a *arena[T]) phaseMultisums(op Op[T], values, multi []T, hook FaultHook) {
 // row), in that order to preserve vector order (paper §4.2).
 func (a *arena[T]) reductions(op Op[T], hook FaultHook) []T {
 	red := make([]T, a.m)
+	a.reductionsInto(op, hook, red)
+	return red
+}
+
+// reductionsInto is reductions writing into caller-provided storage
+// (the pooled engines' path).
+func (a *arena[T]) reductionsInto(op Op[T], hook FaultHook, red []T) {
+	if a.tryReductions(op.fastKind(hook), red) {
+		return
+	}
 	for b := 0; b < a.m; b++ {
 		if hook != nil {
 			hook.Combine(PhaseReduce, b)
 		}
 		red[b] = op.Combine(a.spinesum[b], a.rowsum[b])
 	}
-	return red
 }
 
 // Spinetree computes the multiprefix operation with the paper's

@@ -22,6 +22,40 @@ func DefaultWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// minWorkerCeiling is the floor of the normalization ceiling: explicit
+// requests up to this count are honored even on machines with fewer
+// CPUs, so that tests pinning (say) Workers: 4 on a 1-CPU box still
+// exercise real goroutine interleavings. Oversubscription at this scale
+// costs scheduling, not correctness.
+const minWorkerCeiling = 8
+
+// MaxWorkers is the ceiling ClampWorkers normalizes against:
+// GOMAXPROCS, with a small floor (minWorkerCeiling) for modest
+// deliberate oversubscription.
+func MaxWorkers() int {
+	if g := runtime.GOMAXPROCS(0); g > minWorkerCeiling {
+		return g
+	}
+	return minWorkerCeiling
+}
+
+// ClampWorkers resolves a requested worker count to a sane degree of
+// parallelism: zero or negative selects DefaultWorkers (GOMAXPROCS),
+// and oversized requests are clamped to MaxWorkers so a stray
+// Config{Workers: 1e9} cannot spawn an unbounded goroutine flood. This
+// is the single normalization point every engine shares; engines may
+// further cap the result by problem shape (n, grid width), never raise
+// it.
+func ClampWorkers(workers int) int {
+	if workers <= 0 {
+		return DefaultWorkers()
+	}
+	if max := MaxWorkers(); workers > max {
+		return max
+	}
+	return workers
+}
+
 // For runs fn(lo, hi) on up to workers goroutines, splitting [0, n) into
 // contiguous chunks of at least grain elements. It blocks until all chunks
 // are done. workers <= 0 means DefaultWorkers(); grain <= 0 means 1.
@@ -231,4 +265,84 @@ func (p *Pool) Step(fn func(worker int)) error {
 func (p *Pool) Close() {
 	close(p.done)
 	p.wg.Wait()
+}
+
+// Team is a persistent set of worker goroutines that repeatedly execute
+// a body function in rounds, built for allocation-free steady-state
+// engines: the goroutines, both barriers and the body slot are created
+// once, so a round costs two gate crossings and zero heap allocations.
+//
+// A round runs body(w, inner) on every worker; inner is a barrier over
+// exactly the team's workers for the body's internal synchronization
+// steps. The caller blocks in Run until every worker has finished the
+// body.
+//
+// A body that aborts a round by calling inner.Drop (panic recovery,
+// cancellation) permanently shrinks the inner barrier: the team is then
+// poisoned and must be Closed and rebuilt — Run reports nothing itself,
+// so callers track that condition (the engines do, via their failure
+// state).
+type Team struct {
+	workers int
+	gate    *Barrier // workers + 1 (the caller)
+	inner   *Barrier // workers only
+	body    func(w int, inner *Barrier)
+	closed  bool
+}
+
+// NewTeam starts a team of workers goroutines parked at the start gate.
+// workers must be >= 1.
+func NewTeam(workers int) *Team {
+	if workers < 1 {
+		panic("par: team workers must be >= 1")
+	}
+	t := &Team{
+		workers: workers,
+		gate:    NewBarrier(workers + 1),
+		inner:   NewBarrier(workers),
+	}
+	for w := 0; w < workers; w++ {
+		go t.loop(w)
+	}
+	return t
+}
+
+// Workers reports the team's degree of parallelism.
+func (t *Team) Workers() int { return t.workers }
+
+// Inner exposes the team's internal barrier so a body composed of
+// several synchronous loops can synchronize between them.
+func (t *Team) Inner() *Barrier { return t.inner }
+
+func (t *Team) loop(w int) {
+	for {
+		t.gate.Await() // start of round (or Close)
+		if t.closed {
+			return
+		}
+		t.body(w, t.inner)
+		t.gate.Await() // end of round
+	}
+}
+
+// Run executes one round of body on every worker and blocks until all
+// have finished. The body slot is cleared afterwards so an idle team
+// retains no reference to the caller's state (letting it be collected).
+// Run must not be called concurrently, and not after Close.
+func (t *Team) Run(body func(w int, inner *Barrier)) {
+	t.body = body
+	t.gate.Await() // release the round
+	t.gate.Await() // wait for every worker to finish
+	t.body = nil
+}
+
+// Close shuts the team down: the workers exit and the team must not be
+// used again. Safe to call with workers parked at the start gate (the
+// only state between Runs).
+func (t *Team) Close() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	t.gate.Await() // release the workers into the closed check
 }

@@ -1,0 +1,122 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestClampWorkers pins the single shared normalization every engine
+// routes Config.Workers through.
+func TestClampWorkers(t *testing.T) {
+	def := DefaultWorkers()
+	max := MaxWorkers()
+	if def != runtime.GOMAXPROCS(0) {
+		t.Fatalf("DefaultWorkers = %d, want GOMAXPROCS %d", def, runtime.GOMAXPROCS(0))
+	}
+	if max < minWorkerCeiling || max < def {
+		t.Fatalf("MaxWorkers = %d, want >= max(%d, %d)", max, minWorkerCeiling, def)
+	}
+	cases := []struct{ in, want int }{
+		{0, def},
+		{-5, def},
+		{1, 1},
+		{2, 2},
+		{minWorkerCeiling, min(minWorkerCeiling, max)},
+		{max, max},
+		{max + 1, max},
+		{1 << 30, max},
+	}
+	for _, c := range cases {
+		if got := ClampWorkers(c.in); got != c.want {
+			t.Errorf("ClampWorkers(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestTeamRounds runs many rounds on one team, each with a fresh body,
+// checking that every worker runs exactly once per round and that
+// per-round state does not leak between rounds.
+func TestTeamRounds(t *testing.T) {
+	const workers = 4
+	team := NewTeam(workers)
+	defer team.Close()
+	if team.Workers() != workers {
+		t.Fatalf("Workers() = %d, want %d", team.Workers(), workers)
+	}
+	for round := 0; round < 50; round++ {
+		var ran [workers]atomic.Int32
+		team.Run(func(w int, inner *Barrier) {
+			ran[w].Add(1)
+		})
+		for w := range ran {
+			if got := ran[w].Load(); got != 1 {
+				t.Fatalf("round %d: worker %d ran %d times", round, w, got)
+			}
+		}
+	}
+}
+
+// TestTeamInnerBarrier verifies the inner barrier gives PRAM-step
+// semantics within a round: every worker's phase-1 write is visible to
+// every worker's phase-2 read.
+func TestTeamInnerBarrier(t *testing.T) {
+	const workers = 4
+	team := NewTeam(workers)
+	defer team.Close()
+	var stage [workers]int
+	var sums [workers]int
+	team.Run(func(w int, inner *Barrier) {
+		stage[w] = w + 1
+		inner.Await()
+		total := 0
+		for _, v := range stage {
+			total += v
+		}
+		sums[w] = total
+	})
+	want := workers * (workers + 1) / 2
+	for w, got := range sums {
+		if got != want {
+			t.Fatalf("worker %d read partial phase-1 state: sum %d, want %d", w, got, want)
+		}
+	}
+}
+
+// TestTeamClearsBody: after Run returns, the team must hold no
+// reference to the round's body (so captured state can be collected).
+func TestTeamClearsBody(t *testing.T) {
+	team := NewTeam(2)
+	defer team.Close()
+	team.Run(func(w int, inner *Barrier) {})
+	if team.body != nil {
+		t.Fatal("team retains body after Run")
+	}
+}
+
+// TestTeamCloseIdempotent: double Close must not deadlock or panic.
+func TestTeamCloseIdempotent(t *testing.T) {
+	team := NewTeam(3)
+	team.Run(func(w int, inner *Barrier) {})
+	team.Close()
+	team.Close()
+}
+
+// TestTeamSingleWorker: the degenerate one-worker team still runs
+// rounds (gate of two parties: worker + caller).
+func TestTeamSingleWorker(t *testing.T) {
+	team := NewTeam(1)
+	defer team.Close()
+	count := 0
+	for i := 0; i < 10; i++ {
+		team.Run(func(w int, inner *Barrier) {
+			if w != 0 {
+				t.Errorf("worker id %d", w)
+			}
+			count++
+		})
+	}
+	if count != 10 {
+		t.Fatalf("ran %d rounds, want 10", count)
+	}
+}

@@ -188,22 +188,43 @@ func Multireduce[T vector.Elem](m *vector.Machine, op core.Op[T], values []T, la
 }
 
 func newState[T vector.Elem](m *vector.Machine, op core.Op[T], values []T, labels []int32, buckets int, cfg Config) (*state[T], error) {
+	s := new(state[T])
+	if err := s.prepare(m, op, values, labels, buckets, cfg); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// grown returns s resized to n, reusing capacity when present — the
+// hook that lets a pooled state carry its storage across runs.
+func grown[E any](s []E, n int) []E {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]E, n)
+}
+
+// prepare validates the inputs and (re)shapes s for one run, reusing
+// whatever storage it already holds. Every slice is fully initialized
+// by init()/the phases, so stale contents from a previous run are
+// never observed.
+func (s *state[T]) prepare(m *vector.Machine, op core.Op[T], values []T, labels []int32, buckets int, cfg Config) error {
 	if !op.Valid() {
-		return nil, fmt.Errorf("vecmp: operator has nil Combine")
+		return fmt.Errorf("vecmp: operator has nil Combine")
 	}
 	if len(values) != len(labels) {
-		return nil, fmt.Errorf("vecmp: %d values, %d labels", len(values), len(labels))
+		return fmt.Errorf("vecmp: %d values, %d labels", len(values), len(labels))
 	}
 	if buckets < 0 {
-		return nil, fmt.Errorf("vecmp: negative bucket count %d", buckets)
+		return fmt.Errorf("vecmp: negative bucket count %d", buckets)
 	}
 	for i, l := range labels {
 		if l < 0 || int(l) >= buckets {
-			return nil, fmt.Errorf("vecmp: labels[%d]=%d outside [0,%d)", i, l, buckets)
+			return fmt.Errorf("vecmp: labels[%d]=%d outside [0,%d)", i, l, buckets)
 		}
 	}
 	if !cfg.MarkerSpineTest && op.IsIdentity == nil {
-		return nil, fmt.Errorf("vecmp: operator %q lacks IsIdentity; the paper's spine test needs it (or set MarkerSpineTest)", op.Name)
+		return fmt.Errorf("vecmp: operator %q lacks IsIdentity; the paper's spine test needs it (or set MarkerSpineTest)", op.Name)
 	}
 	n := len(values)
 	p := cfg.RowLength
@@ -220,24 +241,24 @@ func newState[T vector.Elem](m *vector.Machine, op core.Op[T], values []T, label
 	if buckets > regLen {
 		regLen = buckets
 	}
-	s := &state[T]{
-		m: m, op: op, cfg: cfg, grid: grid, n: n, b: buckets,
-		labels:   labels,
-		values:   values,
-		spine:    make([]int32, arena),
-		rowsum:   make([]T, arena),
-		spinesum: make([]T, arena),
-		regIdx:   make([]int32, regLen),
-		regIdx2:  make([]int32, regLen),
-		regA:     make([]T, regLen),
-		regB:     make([]T, regLen),
-		regC:     make([]T, regLen),
-		mask:     make([]bool, regLen),
-	}
+	s.m, s.op, s.cfg, s.grid, s.n, s.b = m, op, cfg, grid, n, buckets
+	s.labels = labels
+	s.values = values
+	s.spine = grown(s.spine, arena)
+	s.rowsum = grown(s.rowsum, arena)
+	s.spinesum = grown(s.spinesum, arena)
+	s.regIdx = grown(s.regIdx, regLen)
+	s.regIdx2 = grown(s.regIdx2, regLen)
+	s.regA = grown(s.regA, regLen)
+	s.regB = grown(s.regB, regLen)
+	s.regC = grown(s.regC, regLen)
+	s.mask = grown(s.mask, regLen)
 	if cfg.MarkerSpineTest {
-		s.isSpine = make([]int32, arena)
+		s.isSpine = grown(s.isSpine, arena)
+	} else {
+		s.isSpine = nil
 	}
-	return s, nil
+	return nil
 }
 
 // init clears the arena: buckets' spine pointers to themselves
@@ -418,10 +439,17 @@ func (s *state[T]) phaseSpinesums() {
 // 1 clock tick per element" (§4.2). Must run before MULTISUMS, which
 // goes on to mutate the bucket spinesums.
 func (s *state[T]) reduce() []T {
-	m := s.m
 	out := make([]T, s.b)
+	s.reduceInto(out)
+	return out
+}
+
+// reduceInto is reduce writing into caller-supplied storage (len must
+// be the bucket count) — the pooled evaluation path.
+func (s *state[T]) reduceInto(out []T) {
+	m := s.m
 	if s.b == 0 {
-		return out
+		return
 	}
 	m.BeginLoop()
 	reg := len(s.regA)
@@ -436,7 +464,6 @@ func (s *state[T]) reduce() []T {
 		vector.VOp(m, c, a, b, s.op.Combine)
 		vector.Store(m, out[lo:hi], c)
 	}
-	return out
 }
 
 // phaseMultisums: paper §4.1 loop 4, one loop per column:
@@ -444,11 +471,18 @@ func (s *state[T]) reduce() []T {
 //	multi[i] = spinesum[spine[i]]
 //	spinesum[spine[i]] += value[i]
 func (s *state[T]) phaseMultisums() []T {
-	m := s.m
 	multi := make([]T, s.n)
+	s.multisumsInto(multi)
+	return multi
+}
+
+// multisumsInto is phaseMultisums writing into caller-supplied storage
+// (len must be n) — the pooled evaluation path.
+func (s *state[T]) multisumsInto(multi []T) {
+	m := s.m
 	for c := 0; c < s.grid.P; c++ {
 		if m.Exhausted() {
-			return multi
+			return
 		}
 		k := s.grid.ColumnLen(c)
 		if k == 0 {
@@ -470,5 +504,4 @@ func (s *state[T]) phaseMultisums() []T {
 		vector.VOp(m, next, cur, val, s.op.Combine)
 		vector.Scatter(m, s.spinesum, sp, next)
 	}
-	return multi
 }

@@ -1,0 +1,189 @@
+package vecmp
+
+import (
+	"fmt"
+	"sync"
+
+	"multiprefix/internal/core"
+	"multiprefix/internal/vector"
+)
+
+func errPlanShape(n, got int) error {
+	return fmt.Errorf("vecmp: plan built for %d values, got %d", n, got)
+}
+
+func errPlanOut(want, got int) error {
+	return fmt.Errorf("vecmp: output length %d, want %d", got, want)
+}
+
+// Workspace pools reusable engine state so repeated vectorized runs —
+// the inner loop of every experiment sweep and of the sparse-matrix
+// kernels — stop allocating arena, register and output storage per
+// call. Acquire a Buffers, run any number of *In evaluations on it,
+// Release it back. Safe for concurrent Acquire/Release; an individual
+// Buffers is not concurrent-safe.
+type Workspace[T vector.Elem] struct {
+	pool sync.Pool
+}
+
+// NewWorkspace returns an empty Workspace.
+func NewWorkspace[T vector.Elem]() *Workspace[T] {
+	ws := &Workspace[T]{}
+	ws.pool.New = func() any { return &Buffers[T]{} }
+	return ws
+}
+
+// Acquire hands out a Buffers, reusing a released one when available.
+func (ws *Workspace[T]) Acquire() *Buffers[T] {
+	return ws.pool.Get().(*Buffers[T])
+}
+
+// Release returns b to the pool. The caller must not touch b — or any
+// Result slices produced through it — afterwards.
+func (ws *Workspace[T]) Release(b *Buffers[T]) {
+	ws.pool.Put(b)
+}
+
+// Buffers is reusable vectorized-engine state: the arena and vector
+// registers plus the output vectors. Result.Multi and
+// Result.Reductions returned by the *In methods alias this storage and
+// are valid until the next call on the same Buffers or its Release.
+type Buffers[T vector.Elem] struct {
+	s     state[T]
+	multi []T
+	red   []T
+}
+
+// MultiprefixIn is Multiprefix on pooled state: identical phases and
+// cost accounting, with the arena, registers and outputs drawn from b.
+func MultiprefixIn[T vector.Elem](b *Buffers[T], m *vector.Machine, op core.Op[T], values []T, labels []int32, buckets int, cfg Config) (*Result[T], error) {
+	s := &b.s
+	if err := s.prepare(m, op, values, labels, buckets, cfg); err != nil {
+		return nil, err
+	}
+	b.multi = grown(b.multi, s.n)
+	b.red = grown(b.red, s.b)
+	res := &Result[T]{Grid: s.grid}
+	mark := m.Mark()
+	s.init()
+	res.Phases.Init = m.Since(mark)
+
+	mark = m.Mark()
+	s.phaseSpinetree()
+	res.Phases.Spinetree = m.Since(mark)
+	if err := m.BudgetErr(); err != nil {
+		return nil, err
+	}
+
+	mark = m.Mark()
+	s.phaseRowsums()
+	res.Phases.Rowsums = m.Since(mark)
+	if err := m.BudgetErr(); err != nil {
+		return nil, err
+	}
+
+	mark = m.Mark()
+	s.phaseSpinesums()
+	res.Phases.Spinesums = m.Since(mark)
+	if err := m.BudgetErr(); err != nil {
+		return nil, err
+	}
+
+	mark = m.Mark()
+	s.reduceInto(b.red)
+	res.Reductions = b.red
+	res.Phases.Reduce = m.Since(mark)
+	if err := m.BudgetErr(); err != nil {
+		return nil, err
+	}
+
+	mark = m.Mark()
+	s.multisumsInto(b.multi)
+	res.Multi = b.multi
+	res.Phases.Multisums = m.Since(mark)
+	if err := m.BudgetErr(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// MultireduceIn is Multireduce on pooled state; Result.Multi is nil.
+func MultireduceIn[T vector.Elem](b *Buffers[T], m *vector.Machine, op core.Op[T], values []T, labels []int32, buckets int, cfg Config) (*Result[T], error) {
+	s := &b.s
+	if err := s.prepare(m, op, values, labels, buckets, cfg); err != nil {
+		return nil, err
+	}
+	b.red = grown(b.red, s.b)
+	res := &Result[T]{Grid: s.grid}
+	mark := m.Mark()
+	s.init()
+	res.Phases.Init = m.Since(mark)
+
+	mark = m.Mark()
+	s.phaseSpinetree()
+	res.Phases.Spinetree = m.Since(mark)
+	if err := m.BudgetErr(); err != nil {
+		return nil, err
+	}
+
+	mark = m.Mark()
+	s.phaseRowsums()
+	res.Phases.Rowsums = m.Since(mark)
+	if err := m.BudgetErr(); err != nil {
+		return nil, err
+	}
+
+	mark = m.Mark()
+	s.phaseSpinesums()
+	res.Phases.Spinesums = m.Since(mark)
+	if err := m.BudgetErr(); err != nil {
+		return nil, err
+	}
+
+	mark = m.Mark()
+	s.reduceInto(b.red)
+	res.Reductions = b.red
+	res.Phases.Reduce = m.Since(mark)
+	if err := m.BudgetErr(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ReduceInto evaluates the plan's multireduce writing the bucket sums
+// into out (len must be Buckets()) — the zero-allocation repeated-
+// evaluation path for iterative kernels that call Reduce in a loop.
+func (p *Plan[T]) ReduceInto(values, out []T) error {
+	s := p.s
+	if len(values) != s.n {
+		return errPlanShape(s.n, len(values))
+	}
+	if len(out) != s.b {
+		return errPlanOut(s.b, len(out))
+	}
+	s.values = values
+	s.initSums()
+	s.phaseRowsums()
+	s.phaseSpinesums()
+	s.reduceInto(out)
+	return nil
+}
+
+// MultiprefixInto evaluates the plan's full multiprefix writing into
+// caller-supplied multi (len n) and reductions (len Buckets()).
+func (p *Plan[T]) MultiprefixInto(values, multi, reductions []T) error {
+	s := p.s
+	if len(values) != s.n {
+		return errPlanShape(s.n, len(values))
+	}
+	if len(multi) != s.n || len(reductions) != s.b {
+		return errPlanOut(s.b, len(reductions))
+	}
+	s.values = values
+	s.initSums()
+	s.phaseRowsums()
+	s.phaseSpinesums()
+	s.reduceInto(reductions)
+	s.multisumsInto(multi)
+	return nil
+}

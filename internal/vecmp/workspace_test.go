@@ -1,0 +1,184 @@
+package vecmp
+
+import (
+	"math/rand"
+	"testing"
+
+	"multiprefix/internal/core"
+	"multiprefix/internal/vector"
+)
+
+// TestWorkspaceMatchesUnpooled runs the pooled MultiprefixIn and
+// MultireduceIn repeatedly on one Buffers across changing shapes and
+// configs and checks bit-exact agreement — outputs, reductions and the
+// simulated phase costs — with the allocating entry points.
+func TestWorkspaceMatchesUnpooled(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ws := NewWorkspace[int64]()
+	b := ws.Acquire()
+	defer ws.Release(b)
+	shapes := []struct{ n, buckets int }{
+		{500, 37}, {64, 64}, {1, 1}, {777, 9}, {300, 1},
+	}
+	for round, sh := range shapes {
+		labels := make([]int32, sh.n)
+		values := make([]int64, sh.n)
+		for i := range labels {
+			labels[i] = int32(rng.Intn(sh.buckets))
+			values[i] = int64(rng.Intn(50)) + 1
+		}
+		for _, cfg := range []Config{{}, {RowLength: 7}, {MarkerSpineTest: true}} {
+			want, err := Multiprefix(vector.NewDefault(), core.AddInt64, values, labels, sh.buckets, cfg)
+			if err != nil {
+				t.Fatalf("round %d: unpooled: %v", round, err)
+			}
+			got, err := MultiprefixIn(b, vector.NewDefault(), core.AddInt64, values, labels, sh.buckets, cfg)
+			if err != nil {
+				t.Fatalf("round %d: pooled: %v", round, err)
+			}
+			for i := range want.Multi {
+				if got.Multi[i] != want.Multi[i] {
+					t.Fatalf("round %d: Multi[%d]=%d, want %d", round, i, got.Multi[i], want.Multi[i])
+				}
+			}
+			for k := range want.Reductions {
+				if got.Reductions[k] != want.Reductions[k] {
+					t.Fatalf("round %d: Reductions[%d]=%d, want %d", round, k, got.Reductions[k], want.Reductions[k])
+				}
+			}
+			if got.Phases != want.Phases {
+				t.Fatalf("round %d: pooled phase costs %+v, want %+v", round, got.Phases, want.Phases)
+			}
+			wantRed, err := Multireduce(vector.NewDefault(), core.AddInt64, values, labels, sh.buckets, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRed, err := MultireduceIn(b, vector.NewDefault(), core.AddInt64, values, labels, sh.buckets, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotRed.Multi != nil {
+				t.Fatalf("round %d: MultireduceIn produced Multi", round)
+			}
+			for k := range wantRed.Reductions {
+				if gotRed.Reductions[k] != wantRed.Reductions[k] {
+					t.Fatalf("round %d: reduce[%d]=%d, want %d", round, k, gotRed.Reductions[k], wantRed.Reductions[k])
+				}
+			}
+		}
+	}
+}
+
+// TestWorkspaceRejectsBadInput: a pooled call with invalid input fails
+// the same way the unpooled one does and leaves the Buffers usable.
+func TestWorkspaceRejectsBadInput(t *testing.T) {
+	ws := NewWorkspace[int64]()
+	b := ws.Acquire()
+	defer ws.Release(b)
+	if _, err := MultiprefixIn(b, vector.NewDefault(), core.AddInt64, []int64{1}, []int32{5}, 2, Config{}); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	values := []int64{1, 2, 3}
+	labels := []int32{0, 1, 0}
+	res, err := MultiprefixIn(b, vector.NewDefault(), core.AddInt64, values, labels, 2, Config{})
+	if err != nil {
+		t.Fatalf("clean run after rejected input: %v", err)
+	}
+	if res.Reductions[0] != 4 || res.Reductions[1] != 2 {
+		t.Fatalf("reductions = %v, want [4 2]", res.Reductions)
+	}
+}
+
+// TestPlanInto checks the zero-copy plan evaluations against the
+// allocating ones across repeated value vectors (the §5.2.1 iterative
+// kernel pattern).
+func TestPlanInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n, buckets := 600, 23
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = int32(rng.Intn(buckets))
+	}
+	plan, err := NewPlan(vector.NewDefault(), core.AddInt64, labels, buckets, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2, err := NewPlan(vector.NewDefault(), core.AddInt64, labels, buckets, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int64, buckets)
+	multi := make([]int64, n)
+	for round := 0; round < 3; round++ {
+		values := make([]int64, n)
+		for i := range values {
+			values[i] = int64(rng.Intn(100)) + 1
+		}
+		wantRed, err := plan.Reduce(values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plan2.ReduceInto(values, out); err != nil {
+			t.Fatal(err)
+		}
+		for k := range wantRed {
+			if out[k] != wantRed[k] {
+				t.Fatalf("round %d: ReduceInto[%d]=%d, want %d", round, k, out[k], wantRed[k])
+			}
+		}
+		wantMulti, wantRed2, err := plan.Multiprefix(values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plan2.MultiprefixInto(values, multi, out); err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantMulti {
+			if multi[i] != wantMulti[i] {
+				t.Fatalf("round %d: MultiprefixInto multi[%d]=%d, want %d", round, i, multi[i], wantMulti[i])
+			}
+		}
+		for k := range wantRed2 {
+			if out[k] != wantRed2[k] {
+				t.Fatalf("round %d: MultiprefixInto red[%d]=%d, want %d", round, k, out[k], wantRed2[k])
+			}
+		}
+	}
+	if err := plan2.ReduceInto(make([]int64, n-1), out); err == nil {
+		t.Fatal("short values accepted")
+	}
+	if err := plan2.ReduceInto(make([]int64, n), make([]int64, buckets-1)); err == nil {
+		t.Fatal("short output accepted")
+	}
+}
+
+// TestWorkspaceSteadyStateAllocs pins the pooled vectorized path's
+// steady-state allocation count: after warm-up, repeated MultireduceIn
+// evaluations on one Buffers allocate only what the fresh Machine and
+// Result header cost — the engine state itself allocates nothing.
+func TestWorkspaceSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n, buckets := 1000, 64
+	labels := make([]int32, n)
+	values := make([]int64, n)
+	for i := range labels {
+		labels[i] = int32(rng.Intn(buckets))
+		values[i] = int64(rng.Intn(50)) + 1
+	}
+	ws := NewWorkspace[int64]()
+	b := ws.Acquire()
+	defer ws.Release(b)
+	m := vector.NewDefault()
+	run := func() {
+		if _, err := MultireduceIn(b, m, core.AddInt64, values, labels, buckets, Config{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	// The Result header (and its escape bookkeeping) is the only
+	// per-call allocation the pooled path makes; the engine state and
+	// the shared Machine allocate nothing.
+	if allocs := testing.AllocsPerRun(5, run); allocs > 2 {
+		t.Errorf("pooled vecmp steady state: %.1f allocs/run, want <= 2", allocs)
+	}
+}

@@ -23,6 +23,9 @@ type Machine struct {
 	// across instructions to avoid allocation.
 	bankCount []int32
 	bankDirty []int32
+	// effIdx is scratch for ScatterMasked's effective-address strip,
+	// reused for the same reason.
+	effIdx []int32
 }
 
 // New creates a machine with the given configuration.

@@ -75,7 +75,10 @@ func ScatterMasked[T Elem](m *Machine, base []T, idx []int32, src []T, mask []bo
 	// The dummy location: one scratch word; address 0 stands in for it
 	// in the bank model (any fixed address behaves identically).
 	const dummy = int32(0)
-	effIdx := make([]int32, 0, m.cfg.VL)
+	if cap(m.effIdx) < m.cfg.VL {
+		m.effIdx = make([]int32, 0, m.cfg.VL)
+	}
+	effIdx := m.effIdx[:0]
 	cycles := 0.0
 	for lo := 0; lo < k; lo += m.cfg.VL {
 		hi := lo + m.cfg.VL

@@ -94,27 +94,63 @@ var (
 	ConcatString = core.ConcatString
 )
 
-// autoThreshold is the input size below which the serial engine beats
-// any parallel decomposition's coordination costs.
-const autoThreshold = 4096
+// AutoCalibration holds the crossover points the adaptive engine picks
+// engines with; see Config.AutoCal. Leave it nil to use the process-
+// wide calibration measured on first use.
+type AutoCalibration = core.AutoCalibration
+
+// Workspace is a pool of reusable engine state: Acquire a Buffers,
+// run any number of pooled computations on it, Release it back. The
+// pooled methods perform zero steady-state heap allocations for
+// operators with a fast path (int64/float64 add and max).
+type Workspace[T any] = core.Workspace[T]
+
+// Buffers is reusable engine state drawn from a Workspace. Not safe
+// for concurrent use; results alias internal storage and are valid
+// until the next call on the same Buffers or its Release.
+type Buffers[T any] = core.Buffers[T]
+
+// NewWorkspace returns an empty Workspace.
+func NewWorkspace[T any]() *Workspace[T] { return core.NewWorkspace[T]() }
 
 // Compute runs the multiprefix operation with an automatically chosen
-// engine: serial for small inputs, multicore for large ones.
+// engine: serial for small inputs, multicore for large ones, with the
+// crossover calibrated on first use (Auto with a zero Config).
 func Compute[T any](op Op[T], values []T, labels []int, m int) (Result[T], error) {
-	if len(values) < autoThreshold {
-		return core.Serial(op, values, labels, m)
-	}
-	return core.Chunked(op, values, labels, m, Config{})
+	return core.Auto(op, values, labels, m, Config{})
 }
 
 // Reduce runs the multireduce operation (reductions only, paper §4.2)
 // with an automatically chosen engine.
 func Reduce[T any](op Op[T], values []T, labels []int, m int) ([]T, error) {
-	if len(values) < autoThreshold {
-		return core.SerialReduce(op, values, labels, m)
-	}
-	return core.ChunkedReduce(op, values, labels, m, Config{})
+	return core.AutoReduce(op, values, labels, m, Config{})
 }
+
+// Auto runs the multiprefix operation through the adaptive engine: it
+// picks Serial, Chunked or Parallel per call from the input shape,
+// cfg.Workers and the calibrated crossover points (cfg.AutoCal or the
+// process-wide measurement), and degrades to the serial reference on
+// an internal failure. Invalid input and cancellation are returned
+// as-is.
+func Auto[T any](op Op[T], values []T, labels []int, m int, cfg Config) (Result[T], error) {
+	return core.Auto(op, values, labels, m, cfg)
+}
+
+// AutoReduce is the multireduce counterpart of Auto.
+func AutoReduce[T any](op Op[T], values []T, labels []int, m int, cfg Config) ([]T, error) {
+	return core.AutoReduce(op, values, labels, m, cfg)
+}
+
+// AutoChoice reports which engine Auto would run for a problem of n
+// elements and m labels under cfg — for tests, tracing and capacity
+// planning.
+func AutoChoice(n, m int, cfg Config) string {
+	return core.AutoChoice(n, m, cfg)
+}
+
+// AutoEngine adapts Auto to the Engine signature for the derived
+// operations.
+func AutoEngine[T any](cfg Config) Engine[T] { return core.AutoEngine[T](cfg) }
 
 // ComputeCtx is Compute under a cancellation context: an already-
 // cancelled context returns ctx.Err() before any phase runs, and a
@@ -126,10 +162,7 @@ func ComputeCtx[T any](ctx context.Context, op Op[T], values []T, labels []int, 
 			return Result[T]{}, err
 		}
 	}
-	if len(values) < autoThreshold {
-		return core.Serial(op, values, labels, m)
-	}
-	return core.ChunkedCtx(ctx, op, values, labels, m, Config{})
+	return core.Auto(op, values, labels, m, Config{Ctx: ctx})
 }
 
 // ReduceCtx is Reduce under a cancellation context; a nil context is
@@ -140,11 +173,7 @@ func ReduceCtx[T any](ctx context.Context, op Op[T], values []T, labels []int, m
 			return nil, err
 		}
 	}
-	if len(values) < autoThreshold {
-		return core.SerialReduce(op, values, labels, m)
-	}
-	cfg := Config{Ctx: ctx}
-	return core.ChunkedReduce(op, values, labels, m, cfg)
+	return core.AutoReduce(op, values, labels, m, Config{Ctx: ctx})
 }
 
 // ParallelCtx is Parallel under a cancellation context, polled at
@@ -219,6 +248,18 @@ func FetchOp[T any](op Op[T], cells []T, addrs []int, increments []T, engine Eng
 // vector order) and counts each class — multiprefix-PLUS over ones.
 func Enumerate(labels []int, m int, engine Engine[int64]) (ranks, counts []int64, err error) {
 	return core.Enumerate(labels, m, engine)
+}
+
+// EnumerateIn is Enumerate drawing its ones vector from b's pooled
+// storage instead of allocating.
+func EnumerateIn(b *Buffers[int64], labels []int, m int, engine Engine[int64]) (ranks, counts []int64, err error) {
+	return core.EnumerateIn(b, labels, m, engine)
+}
+
+// SegmentedScanIn is SegmentedScan drawing its derived label vector
+// from b's pooled storage instead of allocating.
+func SegmentedScanIn[T any](b *Buffers[T], op Op[T], values []T, segments []bool, engine Engine[T]) (scans, totals []T, err error) {
+	return core.SegmentedScanIn(b, op, values, segments, engine)
 }
 
 // CombiningSend performs the Connection Machine's combining send

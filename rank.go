@@ -10,10 +10,7 @@ import (
 // Figure 11 and §5.1, built on two multiprefix calls. Keys must lie in
 // [0, maxKey).
 func Rank(keys []int32, maxKey int) ([]int64, error) {
-	if len(keys) < autoThreshold {
-		return intsort.RankMP(keys, maxKey, core.SerialEngine[int64]())
-	}
-	return intsort.RankMP(keys, maxKey, core.ChunkedEngine[int64](core.Config{}))
+	return intsort.RankMP(keys, maxKey, core.AutoEngine[int64](core.Config{}))
 }
 
 // Sort returns the keys in stable sorted order via Rank + permute —
