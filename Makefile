@@ -1,7 +1,7 @@
 # Build and verification entry points. `make check` is the tier-1+
 # verify command: everything tier-1 runs (build + tests) plus vet, the
 # race detector on the concurrent packages, and a short fuzz smoke of
-# the three root fuzz targets.
+# the root fuzz targets plus the backend plan-parity target.
 
 GO ?= go
 FUZZTIME ?= 5s
@@ -30,6 +30,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzAutoMatchesSerial$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzRankIsStableSort$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzSegmentedScan$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzBackendParity$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzPlanParity$$' -fuzztime $(FUZZTIME) ./internal/backend
 
 # Tier-1+: the full robustness gate: vet (includes cmd/benchjson),
 # race, fuzz smoke, and a one-iteration pass over every benchmark so a

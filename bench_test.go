@@ -298,6 +298,50 @@ func BenchmarkEnginePooled(b *testing.B) {
 	}
 }
 
+// BenchmarkPlanReuse measures the "plan once, run many" pipeline per
+// backend against the matching one-shot Compute: the plan-run side
+// pays no per-call validation or label-structure setup and allocates
+// nothing in steady state. cmd/benchjson records the same comparison
+// in BENCH_engines.json.
+func BenchmarkPlanReuse(b *testing.B) {
+	const n, m = 1 << 18, 1 << 10
+	values, labels := benchInput(n, m)
+	cfg := Config{Workers: 4}
+	for _, name := range []string{"serial", "spinetree", "chunked", "parallel", "auto"} {
+		be, err := OpenBackend[int64](name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/compute", func(b *testing.B) {
+			b.SetBytes(n * 8)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := be.Compute(AddInt64, values, labels, m, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/plan-run", func(b *testing.B) {
+			plan, err := be.Plan(AddInt64, labels, m, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer plan.Close()
+			if _, err := plan.Run(values); err != nil { // warm plan storage
+				b.Fatal(err)
+			}
+			b.SetBytes(n * 8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.Run(values); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEngineAuto measures the adaptive engine end to end,
 // including its per-call shape dispatch, on both sides of the
 // calibrated crossover.

@@ -1,10 +1,13 @@
 // Command benchjson measures the multiprefix engines — unpooled
 // generic baseline, unpooled fast-path, and pooled fast-path — across
-// input sizes and writes a machine-readable JSON snapshot (ns/op,
-// allocs/op, ns/elem per engine × size, plus the simulated vectorized
-// engine's clocks per element). The committed BENCH_engines.json at
-// the repo root is the reference snapshot; `make bench-json`
-// regenerates it.
+// input sizes, plus the unified backend registry's "plan once, run
+// many" pipeline against the matching one-shot Compute, and writes a
+// machine-readable JSON snapshot (ns/op, allocs/op, ns/elem per
+// engine × size, plan-reuse speedups per backend, and the simulated
+// vectorized engine's clocks per element). The committed
+// BENCH_engines.json at the repo root is the reference snapshot;
+// `make bench-json` regenerates it. The -backend flag restricts the
+// plan-reuse section to a comma-separated list of registry names.
 package main
 
 import (
@@ -15,8 +18,10 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	"multiprefix/internal/backend"
 	"multiprefix/internal/core"
 	"multiprefix/internal/vecmp"
 	"multiprefix/internal/vector"
@@ -43,15 +48,29 @@ type VecEntry struct {
 	ClkPerElem float64 `json:"clk_per_elem"`
 }
 
+// PlanEntry compares one backend's one-shot Compute against a Plan
+// built once and Run repeatedly on the same shape.
+type PlanEntry struct {
+	Backend        string  `json:"backend"`
+	N              int     `json:"n"`
+	M              int     `json:"m"`
+	NsPerOpOneshot float64 `json:"ns_per_op_oneshot"`
+	AllocsOneshot  float64 `json:"allocs_per_op_oneshot"`
+	NsPerOpPlanRun float64 `json:"ns_per_op_plan_run"`
+	AllocsPlanRun  float64 `json:"allocs_per_op_plan_run"`
+	Speedup        float64 `json:"speedup"`
+}
+
 // Report is the full snapshot.
 type Report struct {
-	GoVersion  string     `json:"go_version"`
-	GOOS       string     `json:"goos"`
-	GOARCH     string     `json:"goarch"`
-	GOMAXPROCS int        `json:"gomaxprocs"`
-	Workers    int        `json:"workers"`
-	Engines    []Entry    `json:"engines"`
-	Vectorized []VecEntry `json:"vectorized"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Workers    int         `json:"workers"`
+	Engines    []Entry     `json:"engines"`
+	PlanReuse  []PlanEntry `json:"plan_reuse"`
+	Vectorized []VecEntry  `json:"vectorized"`
 }
 
 // genericAdd is AddInt64 without the FastOp capability: the
@@ -105,6 +124,9 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "BENCH_engines.json", "output path")
 	quick := flag.Bool("quick", false, "single reduced size (CI smoke)")
+	backends := flag.String("backend", "serial,spinetree,chunked,parallel,auto",
+		"comma-separated backends for the plan-reuse section (registry names: "+
+			strings.Join(backend.Names(), ", ")+")")
 	flag.Parse()
 
 	workers := 4
@@ -161,6 +183,50 @@ func main() {
 
 		run("auto", "fast", func() { _, err := core.Auto(core.AddInt64, values, labels, sz.m, cfg); check(err) })
 		run("auto", "pooled", func() { _, err := b.Auto(core.AddInt64, values, labels, sz.m, cfg); check(err) })
+	}
+
+	// Plan-reuse comparison: each named backend's one-shot Compute
+	// against a Plan built once and evaluated repeatedly on the same
+	// labels — the cost the §5.2.1 setup/evaluation split amortizes.
+	{
+		n, m := 1<<18, 1<<10
+		if *quick {
+			n, m = 1<<16, 1<<8
+		}
+		values, labels := input(n, m)
+		for _, name := range strings.Split(*backends, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			be, err := backend.Open[int64](name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			oneNs, oneAllocs, _ := measure(func() {
+				if _, err := be.Compute(core.AddInt64, values, labels, m, cfg); err != nil {
+					log.Fatal(err)
+				}
+			})
+			plan, err := be.Plan(core.AddInt64, labels, m, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			planNs, planAllocs, _ := measure(func() {
+				if _, err := plan.Run(values); err != nil {
+					log.Fatal(err)
+				}
+			})
+			plan.Close()
+			report.PlanReuse = append(report.PlanReuse, PlanEntry{
+				Backend: name, N: n, M: m,
+				NsPerOpOneshot: oneNs, AllocsOneshot: oneAllocs,
+				NsPerOpPlanRun: planNs, AllocsPlanRun: planAllocs,
+				Speedup: oneNs / planNs,
+			})
+			fmt.Printf("%-10s plan     n=%-8d m=%-5d %12.0f ns/op oneshot %12.0f ns/op plan-run %6.2fx\n",
+				name, n, m, oneNs, planNs, oneNs/planNs)
+		}
 	}
 
 	// Simulated vectorized engine: the paper's clocks-per-element

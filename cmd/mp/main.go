@@ -9,17 +9,23 @@
 //	echo "1 1
 //	1 2
 //	2 1
-//	1 2" | mp [-op add|mul|max|min] [-engine auto|serial|spinetree|parallel|chunked] [-reduce]
+//	1 2" | mp [-op add|mul|max|min] [-backend auto|serial|...] [-reduce]
+//
+// The -backend flag (alias: -engine) accepts any name in the unified
+// backend registry, including the simulated machines ("vector",
+// "pram").
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 
 	"multiprefix"
 )
@@ -28,7 +34,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mp: ")
 	opName := flag.String("op", "add", "operator: add, mul, max, min, or, and, xor")
-	engineName := flag.String("engine", "auto", "engine: auto, serial, spinetree, parallel, chunked")
+	known := strings.Join(multiprefix.Backends(), ", ")
+	backendName := flag.String("backend", "auto", "backend: "+known)
+	flag.StringVar(backendName, "engine", "auto", "alias for -backend")
 	reduceOnly := flag.Bool("reduce", false, "print only the per-label reductions (multireduce)")
 	verbose := flag.Bool("v", false, "report the engine the auto selector picked")
 	flag.Parse()
@@ -81,32 +89,22 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var engine multiprefix.Engine[int64]
-	switch *engineName {
-	case "auto":
-		cfg := multiprefix.Config{Ctx: ctx}
-		if *verbose {
-			fmt.Fprintf(os.Stderr, "mp: auto picked %s for n=%d m=%d\n",
-				multiprefix.AutoChoice(len(values), m, cfg), len(values), m)
+	be, err := multiprefix.OpenBackend[int64](*backendName)
+	if err != nil {
+		var unknown *multiprefix.UnknownBackendError
+		if errors.As(err, &unknown) {
+			log.Fatalf("unknown backend %q; known backends: %s",
+				unknown.Name, strings.Join(unknown.Known, ", "))
 		}
-		engine = multiprefix.AutoEngine[int64](cfg)
-	case "serial":
-		engine = multiprefix.SerialEngine[int64]()
-	case "spinetree":
-		engine = multiprefix.SpinetreeEngine[int64](multiprefix.Config{})
-	case "parallel":
-		engine = func(op multiprefix.Op[int64], values []int64, labels []int, m int) (multiprefix.Result[int64], error) {
-			return multiprefix.ParallelCtx(ctx, op, values, labels, m, multiprefix.Config{})
-		}
-	case "chunked":
-		engine = func(op multiprefix.Op[int64], values []int64, labels []int, m int) (multiprefix.Result[int64], error) {
-			return multiprefix.ChunkedCtx(ctx, op, values, labels, m, multiprefix.Config{})
-		}
-	default:
-		log.Fatalf("unknown engine %q", *engineName)
+		log.Fatal(err)
+	}
+	cfg := multiprefix.Config{Ctx: ctx}
+	if *verbose && be.Name() == "auto" {
+		fmt.Fprintf(os.Stderr, "mp: auto picked %s for n=%d m=%d\n",
+			multiprefix.AutoChoice(len(values), m, cfg), len(values), m)
 	}
 
-	res, err := engine(op, values, labels, m)
+	res, err := be.Compute(op, values, labels, m, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"math"
 	"time"
 
+	"multiprefix/internal/core"
 	"multiprefix/internal/sparse"
 )
 
@@ -63,4 +64,15 @@ func main() {
 	}
 	solve("CSR kernel", func(x []float64) ([]float64, error) { return sparse.MulCSR(csr, x) })
 	solve("multireduce kernel", func(x []float64) ([]float64, error) { return sparse.MulCOOChunked(coo, x, 0) })
+
+	// The planned kernel is the §5.2.1 point of this workload: the
+	// multireduce setup depends only on the matrix's row structure, so
+	// it is paid once and every CG iteration runs the evaluation phase
+	// alone, allocation-free.
+	plan, err := sparse.NewSpMVPlan(coo, "chunked", core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer plan.Close()
+	solve("multireduce plan", plan.Mul)
 }

@@ -143,6 +143,86 @@ func FuzzAutoMatchesSerial(f *testing.F) {
 	})
 }
 
+// FuzzBackendParity drives every registered backend — including the
+// simulated vector machine and PRAM — against the serial reference,
+// both through the one-shot Compute and through a Plan built once and
+// evaluated against two value vectors (the second run exercises the
+// in-place reuse of plan-owned result storage).
+func FuzzBackendParity(f *testing.F) {
+	f.Add([]byte{5, 0, 1, 0, 3, 255, 127, 2, 9, 9})
+	f.Add([]byte{1, 1, 1, 1})
+	f.Add(bytes.Repeat([]byte{7, 3, 3, 3}, 50))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		values, labels, m := decodeInput(data)
+		check := func(name string, got Result[int64], want Result[int64]) {
+			t.Helper()
+			for i := range want.Multi {
+				if got.Multi[i] != want.Multi[i] {
+					t.Fatalf("%s: Multi[%d] = %d, want %d", name, i, got.Multi[i], want.Multi[i])
+				}
+			}
+			for k := range want.Reductions {
+				if got.Reductions[k] != want.Reductions[k] {
+					t.Fatalf("%s: Reductions[%d] = %d, want %d", name, k, got.Reductions[k], want.Reductions[k])
+				}
+			}
+		}
+		want, err := core.Serial(AddInt64, values, labels, m)
+		if err != nil {
+			t.Fatalf("serial rejected derived input: %v", err)
+		}
+		// Second value vector for the plan-reuse round: same labels,
+		// negated values (still valid for every backend, PRAM included).
+		values2 := make([]int64, len(values))
+		for i, v := range values {
+			values2[i] = -v
+		}
+		want2, err := core.Serial(AddInt64, values2, labels, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range Backends() {
+			cfg := Config{}
+			if name == "chunked" || name == "parallel" {
+				cfg.Workers = 3
+			}
+			be, err := OpenBackend[int64](name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := be.Compute(AddInt64, values, labels, m, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			check(name, got, want)
+			plan, err := be.Plan(AddInt64, labels, m, cfg)
+			if err != nil {
+				t.Fatalf("%s: Plan: %v", name, err)
+			}
+			r1, err := plan.Run(values)
+			if err != nil {
+				t.Fatalf("%s: plan run 1: %v", name, err)
+			}
+			check(name+"/plan1", r1, want)
+			r2, err := plan.Run(values2)
+			if err != nil {
+				t.Fatalf("%s: plan run 2: %v", name, err)
+			}
+			check(name+"/plan2", r2, want2)
+			red, err := plan.Reduce(values)
+			if err != nil {
+				t.Fatalf("%s: plan reduce: %v", name, err)
+			}
+			for k := range want.Reductions {
+				if red[k] != want.Reductions[k] {
+					t.Fatalf("%s: plan red[%d] = %d, want %d", name, k, red[k], want.Reductions[k])
+				}
+			}
+			plan.Close()
+		}
+	})
+}
+
 func FuzzRankIsStableSort(f *testing.F) {
 	f.Add([]byte{3, 1, 4, 1, 5, 9, 2, 6})
 	f.Add([]byte{0})

@@ -1,0 +1,607 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"multiprefix/internal/core"
+	"multiprefix/internal/par"
+	"multiprefix/internal/pram"
+	"multiprefix/internal/vecmp"
+	"multiprefix/internal/vector"
+)
+
+// planKind is how a Plan executes its runs.
+type planKind uint8
+
+const (
+	// planSerial: the one-pass bucket algorithm over plan-owned
+	// storage, in CancelStride segments when a context is set.
+	planSerial planKind = iota
+	// planChunked: the chunked decomposition with the chunk
+	// partitions, per-chunk touched-label lists and worker team all
+	// built at plan time.
+	planChunked
+	// planBuffers: spinetree or parallel, delegated to a plan-owned
+	// pooled core.Buffers (the arena is rebuilt per run — those
+	// engines' spine structure depends on the row-length choice the
+	// arena makes — but all storage and the worker team persist).
+	planBuffers
+	// planVector: a vecmp.Plan whose spinetree was built once (the
+	// paper's §5.2.1 setup/evaluation split) and is evaluated against
+	// each value vector.
+	planVector
+	// planPram: per-run simulated PRAM execution. The simulator
+	// allocates its machine per run; Plan here only amortizes
+	// validation.
+	planPram
+)
+
+// Plan is a prepared multiprefix pipeline over one fixed label
+// vector: labels are validated and their structure (class count,
+// chunk partitions, per-chunk touched labels, spinetree where the
+// engine allows) is computed once at build time, then Run and Reduce
+// evaluate any number of value vectors against it. For the portable
+// backends a warm Plan performs zero steady-state heap allocations.
+//
+// Results returned by Run and Reduce alias plan-owned storage: they
+// are valid until the next Run/Reduce on the same Plan (or Close).
+// A Plan is not safe for concurrent use.
+type Plan[T any] struct {
+	backend  string
+	exec     planKind
+	fallback bool // auto: degrade to the serial pass on internal failure
+	op       core.Op[T]
+	cfg      core.Config
+	n, m     int
+	classes  int
+	labels   []int
+
+	// serial / chunked result storage
+	multi []T
+	red   []T
+
+	// chunked state, mirroring core's pooled chunkRunner with the
+	// first-touch discovery hoisted to plan time
+	workers   int
+	buckets   [][]T
+	touched   [][]int
+	team      *par.Team
+	guard     planGuard
+	fast      core.FastOp
+	runMulti  bool // current run wants Multi (read by worker bodies)
+	values    []T  // current run's values (read by worker bodies)
+	localBody func(w int, bar *par.Barrier)
+	applyBody func(w int, bar *par.Barrier)
+
+	// spinetree / parallel delegate state
+	buf     *core.Buffers[T]
+	bufKind kind
+
+	// vector state: monomorphic closures bound to a vecmp.Plan
+	vrun    func(values []T) (core.Result[T], error)
+	vreduce func(values []T) ([]T, error)
+
+	closed bool
+}
+
+// planGuard is the shared failure state of one planned chunked run
+// (the chunked engine's guard): first panic or cancellation recorded,
+// every worker drains at its next stride boundary.
+type planGuard struct {
+	stop atomic.Bool
+	mu   sync.Mutex
+	err  error
+}
+
+func (g *planGuard) reset() {
+	g.stop.Store(false)
+	g.mu.Lock()
+	g.err = nil
+	g.mu.Unlock()
+}
+
+func (g *planGuard) fail(err error) {
+	g.mu.Lock()
+	if g.err == nil {
+		g.err = err
+	}
+	g.mu.Unlock()
+	g.stop.Store(true)
+}
+
+func (g *planGuard) first() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}
+
+func (g *planGuard) interrupted(ctx context.Context) bool {
+	if g.stop.Load() {
+		return true
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			g.fail(err)
+			return true
+		}
+	}
+	return false
+}
+
+// Plan builds a reusable pipeline for this backend over the given
+// labels. The label vector is copied; later mutation of the caller's
+// slice does not affect the plan.
+func (b impl[T]) Plan(op core.Op[T], labels []int, m int, cfg core.Config) (*Plan[T], error) {
+	if err := core.ValidatePlan(op, labels, m); err != nil {
+		return nil, err
+	}
+	p := &Plan[T]{
+		backend: b.name,
+		op:      op,
+		cfg:     cfg,
+		n:       len(labels),
+		m:       m,
+		classes: core.CountClasses(labels, m),
+		labels:  append([]int(nil), labels...),
+	}
+	k := b.k
+	if k == kindAuto {
+		// Resolve the adaptive choice once, at plan time: the problem
+		// shape is fixed for the plan's lifetime, so per-run
+		// re-selection would always reach the same answer. The
+		// fallback-to-serial degradation of the one-shot Auto engine
+		// is preserved per run.
+		p.fallback = true
+		switch core.AutoChoice(p.n, m, cfg) {
+		case "chunked":
+			k = kindChunked
+		case "parallel":
+			k = kindParallel
+		default:
+			k = kindSerial
+		}
+	}
+	// The simulated machines assume at least one element; an empty
+	// plan degenerates to the (trivially equivalent) serial pass after
+	// their capability checks.
+	switch k {
+	case kindVector:
+		if err := p.prepareVector(); err != nil {
+			return nil, err
+		}
+		if p.n == 0 {
+			k = kindSerial
+		}
+	case kindPram:
+		if err := pramCheck(b.name, op); err != nil {
+			return nil, err
+		}
+		if p.n == 0 {
+			k = kindSerial
+		}
+	}
+	switch k {
+	case kindSerial:
+		p.exec = planSerial
+		p.multi = make([]T, p.n)
+		p.red = make([]T, m)
+	case kindChunked:
+		p.exec = planChunked
+		p.multi = make([]T, p.n)
+		p.red = make([]T, m)
+		p.prepareChunks()
+	case kindSpinetree, kindParallel:
+		p.exec = planBuffers
+		p.bufKind = k
+		p.buf = new(core.Buffers[T])
+	case kindVector:
+		p.exec = planVector
+	case kindPram:
+		p.exec = planPram
+	}
+	return p, nil
+}
+
+// prepareChunks precomputes the chunked decomposition: the worker
+// count and partition bounds the one-shot engine would use, each
+// chunk's touched-label list (first-touch order, normally discovered
+// per run with O(m) seen bookkeeping), per-chunk bucket storage, and
+// the persistent worker team with prebound bodies.
+func (p *Plan[T]) prepareChunks() {
+	p.workers = core.ChunkWorkers(p.cfg.Workers, p.n)
+	p.buckets = make([][]T, p.workers)
+	p.touched = make([][]int, p.workers)
+	seen := make([]bool, p.m)
+	for w := 0; w < p.workers; w++ {
+		lo, hi := par.Range(p.n, p.workers, w)
+		var order []int
+		for i := lo; i < hi; i++ {
+			if l := p.labels[i]; !seen[l] {
+				seen[l] = true
+				order = append(order, l)
+			}
+		}
+		for _, l := range order {
+			seen[l] = false
+		}
+		p.buckets[w] = make([]T, p.m)
+		p.touched[w] = order
+	}
+	p.localBody = p.chunkLocal
+	p.applyBody = p.chunkApply
+	t := par.NewTeam(p.workers)
+	p.team = t
+	// A plan dropped without Close must not leak the team's parked
+	// goroutines.
+	runtime.AddCleanup(p, func(t *par.Team) { t.Close() }, t)
+}
+
+// prepareVector builds the vecmp.Plan — the one backend with true
+// spine-structure reuse: the spinetree depends only on the labels, so
+// it is built once here and every Run pays only the evaluation
+// phases.
+func (p *Plan[T]) prepareVector() error {
+	switch any(p.multi).(type) {
+	case []int64:
+		return bindVecPlan[int64](p)
+	case []float64:
+		return bindVecPlan[float64](p)
+	case []int32:
+		return bindVecPlan[int32](p)
+	}
+	return errElemType[T](p.backend)
+}
+
+// bindVecPlan builds the vecmp.Plan at the machine element type E
+// (== T) and binds the monomorphic evaluation closures.
+func bindVecPlan[E vector.Elem, T any](p *Plan[T]) error {
+	eop, ok := any(p.op).(core.Op[E])
+	if !ok {
+		return errElemType[T](p.backend)
+	}
+	l32, err := labels32(p.labels, p.m)
+	if err != nil {
+		return err
+	}
+	if p.n == 0 {
+		return nil // degenerates to the serial pass
+	}
+	vp, err := vecmp.NewPlan(vector.NewDefault(), eop, l32, p.m, vcfg(p.cfg))
+	if err != nil {
+		return err
+	}
+	multi := make([]E, p.n)
+	red := make([]E, p.m)
+	p.vrun = func(values []T) (core.Result[T], error) {
+		if err := vp.MultiprefixInto(any(values).([]E), multi, red); err != nil {
+			return core.Result[T]{}, err
+		}
+		return core.Result[T]{Multi: any(multi).([]T), Reductions: any(red).([]T)}, nil
+	}
+	p.vreduce = func(values []T) ([]T, error) {
+		if err := vp.ReduceInto(any(values).([]E), red); err != nil {
+			return nil, err
+		}
+		return any(red).([]T), nil
+	}
+	return nil
+}
+
+// Backend reports the registry name the plan was opened under.
+func (p *Plan[T]) Backend() string { return p.backend }
+
+// N reports the element count the plan was built for.
+func (p *Plan[T]) N() int { return p.n }
+
+// M reports the label-space size.
+func (p *Plan[T]) M() int { return p.m }
+
+// Classes reports how many distinct labels actually occur — plan-time
+// metadata for capacity planning.
+func (p *Plan[T]) Classes() int { return p.classes }
+
+// Close releases the plan's worker team promptly. A closed plan
+// rejects further runs. Close is optional: a dropped plan's team is
+// reclaimed by a GC cleanup.
+func (p *Plan[T]) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if p.team != nil {
+		p.team.Close()
+		p.team = nil
+	}
+}
+
+func (p *Plan[T]) checkRun(values []T) error {
+	if p.closed {
+		return fmt.Errorf("%w: Run on a closed Plan", core.ErrBadInput)
+	}
+	if len(values) != p.n {
+		return fmt.Errorf("%w: plan built for %d values, got %d", core.ErrBadInput, p.n, len(values))
+	}
+	return nil
+}
+
+// terminalErr reports whether err must pass through instead of
+// degrading to serial: invalid input and cancellation, exactly as the
+// one-shot Auto/Fallback machinery classifies them.
+func terminalErr(err error) bool {
+	return errors.Is(err, core.ErrBadInput) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// Run evaluates the full multiprefix over values. The Result aliases
+// plan-owned storage, valid until the next call on this plan.
+func (p *Plan[T]) Run(values []T) (core.Result[T], error) {
+	if err := p.checkRun(values); err != nil {
+		return core.Result[T]{}, err
+	}
+	var res core.Result[T]
+	var err error
+	switch p.exec {
+	case planSerial:
+		err = p.runSerial(values, true)
+		res = core.Result[T]{Multi: p.multi, Reductions: p.red}
+	case planChunked:
+		err = p.runChunked(values, true)
+		res = core.Result[T]{Multi: p.multi, Reductions: p.red}
+	case planBuffers:
+		if p.bufKind == kindSpinetree {
+			res, err = p.buf.Spinetree(p.op, values, p.labels, p.m, p.cfg)
+		} else {
+			res, err = p.buf.Parallel(p.op, values, p.labels, p.m, p.cfg)
+		}
+	case planVector:
+		res, err = p.vrun(values)
+	case planPram:
+		res, err = p.runPram(values, true)
+	}
+	if err == nil {
+		return res, nil
+	}
+	if p.fallback && p.exec != planSerial && !terminalErr(err) {
+		return p.fallbackSerial(values, true)
+	}
+	return core.Result[T]{}, err
+}
+
+// Reduce evaluates the reductions-only multireduce over values. The
+// slice aliases plan-owned storage.
+func (p *Plan[T]) Reduce(values []T) ([]T, error) {
+	if err := p.checkRun(values); err != nil {
+		return nil, err
+	}
+	var red []T
+	var err error
+	switch p.exec {
+	case planSerial:
+		if err = p.runSerial(values, false); err == nil {
+			red = p.red
+		}
+	case planChunked:
+		if err = p.runChunked(values, false); err == nil {
+			red = p.red
+		}
+	case planBuffers:
+		if p.bufKind == kindSpinetree {
+			red, err = p.buf.SpinetreeReduce(p.op, values, p.labels, p.m, p.cfg)
+		} else {
+			red, err = p.buf.ParallelReduce(p.op, values, p.labels, p.m, p.cfg)
+		}
+	case planVector:
+		red, err = p.vreduce(values)
+	case planPram:
+		var res core.Result[T]
+		if res, err = p.runPram(values, false); err == nil {
+			red = res.Reductions
+		}
+	}
+	if err == nil {
+		return red, nil
+	}
+	if p.fallback && p.exec != planSerial && !terminalErr(err) {
+		res, ferr := p.fallbackSerial(values, false)
+		if ferr != nil {
+			return nil, ferr
+		}
+		return res.Reductions, nil
+	}
+	return nil, err
+}
+
+// fallbackSerial degrades a failed parallel run to the planned serial
+// pass over p.multi/p.red (allocated lazily: the auto-parallel plan
+// normally keeps its storage in p.buf). Like the one-shot Fallback,
+// the retry is hook-free.
+func (p *Plan[T]) fallbackSerial(values []T, withMulti bool) (core.Result[T], error) {
+	if len(p.multi) != p.n || len(p.red) != p.m {
+		p.multi = make([]T, p.n)
+		p.red = make([]T, p.m)
+	}
+	if err := p.runSerial(values, withMulti); err != nil {
+		return core.Result[T]{}, err
+	}
+	res := core.Result[T]{Reductions: p.red}
+	if withMulti {
+		res.Multi = p.multi
+	}
+	return res, nil
+}
+
+// recoverPlanPanic converts a panic on the calling goroutine into the
+// typed engine-panic error, matching the one-shot engines' shield.
+func recoverPlanPanic(engine string, err *error) {
+	if rec := recover(); rec != nil {
+		*err = &core.EnginePanicError{Engine: engine, Worker: -1, Value: rec, Stack: debug.Stack()}
+	}
+}
+
+// runSerial is the planned one-pass bucket algorithm: no per-run
+// validation, no allocation (multi and red are plan-owned). Like the
+// one-shot serial engine it never observes fault hooks; with a
+// context set it runs in CancelStride segments, polling at each
+// boundary.
+func (p *Plan[T]) runSerial(values []T, withMulti bool) (err error) {
+	defer recoverPlanPanic("plan/serial", &err)
+	core.FillIdentity(p.op, p.red)
+	var multi []T
+	if withMulti {
+		multi = p.multi
+	}
+	ctx := p.cfg.Ctx
+	if ctx == nil {
+		core.BucketRange(p.op, p.op.Fast, "serial", values, p.labels, multi, p.red, 0, p.n, nil)
+		return nil
+	}
+	for lo := 0; lo < p.n || lo == 0; lo += core.CancelStride {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		hi := min(lo+core.CancelStride, p.n)
+		core.BucketRange(p.op, p.op.Fast, "serial", values, p.labels, multi, p.red, lo, hi, nil)
+		if hi == p.n {
+			break
+		}
+	}
+	return nil
+}
+
+// runChunked is the planned chunked engine: pass 1 (local buckets)
+// and pass 4 (offset apply) on the persistent team with the
+// plan-time partitions and touched lists, pass 3 (merge) on the
+// calling goroutine — the same four-pass structure, panic recovery
+// and cancellation polling as the one-shot engine.
+func (p *Plan[T]) runChunked(values []T, withMulti bool) error {
+	p.values = values
+	p.runMulti = withMulti
+	p.fast = p.op.FastKind(p.cfg.FaultHook)
+	p.guard.reset()
+	p.team.Run(p.localBody)
+	if err := p.guard.first(); err != nil {
+		p.values = nil
+		return err
+	}
+
+	// Pass 3: exclusive scan across chunks per label, replacing each
+	// chunk's bucket slot with its offset.
+	if err := ctxDone(p.cfg); err != nil {
+		p.values = nil
+		return err
+	}
+	hook := p.cfg.FaultHook
+	core.FillIdentity(p.op, p.red)
+	for w := 0; w < p.workers; w++ {
+		bw := p.buckets[w]
+		for _, l := range p.touched[w] {
+			offset := p.red[l]
+			if hook != nil {
+				hook.Combine(core.PhaseChunkMerge, l)
+			}
+			p.red[l] = p.op.Combine(p.red[l], bw[l])
+			bw[l] = offset
+		}
+	}
+
+	if withMulti && p.workers > 1 {
+		if err := ctxDone(p.cfg); err != nil {
+			p.values = nil
+			return err
+		}
+		p.team.Run(p.applyBody)
+		if err := p.guard.first(); err != nil {
+			p.values = nil
+			return err
+		}
+	}
+	p.values = nil
+	return nil
+}
+
+// chunkLocal is pass 1+2 for one worker: reset this chunk's touched
+// buckets to the identity (the plan-time touched list replaces the
+// one-shot engine's per-run first-touch discovery), then the bucket
+// pass in CancelStride segments.
+func (p *Plan[T]) chunkLocal(w int, _ *par.Barrier) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			p.guard.fail(&core.EnginePanicError{
+				Engine: "plan/chunked", Phase: core.PhaseChunkLocal,
+				Worker: w, Value: rec, Stack: debug.Stack(),
+			})
+		}
+	}()
+	buckets := p.buckets[w]
+	for _, l := range p.touched[w] {
+		buckets[l] = p.op.Identity
+	}
+	var multi []T
+	if p.runMulti {
+		multi = p.multi
+	}
+	lo, hi := par.Range(p.n, p.workers, w)
+	for seg := lo; seg < hi; seg += core.CancelStride {
+		if p.guard.interrupted(p.cfg.Ctx) {
+			return
+		}
+		end := min(seg+core.CancelStride, hi)
+		core.BucketRange(p.op, p.fast, core.PhaseChunkLocal, p.values, p.labels, multi, buckets, seg, end, p.cfg.FaultHook)
+	}
+}
+
+// chunkApply is pass 4 for one worker: add the chunk's offsets onto
+// its local prefix sums. Chunk 0's offsets are the identity, so
+// worker 0 idles.
+func (p *Plan[T]) chunkApply(w int, _ *par.Barrier) {
+	if w == 0 {
+		return
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			p.guard.fail(&core.EnginePanicError{
+				Engine: "plan/chunked", Phase: core.PhaseChunkApply,
+				Worker: w, Value: rec, Stack: debug.Stack(),
+			})
+		}
+	}()
+	offsets := p.buckets[w]
+	lo, hi := par.Range(p.n, p.workers, w)
+	for seg := lo; seg < hi; seg += core.CancelStride {
+		if p.guard.interrupted(p.cfg.Ctx) {
+			return
+		}
+		end := min(seg+core.CancelStride, hi)
+		core.ApplyRange(p.op, p.fast, p.labels, offsets, p.multi, seg, end, p.cfg.FaultHook)
+	}
+}
+
+// runPram executes one simulated PRAM run. The simulator builds its
+// machine per run, so this path amortizes only validation; it exists
+// so study code can drive repeated traffic through the same Plan API.
+func (p *Plan[T]) runPram(values []T, withMulti bool) (core.Result[T], error) {
+	procs := par.ClampWorkers(p.cfg.Workers)
+	vs := any(values).([]int64)
+	var res *pram.Result
+	var err error
+	if withMulti {
+		res, err = pram.RunMultiprefix(procs, vs, p.labels, p.m, p.cfg.RowLength, 1)
+	} else {
+		res, err = pram.RunMultireduce(procs, vs, p.labels, p.m, p.cfg.RowLength, 1)
+	}
+	if err != nil {
+		return core.Result[T]{}, err
+	}
+	out := core.Result[T]{Reductions: any(res.Reductions).([]T)}
+	if withMulti {
+		out.Multi = any(res.Multi).([]T)
+	}
+	return out, nil
+}

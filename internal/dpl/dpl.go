@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 
+	"multiprefix/internal/backend"
 	"multiprefix/internal/core"
 	"multiprefix/internal/par"
 )
@@ -255,19 +256,27 @@ func Scan[T any](op core.Op[T], xs []T) ([]T, T) {
 }
 
 // SegScan computes a segmented exclusive scan; starts[i] opens a new
-// segment. Returns the scans and the per-segment totals.
+// segment. Returns the scans and the per-segment totals. Like every
+// primitive at this layer it runs on the adaptive backend — exactly
+// the package's thesis: user code names the primitive, the layer
+// underneath picks the implementation.
 func SegScan[T any](op core.Op[T], xs []T, starts []bool) (scans, totals []T, err error) {
-	return core.SegmentedScan(op, xs, starts, core.ChunkedEngine[T](core.Config{}))
+	be, err := backend.Open[T]("auto")
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.SegmentedScan(op, xs, starts, be.Engine(core.Config{}))
 }
 
-// MultiPrefix is the paper's primitive at this layer.
+// MultiPrefix is the paper's primitive at this layer, on the adaptive
+// backend.
 func MultiPrefix[T any](op core.Op[T], values []T, labels []int, m int) (core.Result[T], error) {
-	return core.Chunked(op, values, labels, m, core.Config{})
+	return backend.Compute("auto", op, values, labels, m, core.Config{})
 }
 
 // MultiReduce is the reductions-only form.
 func MultiReduce[T any](op core.Op[T], values []T, labels []int, m int) ([]T, error) {
-	return core.ChunkedReduce(op, values, labels, m, core.Config{})
+	return backend.Reduce("auto", op, values, labels, m, core.Config{})
 }
 
 // RankSort sorts int64 keys in [0, m) with the paper's Figure 11

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"multiprefix/internal/backend"
 	"multiprefix/internal/core"
 	"multiprefix/internal/par"
 )
@@ -83,8 +84,16 @@ func Sharded(keys []int, m, workers int) ([]int64, error) {
 
 // Multireduce counts via the multiprefix library's multireduce — the
 // paper's recommended formulation: one primitive call, no explicit
-// concurrency in user code.
+// concurrency in user code. It routes through the adaptive "auto"
+// backend, so tiny inputs run serial instead of paying the chunked
+// engine's goroutine coordination.
 func Multireduce(keys []int, m int, cfg core.Config) ([]int64, error) {
+	return MultireduceOn("auto", keys, m, cfg)
+}
+
+// MultireduceOn is Multireduce through an explicitly named backend,
+// for experiments that pin the implementation.
+func MultireduceOn(backendName string, keys []int, m int, cfg core.Config) ([]int64, error) {
 	if err := check(keys, m); err != nil {
 		return nil, err
 	}
@@ -92,19 +101,26 @@ func Multireduce(keys []int, m int, cfg core.Config) ([]int64, error) {
 	for i := range ones {
 		ones[i] = 1
 	}
-	return core.ChunkedReduce(core.AddInt64, ones, keys, m, cfg)
+	return backend.Reduce(backendName, core.AddInt64, ones, keys, m, cfg)
 }
 
 // WeightedMultireduce sums arbitrary weights per key (a general
-// "vector update loop": dst[key[i]] += w[i]).
+// "vector update loop": dst[key[i]] += w[i]) through the adaptive
+// backend.
 func WeightedMultireduce(keys []int, weights []int64, m int, cfg core.Config) ([]int64, error) {
+	return WeightedMultireduceOn("auto", keys, weights, m, cfg)
+}
+
+// WeightedMultireduceOn is WeightedMultireduce through an explicitly
+// named backend.
+func WeightedMultireduceOn(backendName string, keys []int, weights []int64, m int, cfg core.Config) ([]int64, error) {
 	if len(keys) != len(weights) {
 		return nil, fmt.Errorf("hist: %d keys, %d weights", len(keys), len(weights))
 	}
 	if err := check(keys, m); err != nil {
 		return nil, err
 	}
-	return core.ChunkedReduce(core.AddInt64, weights, keys, m, cfg)
+	return backend.Reduce(backendName, core.AddInt64, weights, keys, m, cfg)
 }
 
 func check(keys []int, m int) error {

@@ -3,6 +3,7 @@ package intsort
 import (
 	"fmt"
 
+	"multiprefix/internal/backend"
 	"multiprefix/internal/core"
 	"multiprefix/internal/scan"
 )
@@ -37,11 +38,15 @@ func RankCounting(keys []int32, maxKey int) ([]int64, error) {
 //	exclusive-scan(counts)  -> keys' cumulative start positions
 //	rank[i] += cumulative[key[i]]
 //
-// The multiprefix engine is injected so the same algorithm runs on the
-// serial, spinetree, goroutine-parallel or chunked engines.
-func RankMP(keys []int32, maxKey int, engine core.Engine[int64]) ([]int64, error) {
+// The multiprefix backend is injected so the same algorithm runs on
+// any registered implementation (serial, spinetree, parallel,
+// chunked, auto, or the simulated machines).
+func RankMP(keys []int32, maxKey int, be backend.Backend[int64], cfg core.Config) ([]int64, error) {
 	if err := checkKeys(keys, maxKey); err != nil {
 		return nil, err
+	}
+	if be == nil {
+		return nil, fmt.Errorf("%w: nil backend", core.ErrBadInput)
 	}
 	ones := make([]int64, len(keys))
 	labels := make([]int, len(keys))
@@ -49,7 +54,7 @@ func RankMP(keys []int32, maxKey int, engine core.Engine[int64]) ([]int64, error
 		ones[i] = 1
 		labels[i] = int(k)
 	}
-	res, err := engine(core.AddInt64, ones, labels, maxKey)
+	res, err := be.Compute(core.AddInt64, ones, labels, maxKey, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"multiprefix/internal/backend"
 	"multiprefix/internal/core"
 )
 
@@ -64,18 +65,23 @@ func TestRankCountingMatchesStdlib(t *testing.T) {
 // and ranks of equal keys are distinguishable.
 func TestAllRankersAgree(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	engines := map[string]core.Engine[int64]{
-		"serial":    core.SerialEngine[int64](),
-		"spinetree": core.SpinetreeEngine[int64](core.Config{}),
-		"parallel":  core.ParallelEngine[int64](core.Config{Workers: 3}),
-		"chunked":   core.ChunkedEngine[int64](core.Config{Workers: 4}),
+	backends := map[string]core.Config{
+		"serial":    {},
+		"spinetree": {},
+		"parallel":  {Workers: 3},
+		"chunked":   {Workers: 4},
+		"auto":      {},
 	}
 	for _, n := range []int{1, 7, 256, 2000} {
 		for _, maxKey := range []int{1, 2, 16, 512} {
 			keys := randomKeys(rng, n, maxKey)
 			want := refRanks(keys)
-			for name, eng := range engines {
-				got, err := RankMP(keys, maxKey, eng)
+			for name, cfg := range backends {
+				be, err := backend.Open[int64](name)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				got, err := RankMP(keys, maxKey, be, cfg)
 				if err != nil {
 					t.Fatalf("%s: %v", name, err)
 				}
@@ -97,13 +103,16 @@ func TestAllRankersAgree(t *testing.T) {
 }
 
 func TestRankMPQuick(t *testing.T) {
-	eng := core.ChunkedEngine[int64](core.Config{})
+	be, err := backend.Open[int64]("chunked")
+	if err != nil {
+		t.Fatal(err)
+	}
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := rng.Intn(500)
 		maxKey := 1 + rng.Intn(64)
 		keys := randomKeys(rng, n, maxKey)
-		got, err := RankMP(keys, maxKey, eng)
+		got, err := RankMP(keys, maxKey, be, core.Config{})
 		if err != nil {
 			return false
 		}

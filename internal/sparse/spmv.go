@@ -3,6 +3,7 @@ package sparse
 import (
 	"fmt"
 
+	"multiprefix/internal/backend"
 	"multiprefix/internal/core"
 )
 
@@ -49,10 +50,14 @@ func MulJD(a *JD, x []float64) ([]float64, error) {
 
 // MulCOO computes y = A*x from triplets via the multiprefix approach
 // of paper Figure 12: elementwise products, then a multireduce keyed
-// by row index. engine selects the multireduce implementation.
-func MulCOO(a *COO, x []float64, engine func(op core.Op[float64], values []float64, labels []int, m int) ([]float64, error)) ([]float64, error) {
+// by row index. be selects the multireduce implementation from the
+// unified backend registry.
+func MulCOO(a *COO, x []float64, be backend.Backend[float64], cfg core.Config) ([]float64, error) {
 	if len(x) != a.NumCols {
 		return nil, fmt.Errorf("%w: x length %d for %d columns", ErrBadMatrix, len(x), a.NumCols)
+	}
+	if be == nil {
+		return nil, fmt.Errorf("%w: nil backend", core.ErrBadInput)
 	}
 	products := make([]float64, a.NNZ())
 	labels := make([]int, a.NNZ())
@@ -60,18 +65,80 @@ func MulCOO(a *COO, x []float64, engine func(op core.Op[float64], values []float
 		products[k] = a.Val[k] * x[a.Col[k]]
 		labels[k] = int(a.Row[k])
 	}
-	return engine(core.AddFloat64, products, labels, a.NumRows)
+	return be.Reduce(core.AddFloat64, products, labels, a.NumRows, cfg)
 }
 
 // MulCOOSerial is MulCOO with the serial multireduce — the simplest
 // correct oracle for all other kernels.
 func MulCOOSerial(a *COO, x []float64) ([]float64, error) {
-	return MulCOO(a, x, core.SerialReduce[float64])
+	be, err := backend.Open[float64]("serial")
+	if err != nil {
+		return nil, err
+	}
+	return MulCOO(a, x, be, core.Config{})
 }
 
 // MulCOOChunked is MulCOO with the multicore multireduce.
 func MulCOOChunked(a *COO, x []float64, workers int) ([]float64, error) {
-	return MulCOO(a, x, func(op core.Op[float64], values []float64, labels []int, m int) ([]float64, error) {
-		return core.ChunkedReduce(op, values, labels, m, core.Config{Workers: workers})
-	})
+	be, err := backend.Open[float64]("chunked")
+	if err != nil {
+		return nil, err
+	}
+	return MulCOO(a, x, be, core.Config{Workers: workers})
 }
+
+// SpMVPlan is a prepared y = A*x pipeline for repeated multiplies by
+// the same matrix — the paper's §5.2.1 observation that the
+// multiprefix setup depends only on the row structure. The backend
+// Plan over the row labels is built once; each Mul pays only the
+// elementwise products and the planned multireduce evaluation.
+type SpMVPlan struct {
+	numCols  int
+	val      []float64
+	col      []int32
+	products []float64
+	plan     *backend.Plan[float64]
+}
+
+// NewSpMVPlan builds the plan for matrix a on the named backend.
+func NewSpMVPlan(a *COO, backendName string, cfg core.Config) (*SpMVPlan, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	be, err := backend.Open[float64](backendName)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]int, a.NNZ())
+	for k, r := range a.Row {
+		labels[k] = int(r)
+	}
+	plan, err := be.Plan(core.AddFloat64, labels, a.NumRows, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SpMVPlan{
+		numCols:  a.NumCols,
+		val:      append([]float64(nil), a.Val...),
+		col:      append([]int32(nil), a.Col...),
+		products: make([]float64, a.NNZ()),
+		plan:     plan,
+	}, nil
+}
+
+// Mul computes y = A*x. The result aliases plan-owned storage: it is
+// valid until the next Mul on the same plan. Steady-state Mul calls
+// allocate nothing on the portable backends.
+func (p *SpMVPlan) Mul(x []float64) ([]float64, error) {
+	if len(x) != p.numCols {
+		return nil, fmt.Errorf("%w: x length %d for %d columns", ErrBadMatrix, len(x), p.numCols)
+	}
+	for k, v := range p.val {
+		p.products[k] = v * x[p.col[k]]
+	}
+	return p.plan.Reduce(p.products)
+}
+
+// Close releases the plan's worker team promptly (optional; a dropped
+// plan is reclaimed by GC).
+func (p *SpMVPlan) Close() { p.plan.Close() }

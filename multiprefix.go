@@ -34,6 +34,7 @@ package multiprefix
 import (
 	"context"
 
+	"multiprefix/internal/backend"
 	"multiprefix/internal/core"
 )
 
@@ -113,17 +114,18 @@ type Buffers[T any] = core.Buffers[T]
 // NewWorkspace returns an empty Workspace.
 func NewWorkspace[T any]() *Workspace[T] { return core.NewWorkspace[T]() }
 
-// Compute runs the multiprefix operation with an automatically chosen
-// engine: serial for small inputs, multicore for large ones, with the
-// crossover calibrated on first use (Auto with a zero Config).
+// Compute runs the multiprefix operation through the "auto" backend:
+// serial for small inputs, multicore for large ones, with the
+// crossover calibrated on first use. For repeated calls on the same
+// labels, build a Plan instead (see NewPlan).
 func Compute[T any](op Op[T], values []T, labels []int, m int) (Result[T], error) {
-	return core.Auto(op, values, labels, m, Config{})
+	return backend.Compute("auto", op, values, labels, m, Config{})
 }
 
 // Reduce runs the multireduce operation (reductions only, paper §4.2)
-// with an automatically chosen engine.
+// through the "auto" backend.
 func Reduce[T any](op Op[T], values []T, labels []int, m int) ([]T, error) {
-	return core.AutoReduce(op, values, labels, m, Config{})
+	return backend.Reduce("auto", op, values, labels, m, Config{})
 }
 
 // Auto runs the multiprefix operation through the adaptive engine: it
@@ -162,7 +164,7 @@ func ComputeCtx[T any](ctx context.Context, op Op[T], values []T, labels []int, 
 			return Result[T]{}, err
 		}
 	}
-	return core.Auto(op, values, labels, m, Config{Ctx: ctx})
+	return backend.Compute("auto", op, values, labels, m, Config{Ctx: ctx})
 }
 
 // ReduceCtx is Reduce under a cancellation context; a nil context is
@@ -173,7 +175,7 @@ func ReduceCtx[T any](ctx context.Context, op Op[T], values []T, labels []int, m
 			return nil, err
 		}
 	}
-	return core.AutoReduce(op, values, labels, m, Config{Ctx: ctx})
+	return backend.Reduce("auto", op, values, labels, m, Config{Ctx: ctx})
 }
 
 // ParallelCtx is Parallel under a cancellation context, polled at

@@ -1,16 +1,26 @@
 package multiprefix
 
 import (
-	"multiprefix/internal/core"
+	"multiprefix/internal/backend"
 	"multiprefix/internal/intsort"
 )
 
 // Rank assigns every key its position in sorted order, stably (equal
 // keys keep input order) — the integer-sorting algorithm of paper
-// Figure 11 and §5.1, built on two multiprefix calls. Keys must lie in
-// [0, maxKey).
+// Figure 11 and §5.1, built on two multiprefix calls through the
+// adaptive backend. Keys must lie in [0, maxKey).
 func Rank(keys []int32, maxKey int) ([]int64, error) {
-	return intsort.RankMP(keys, maxKey, core.AutoEngine[int64](core.Config{}))
+	return RankOn("auto", keys, maxKey, Config{})
+}
+
+// RankOn is Rank through a named backend, for study and measurement
+// of the same algorithm on every implementation.
+func RankOn(backendName string, keys []int32, maxKey int, cfg Config) ([]int64, error) {
+	be, err := backend.Open[int64](backendName)
+	if err != nil {
+		return nil, err
+	}
+	return intsort.RankMP(keys, maxKey, be, cfg)
 }
 
 // Sort returns the keys in stable sorted order via Rank + permute —
