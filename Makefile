@@ -1,12 +1,13 @@
 # Build and verification entry points. `make check` is the tier-1+
 # verify command: everything tier-1 runs (build + tests) plus vet, the
 # race detector on the concurrent packages, and a short fuzz smoke of
-# the root fuzz targets plus the backend plan-parity target.
+# the root fuzz targets plus the backend plan/sorted/batch parity
+# targets.
 
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test check vet race fuzz-smoke bench bench-smoke bench-json
+.PHONY: all build test check vet race race-matrix fuzz-smoke bench bench-smoke bench-json
 
 all: build test
 
@@ -23,6 +24,14 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Focused race pass over the engine suites: the backend and core
+# packages (worker teams, batch barriers, carry stitching) re-run under
+# the race detector with fresh scheduling (-count=2) — a small size
+# matrix lives in the tests themselves (worker counts 1..8 × the
+# carry-edge label shapes).
+race-matrix:
+	$(GO) test -race -count=2 -run 'Sorted|Batch|Chunk|Plan' ./internal/backend ./internal/core
+
 # Each fuzz target runs briefly from its seed corpus plus FUZZTIME of
 # random inputs; failures minimize and persist under testdata/fuzz.
 fuzz-smoke:
@@ -32,11 +41,13 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSegmentedScan$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzBackendParity$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzPlanParity$$' -fuzztime $(FUZZTIME) ./internal/backend
+	$(GO) test -run '^$$' -fuzz '^FuzzSortedParity$$' -fuzztime $(FUZZTIME) ./internal/backend
+	$(GO) test -run '^$$' -fuzz '^FuzzBatchParity$$' -fuzztime $(FUZZTIME) ./internal/backend
 
 # Tier-1+: the full robustness gate: vet (includes cmd/benchjson),
 # race, fuzz smoke, and a one-iteration pass over every benchmark so a
 # broken benchmark cannot land silently.
-check: vet race fuzz-smoke bench-smoke
+check: vet race race-matrix fuzz-smoke bench-smoke
 	$(GO) build -o /dev/null ./cmd/benchjson
 
 bench:

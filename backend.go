@@ -12,10 +12,14 @@ type Backend[T any] = backend.Backend[T]
 
 // Plan is a prepared multiprefix pipeline over one fixed label
 // vector: validation and label-structure setup (class counts, chunk
-// partitions, spinetree where the engine allows) happen once, then
-// Run/Reduce evaluate any number of value vectors with zero
-// steady-state allocations on the portable backends. Results alias
-// plan-owned storage, valid until the next call on the same Plan.
+// partitions, the sorted engine's counting-sort permutation, spinetree
+// where the engine allows) happen once, then Run/Reduce evaluate any
+// number of value vectors with zero steady-state allocations on the
+// portable backends. Results alias plan-owned storage, valid until the
+// next call on the same Plan. RunBatch/ReduceBatch evaluate k value
+// vectors in one call into caller-owned destinations — fused on the
+// serial, sorted, chunked and vector plans (one worker-team round for
+// the whole batch, no result copies), a plain loop elsewhere.
 type Plan[T any] = backend.Plan[T]
 
 // UnknownBackendError is returned when a backend name is not in the
@@ -23,10 +27,11 @@ type Plan[T any] = backend.Plan[T]
 type UnknownBackendError = backend.UnknownBackendError
 
 // Backends lists the registered backend names: "auto" (adaptive,
-// default), "serial", "spinetree", "chunked", "parallel" (the
-// portable engines), "vector" (the simulated CRAY Y-MP port;
-// int64/float64/int32 only) and "pram" (the simulated PRAM;
-// int64 multiprefix-PLUS only).
+// default), "serial", "sorted" (segmented scan over a stable
+// counting-sort permutation; best planned), "spinetree", "chunked",
+// "parallel" (the portable engines), "vector" (the simulated CRAY
+// Y-MP port; int64/float64/int32 only) and "pram" (the simulated
+// PRAM; int64 multiprefix-PLUS only).
 func Backends() []string { return backend.Names() }
 
 // OpenBackend resolves a backend by name for element type T; unknown

@@ -61,16 +61,45 @@ type PlanEntry struct {
 	Speedup        float64 `json:"speedup"`
 }
 
+// SortedEntry compares the planned sorted engine against the pooled
+// serial bucket pass on the label-heavy shape where the §6 analysis
+// predicts the sorted layout wins (bucket array beyond cache). The
+// ratio is recorded honestly: on hosts whose last-level cache holds
+// the whole bucket array the serial pass stays ahead.
+type SortedEntry struct {
+	N              int     `json:"n"`
+	M              int     `json:"m"`
+	Workers        int     `json:"workers"`
+	NsSerialPooled float64 `json:"ns_per_op_serial_pooled"`
+	NsSortedPlan   float64 `json:"ns_per_op_sorted_plan"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// BatchEntry compares one RunBatch of k vectors against k single Runs
+// (plus the result copies RunBatch makes unnecessary) on a warm plan.
+type BatchEntry struct {
+	Backend        string  `json:"backend"`
+	N              int     `json:"n"`
+	M              int     `json:"m"`
+	K              int     `json:"k"`
+	NsPerBatch     float64 `json:"ns_per_batch"`
+	NsPerKRuns     float64 `json:"ns_per_k_runs"`
+	AllocsPerBatch float64 `json:"allocs_per_batch"`
+	Speedup        float64 `json:"speedup"`
+}
+
 // Report is the full snapshot.
 type Report struct {
-	GoVersion  string      `json:"go_version"`
-	GOOS       string      `json:"goos"`
-	GOARCH     string      `json:"goarch"`
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	Workers    int         `json:"workers"`
-	Engines    []Entry     `json:"engines"`
-	PlanReuse  []PlanEntry `json:"plan_reuse"`
-	Vectorized []VecEntry  `json:"vectorized"`
+	GoVersion      string        `json:"go_version"`
+	GOOS           string        `json:"goos"`
+	GOARCH         string        `json:"goarch"`
+	GOMAXPROCS     int           `json:"gomaxprocs"`
+	Workers        int           `json:"workers"`
+	Engines        []Entry       `json:"engines"`
+	PlanReuse      []PlanEntry   `json:"plan_reuse"`
+	SortedVsSerial []SortedEntry `json:"sorted_vs_serial"`
+	Batch          []BatchEntry  `json:"batch"`
+	Vectorized     []VecEntry    `json:"vectorized"`
 }
 
 // genericAdd is AddInt64 without the FastOp capability: the
@@ -124,7 +153,7 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "BENCH_engines.json", "output path")
 	quick := flag.Bool("quick", false, "single reduced size (CI smoke)")
-	backends := flag.String("backend", "serial,spinetree,chunked,parallel,auto",
+	backends := flag.String("backend", "serial,sorted,spinetree,chunked,parallel,auto",
 		"comma-separated backends for the plan-reuse section (registry names: "+
 			strings.Join(backend.Names(), ", ")+")")
 	flag.Parse()
@@ -168,6 +197,10 @@ func main() {
 		run("serial", "generic", func() { _, err := core.Serial(genericAdd, values, labels, sz.m); check(err) })
 		run("serial", "fast", func() { _, err := core.Serial(core.AddInt64, values, labels, sz.m); check(err) })
 		run("serial", "pooled", func() { _, err := b.Serial(core.AddInt64, values, labels, sz.m); check(err) })
+
+		run("sorted", "generic", func() { _, err := core.Sorted(genericAdd, values, labels, sz.m, cfg); check(err) })
+		run("sorted", "fast", func() { _, err := core.Sorted(core.AddInt64, values, labels, sz.m, cfg); check(err) })
+		run("sorted", "pooled", func() { _, err := b.Sorted(core.AddInt64, values, labels, sz.m, cfg); check(err) })
 
 		run("spinetree", "generic", func() { _, err := core.Spinetree(genericAdd, values, labels, sz.m, cfg); check(err) })
 		run("spinetree", "fast", func() { _, err := core.Spinetree(core.AddInt64, values, labels, sz.m, cfg); check(err) })
@@ -226,6 +259,95 @@ func main() {
 			})
 			fmt.Printf("%-10s plan     n=%-8d m=%-5d %12.0f ns/op oneshot %12.0f ns/op plan-run %6.2fx\n",
 				name, n, m, oneNs, planNs, oneNs/planNs)
+		}
+	}
+
+	// Sorted vs serial on the issue's target shape: the planned sorted
+	// scan (sort amortized away) against the pooled serial bucket pass,
+	// where a bucket array past the LLC should favor the contiguous
+	// runs. The measured ratio is recorded as-is.
+	{
+		n, m := 1<<18, 1<<12
+		if *quick {
+			n, m = 1<<16, 1<<10
+		}
+		values, labels := input(n, m)
+		serialNs, _, _ := measure(func() {
+			if _, err := b.Serial(core.AddInt64, values, labels, m); err != nil {
+				log.Fatal(err)
+			}
+		})
+		be, err := backend.Open[int64]("sorted")
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, err := be.Plan(core.AddInt64, labels, m, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sortedNs, _, _ := measure(func() {
+			if _, err := plan.Run(values); err != nil {
+				log.Fatal(err)
+			}
+		})
+		plan.Close()
+		report.SortedVsSerial = append(report.SortedVsSerial, SortedEntry{
+			N: n, M: m, Workers: workers,
+			NsSerialPooled: serialNs, NsSortedPlan: sortedNs,
+			Speedup: serialNs / sortedNs,
+		})
+		fmt.Printf("%-10s vs-serial n=%-7d m=%-5d %12.0f ns/op serial %12.0f ns/op sorted %5.2fx\n",
+			"sorted", n, m, serialNs, sortedNs, serialNs/sortedNs)
+	}
+
+	// Batched evaluation: one RunBatch of k vectors on a warm plan
+	// against k single Runs plus the k result copies the batch makes
+	// unnecessary (batch writes straight into caller storage).
+	{
+		n, m := 1<<18, 1<<10
+		if *quick {
+			n, m = 1<<16, 1<<8
+		}
+		values, labels := input(n, m)
+		for _, name := range []string{"serial", "sorted", "chunked"} {
+			be, err := backend.Open[int64](name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			plan, err := be.Plan(core.AddInt64, labels, m, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, k := range []int{1, 4, 16} {
+				srcs := make([][]int64, k)
+				dsts := make([][]int64, k)
+				for j := range srcs {
+					srcs[j] = values
+					dsts[j] = make([]int64, n)
+				}
+				batchNs, batchAllocs, _ := measure(func() {
+					if err := plan.RunBatch(dsts, srcs); err != nil {
+						log.Fatal(err)
+					}
+				})
+				loopNs, _, _ := measure(func() {
+					for j := 0; j < k; j++ {
+						res, err := plan.Run(srcs[j])
+						if err != nil {
+							log.Fatal(err)
+						}
+						copy(dsts[j], res.Multi)
+					}
+				})
+				report.Batch = append(report.Batch, BatchEntry{
+					Backend: name, N: n, M: m, K: k,
+					NsPerBatch: batchNs, NsPerKRuns: loopNs,
+					AllocsPerBatch: batchAllocs, Speedup: loopNs / batchNs,
+				})
+				fmt.Printf("%-10s batch    n=%-8d m=%-5d k=%-3d %10.0f ns/batch %10.0f ns/%d-runs %5.2fx\n",
+					name, n, m, k, batchNs, loopNs, k, loopNs/batchNs)
+			}
+			plan.Close()
 		}
 	}
 

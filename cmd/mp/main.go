@@ -12,8 +12,8 @@
 //	1 2" | mp [-op add|mul|max|min] [-backend auto|serial|...] [-reduce]
 //
 // The -backend flag (alias: -engine) accepts any name in the unified
-// backend registry, including the simulated machines ("vector",
-// "pram").
+// backend registry, including the sorted segmented-scan engine
+// ("sorted") and the simulated machines ("vector", "pram").
 package main
 
 import (

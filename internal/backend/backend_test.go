@@ -37,14 +37,14 @@ func equalInt64(a, b []int64) bool {
 // degenerate to one chunk on small CI machines.
 func backendCfg(name string) core.Config {
 	switch name {
-	case "chunked", "parallel":
+	case "chunked", "parallel", "sorted":
 		return core.Config{Workers: 4}
 	}
 	return core.Config{}
 }
 
 func TestNames(t *testing.T) {
-	want := []string{"auto", "serial", "spinetree", "chunked", "parallel", "vector", "pram"}
+	want := []string{"auto", "serial", "sorted", "spinetree", "chunked", "parallel", "vector", "pram"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

@@ -23,6 +23,12 @@ const (
 	// planSerial: the one-pass bucket algorithm over plan-owned
 	// storage, in CancelStride segments when a context is set.
 	planSerial planKind = iota
+	// planSorted: the sorted segmented-scan engine with the counting-
+	// sort permutation, per-label run bounds and (for multiple
+	// workers) the shard decomposition all built at plan time; runs
+	// are a fused scan over contiguous runs, parallelized with
+	// Blelloch-style carry propagation across shard boundaries.
+	planSorted
 	// planChunked: the chunked decomposition with the chunk
 	// partitions, per-chunk touched-label lists and worker team all
 	// built at plan time.
@@ -79,13 +85,34 @@ type Plan[T any] struct {
 	localBody func(w int, bar *par.Barrier)
 	applyBody func(w int, bar *par.Barrier)
 
+	// sorted state: the plan-time counting-sort permutation and run
+	// bounds, plus the shard decomposition and carry slots of the
+	// parallel variant (w-indexed so the monomorphic kernels write
+	// them without boxing)
+	sperm, sstart        []int32
+	shards               []core.SortedShard
+	leadTotal, carryOut  []T
+	carryIn              []T
+	leadClosed, hasTrail []bool
+	sortedStop           func() bool // prebound guard poll for worker bodies
+	sortedBody           func(w int, bar *par.Barrier)
+	sortedApplyBody      func(w int, bar *par.Barrier)
+
+	// batched execution state (read by the batch team bodies)
+	batchDsts, batchSrcs [][]T
+	batchNeedApply       bool // written by worker 0 between barriers
+	chunkBatchBody       func(w int, bar *par.Barrier)
+	sortedBatchBody      func(w int, bar *par.Barrier)
+
 	// spinetree / parallel delegate state
 	buf     *core.Buffers[T]
 	bufKind kind
 
 	// vector state: monomorphic closures bound to a vecmp.Plan
-	vrun    func(values []T) (core.Result[T], error)
-	vreduce func(values []T) ([]T, error)
+	vrun         func(values []T) (core.Result[T], error)
+	vreduce      func(values []T) ([]T, error)
+	vrunBatch    func(dsts, srcs [][]T) error
+	vreduceBatch func(dsts, srcs [][]T) error
 
 	closed bool
 }
@@ -163,6 +190,8 @@ func (b impl[T]) Plan(op core.Op[T], labels []int, m int, cfg core.Config) (*Pla
 			k = kindChunked
 		case "parallel":
 			k = kindParallel
+		case "sorted":
+			k = kindSorted
 		default:
 			k = kindSerial
 		}
@@ -191,6 +220,10 @@ func (b impl[T]) Plan(op core.Op[T], labels []int, m int, cfg core.Config) (*Pla
 		p.exec = planSerial
 		p.multi = make([]T, p.n)
 		p.red = make([]T, m)
+	case kindSorted:
+		if err := p.prepareSorted(); err != nil {
+			return nil, err
+		}
 	case kindChunked:
 		p.exec = planChunked
 		p.multi = make([]T, p.n)
@@ -235,6 +268,7 @@ func (p *Plan[T]) prepareChunks() {
 	}
 	p.localBody = p.chunkLocal
 	p.applyBody = p.chunkApply
+	p.chunkBatchBody = p.chunkBatch
 	t := par.NewTeam(p.workers)
 	p.team = t
 	// A plan dropped without Close must not leak the team's parked
@@ -289,6 +323,14 @@ func bindVecPlan[E vector.Elem, T any](p *Plan[T]) error {
 			return nil, err
 		}
 		return any(red).([]T), nil
+	}
+	// T == E concretely, so [][]T's dynamic type is [][]E: the batch
+	// slices pass through by assertion, no per-vector conversion.
+	p.vrunBatch = func(dsts, srcs [][]T) error {
+		return vp.MultiprefixBatch(any(dsts).([][]E), any(srcs).([][]E), red)
+	}
+	p.vreduceBatch = func(dsts, srcs [][]T) error {
+		return vp.ReduceBatch(any(dsts).([][]E), any(srcs).([][]E))
 	}
 	return nil
 }
@@ -351,6 +393,9 @@ func (p *Plan[T]) Run(values []T) (core.Result[T], error) {
 	case planSerial:
 		err = p.runSerial(values, true)
 		res = core.Result[T]{Multi: p.multi, Reductions: p.red}
+	case planSorted:
+		err = p.runSorted(values, true)
+		res = core.Result[T]{Multi: p.multi, Reductions: p.red}
 	case planChunked:
 		err = p.runChunked(values, true)
 		res = core.Result[T]{Multi: p.multi, Reductions: p.red}
@@ -385,6 +430,10 @@ func (p *Plan[T]) Reduce(values []T) ([]T, error) {
 	switch p.exec {
 	case planSerial:
 		if err = p.runSerial(values, false); err == nil {
+			red = p.red
+		}
+	case planSorted:
+		if err = p.runSorted(values, false); err == nil {
 			red = p.red
 		}
 	case planChunked:
@@ -497,19 +546,7 @@ func (p *Plan[T]) runChunked(values []T, withMulti bool) error {
 		p.values = nil
 		return err
 	}
-	hook := p.cfg.FaultHook
-	core.FillIdentity(p.op, p.red)
-	for w := 0; w < p.workers; w++ {
-		bw := p.buckets[w]
-		for _, l := range p.touched[w] {
-			offset := p.red[l]
-			if hook != nil {
-				hook.Combine(core.PhaseChunkMerge, l)
-			}
-			p.red[l] = p.op.Combine(p.red[l], bw[l])
-			bw[l] = offset
-		}
-	}
+	p.mergeInto(p.red)
 
 	if withMulti && p.workers > 1 {
 		if err := ctxDone(p.cfg); err != nil {

@@ -1,0 +1,148 @@
+package backend
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"runtime/debug"
+
+	"multiprefix/internal/core"
+	"multiprefix/internal/par"
+)
+
+// This file is the planned sorted engine. Everything value-independent
+// happens at plan time: the stable counting sort of the labels (the
+// permutation and per-label run bounds), the shard decomposition over
+// the worker count, and the worker team with prebound bodies. A run is
+// then a fused segmented scan over contiguous runs — gather values
+// through the permutation, scan, scatter prefixes back — with
+// Blelloch-style carry propagation stitching runs that straddle a
+// shard boundary:
+//
+//   pass 1 (team)    each shard scans its owned runs from the identity;
+//                    partial runs at the boundaries record their totals
+//                    in w-indexed carry slots.
+//   stitch (caller)  O(workers) sequential walk: complete straddling
+//                    runs' reductions, derive each shard's carry-in.
+//   pass 2 (team)    shards whose leading elements continue an earlier
+//                    shard's run rescan just that portion with the
+//                    stitched carry-in (skipped when no run straddles,
+//                    and entirely for reduce-only runs).
+//
+// The stable sort preserves the paper's semantics: same-label elements
+// keep their vector order, so the scan applies exactly the combines of
+// Definition 1 in the same order as the serial bucket pass.
+
+// prepareSorted builds the plan-time sorted structures. With one
+// worker the plan runs the serial fused scan; with more it also builds
+// the shard decomposition, carry slots and the persistent team.
+func (p *Plan[T]) prepareSorted() error {
+	if p.n > math.MaxInt32 {
+		return fmt.Errorf("%w: n=%d exceeds the sorted engine's %d-element limit", core.ErrBadInput, p.n, math.MaxInt32)
+	}
+	p.exec = planSorted
+	p.multi = make([]T, p.n)
+	p.red = make([]T, p.m)
+	p.sperm = make([]int32, p.n)
+	p.sstart = make([]int32, p.m+1)
+	core.BuildSortedIndexInto(p.sperm, p.sstart, p.labels)
+	p.sortedStop = func() bool { return p.guard.interrupted(p.cfg.Ctx) }
+	p.workers = core.ChunkWorkers(p.cfg.Workers, p.n)
+	if p.workers > 1 {
+		p.shards = core.SortedShards(p.sstart, p.n, p.workers)
+		p.leadTotal = make([]T, p.workers)
+		p.carryOut = make([]T, p.workers)
+		p.carryIn = make([]T, p.workers)
+		p.leadClosed = make([]bool, p.workers)
+		p.hasTrail = make([]bool, p.workers)
+		p.sortedBody = p.sortedScan
+		p.sortedApplyBody = p.sortedApply
+		p.sortedBatchBody = p.sortedBatch
+		t := par.NewTeam(p.workers)
+		p.team = t
+		runtime.AddCleanup(p, func(t *par.Team) { t.Close() }, t)
+	}
+	return nil
+}
+
+// runSorted evaluates one value vector through the planned sorted
+// engine, into p.multi (when withMulti) and p.red.
+func (p *Plan[T]) runSorted(values []T, withMulti bool) (err error) {
+	defer recoverPlanPanic("plan/sorted", &err)
+	var multi []T
+	if withMulti {
+		multi = p.multi
+	}
+	fast := p.op.FastKind(p.cfg.FaultHook)
+	if p.team == nil {
+		var stop func() bool
+		if p.cfg.Ctx != nil {
+			p.guard.reset()
+			stop = p.sortedStop
+		}
+		if !core.SortedScanLabels(p.op, fast, values, p.sperm, p.sstart, multi, p.red, 0, p.m, p.cfg.FaultHook, stop) {
+			return p.guard.first()
+		}
+		return nil
+	}
+
+	p.values = values
+	p.runMulti = withMulti
+	p.fast = fast
+	p.guard.reset()
+	defer func() { p.values = nil }()
+	p.team.Run(p.sortedBody)
+	if ferr := p.guard.first(); ferr != nil {
+		return ferr
+	}
+	if ferr := ctxDone(p.cfg); ferr != nil {
+		return ferr
+	}
+	needApply := core.SortedStitch(p.op, p.shards, p.leadTotal, p.carryOut, p.carryIn, p.leadClosed, p.hasTrail, p.red, p.cfg.FaultHook)
+	if withMulti && needApply {
+		if ferr := ctxDone(p.cfg); ferr != nil {
+			return ferr
+		}
+		p.team.Run(p.sortedApplyBody)
+		if ferr := p.guard.first(); ferr != nil {
+			return ferr
+		}
+	}
+	return nil
+}
+
+// sortedScan is pass 1 for one worker. The body never touches the
+// team's inner barrier, so a failed run leaves the team healthy.
+func (p *Plan[T]) sortedScan(w int, _ *par.Barrier) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			p.guard.fail(&core.EnginePanicError{
+				Engine: "plan/sorted", Phase: core.PhaseSortedScan,
+				Worker: w, Value: rec, Stack: debug.Stack(),
+			})
+		}
+	}()
+	var multi []T
+	if p.runMulti {
+		multi = p.multi
+	}
+	core.SortedShardScan(p.op, p.fast, p.values, p.sperm, p.sstart, multi, p.red,
+		p.shards[w], w, p.leadTotal, p.carryOut, p.leadClosed, p.hasTrail,
+		p.cfg.FaultHook, p.sortedStop)
+}
+
+// sortedApply is pass 2 for one worker: rescan the leading partial
+// run's portion with the stitched carry-in. Shards without a leading
+// partial idle.
+func (p *Plan[T]) sortedApply(w int, _ *par.Barrier) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			p.guard.fail(&core.EnginePanicError{
+				Engine: "plan/sorted", Phase: core.PhaseSortedApply,
+				Worker: w, Value: rec, Stack: debug.Stack(),
+			})
+		}
+	}()
+	core.SortedLeadApply(p.op, p.fast, p.values, p.sperm, p.sstart, p.multi,
+		p.shards[w], w, p.carryIn, p.cfg.FaultHook, p.sortedStop)
+}

@@ -23,6 +23,14 @@ type AutoCalibration struct {
 	// every machine we have measured (far fewer synchronization
 	// points), but the probe keeps the choice honest.
 	ParallelOverChunked bool
+	// SortedMinM is the smallest label count at which the sorted
+	// segmented-scan engine beats the serial bucket pass in the serial
+	// regime: once the m-element accumulator array falls out of cache,
+	// the bucket pass's scattered writes thrash while the sorted scan
+	// streams contiguous runs. 0 means the sorted engine never wins
+	// (the calibration probe's honest answer on machines whose
+	// last-level cache holds the accumulators at any measured m).
+	SortedMinM int
 }
 
 // engineKind is the Auto engine's selection.
@@ -32,6 +40,7 @@ const (
 	kindSerial engineKind = iota
 	kindChunked
 	kindParallel
+	kindSorted
 )
 
 func (k engineKind) String() string {
@@ -40,6 +49,8 @@ func (k engineKind) String() string {
 		return "chunked"
 	case kindParallel:
 		return "parallel"
+	case kindSorted:
+		return "sorted"
 	default:
 		return "serial"
 	}
@@ -63,6 +74,7 @@ func defaultAutoCal() AutoCalibration {
 // algorithm variant per problem shape, from measurements, not faith.
 func calibrate() AutoCalibration {
 	cal := AutoCalibration{SerialMax: 1 << 20}
+	cal.SortedMinM = calibrateSorted()
 	if par.DefaultWorkers() <= 1 {
 		// One usable CPU: a parallel decomposition cannot win, and the
 		// Workers gate in autoPick sends default-config calls to Serial
@@ -102,6 +114,29 @@ func calibrate() AutoCalibration {
 	return cal
 }
 
+// calibrateSorted probes the serial-regime crossover between the
+// bucket pass and the sorted segmented scan at a label count large
+// enough to stress the accumulator array (m = 2^14, 128 KiB of int64
+// buckets). The sorted engine pays a gather per element but keeps its
+// write streams contiguous; it wins only where the bucket array
+// overwhelms the cache hierarchy, so on machines with very large
+// last-level caches the honest answer is 0 (never).
+func calibrateSorted() int {
+	const n, m = 1 << 17, 1 << 14
+	values := make([]int64, n)
+	labels := make([]int, n)
+	for i := range values {
+		values[i] = int64(i&1023) - 512
+		labels[i] = int(uint32(i*2654435761) % m)
+	}
+	ts := bestOf(3, func() { _, _ = Serial(AddInt64, values, labels, m) })
+	tsorted := bestOf(3, func() { _, _ = Sorted(AddInt64, values, labels, m, Config{}) })
+	if tsorted < ts {
+		return m / 2
+	}
+	return 0
+}
+
 // bestOf returns the fastest of reps timed runs of f.
 func bestOf(reps int, f func()) time.Duration {
 	best := time.Duration(1<<63 - 1)
@@ -119,8 +154,15 @@ func bestOf(reps int, f func()) time.Duration {
 // only one worker is available, when n is below the calibrated
 // crossover, or when labels outnumber elements (m > n: the dense O(m)
 // per-worker bucket storage and merge dominate any parallel gain).
+// Within that serial regime, the sorted segmented scan takes over once
+// m reaches the calibrated SortedMinM crossover (the accumulator array
+// no longer fits cache); m > n still goes serial — the sorted engine
+// needs the same O(m) run-bound array the bucket pass thrashes on.
 func autoPick(n, m, workers int, cal AutoCalibration) engineKind {
 	if workers <= 1 || n <= cal.SerialMax || m > n {
+		if cal.SortedMinM > 0 && m >= cal.SortedMinM && m <= n && n <= maxSortedN {
+			return kindSorted
+		}
 		return kindSerial
 	}
 	if cal.ParallelOverChunked {
@@ -160,6 +202,8 @@ func AutoEngine[T any](cfg Config) Engine[T] {
 			return Parallel(op, values, labels, m, cfg)
 		case kindChunked:
 			return Chunked(op, values, labels, m, cfg)
+		case kindSorted:
+			return Sorted(op, values, labels, m, cfg)
 		default:
 			return serialCtx(op, values, labels, m, cfg)
 		}
@@ -182,6 +226,8 @@ func AutoReduce[T any](op Op[T], values []T, labels []int, m int, cfg Config) ([
 		red, err = ParallelReduce(op, values, labels, m, cfg)
 	case kindChunked:
 		red, err = ChunkedReduce(op, values, labels, m, cfg)
+	case kindSorted:
+		red, err = SortedReduce(op, values, labels, m, cfg)
 	default:
 		red, err = serialReduceCtx(op, values, labels, m, cfg)
 	}
@@ -316,6 +362,8 @@ func (b *Buffers[T]) Auto(op Op[T], values []T, labels []int, m int, cfg Config)
 		res, err = b.Parallel(op, values, labels, m, cfg)
 	case kindChunked:
 		res, err = b.Chunked(op, values, labels, m, cfg)
+	case kindSorted:
+		res, err = b.Sorted(op, values, labels, m, cfg)
 	default:
 		res, err = b.serialCtxIn(op, values, labels, m, cfg)
 	}
@@ -337,6 +385,8 @@ func (b *Buffers[T]) AutoReduce(op Op[T], values []T, labels []int, m int, cfg C
 		red, err = b.ParallelReduce(op, values, labels, m, cfg)
 	case kindChunked:
 		red, err = b.ChunkedReduce(op, values, labels, m, cfg)
+	case kindSorted:
+		red, err = b.SortedReduce(op, values, labels, m, cfg)
 	default:
 		red, err = b.serialReduceCtxIn(op, values, labels, m, cfg)
 	}

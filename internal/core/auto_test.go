@@ -13,6 +13,7 @@ import (
 func TestAutoChoice(t *testing.T) {
 	chunkedCal := &AutoCalibration{SerialMax: 1000}
 	parallelCal := &AutoCalibration{SerialMax: 1000, ParallelOverChunked: true}
+	sortedCal := &AutoCalibration{SerialMax: 1 << 30, SortedMinM: 2048}
 	cases := []struct {
 		name string
 		n, m int
@@ -24,6 +25,16 @@ func TestAutoChoice(t *testing.T) {
 		{"sparse-labels", 4000, 5000, Config{Workers: 4, AutoCal: chunkedCal}, "serial"},
 		{"big-chunked", 4000, 64, Config{Workers: 4, AutoCal: chunkedCal}, "chunked"},
 		{"big-parallel", 4000, 64, Config{Workers: 4, AutoCal: parallelCal}, "parallel"},
+		// The sorted crossover: in the serial regime, a calibrated
+		// SortedMinM routes label-heavy shapes to the sorted engine —
+		// including the issue's target shape — while m below the
+		// crossover, m > n, or SortedMinM == 0 (the honest calibration
+		// on a machine whose LLC holds the whole bucket array) stay
+		// serial.
+		{"sorted-crossover", 1 << 18, 4096, Config{Workers: 1, AutoCal: sortedCal}, "sorted"},
+		{"sorted-small-m", 1 << 18, 1024, Config{Workers: 1, AutoCal: sortedCal}, "serial"},
+		{"sorted-m>n", 4000, 5000, Config{Workers: 4, AutoCal: sortedCal}, "serial"},
+		{"sorted-disabled", 1 << 18, 4096, Config{Workers: 1, AutoCal: &AutoCalibration{SerialMax: 1 << 30}}, "serial"},
 	}
 	for _, tc := range cases {
 		if got := AutoChoice(tc.n, tc.m, tc.cfg); got != tc.want {
@@ -50,6 +61,7 @@ func TestAutoMatchesSerial(t *testing.T) {
 		cfg  Config
 	}{
 		{"serial-branch", Config{Workers: 1}},
+		{"sorted-branch", Config{Workers: 1, AutoCal: &AutoCalibration{SortedMinM: 8}}},
 		{"chunked-branch", Config{Workers: 4, AutoCal: &AutoCalibration{SerialMax: 100}}},
 		{"parallel-branch", Config{Workers: 4, AutoCal: &AutoCalibration{SerialMax: 100, ParallelOverChunked: true}}},
 		{"default-cal", Config{Workers: 4}},

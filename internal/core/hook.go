@@ -13,6 +13,12 @@ const (
 	PhaseChunkLocal = "chunk-local"
 	PhaseChunkMerge = "chunk-merge"
 	PhaseChunkApply = "chunk-apply"
+	// The sorted engine's passes: the fused segmented scan over the
+	// plan-time permutation, the sequential cross-shard stitch, and the
+	// carry-in rescan of a shard's leading partial run.
+	PhaseSortedScan   = "sorted-scan"
+	PhaseSortedStitch = "sorted-stitch"
+	PhaseSortedApply  = "sorted-apply"
 )
 
 // FaultHook receives engine-internal events so tests can inject faults

@@ -1,0 +1,522 @@
+package core
+
+import (
+	"math"
+
+	"multiprefix/internal/par"
+)
+
+// This file is the sorted segmented-scan engine: the NAS IS treatment
+// of §6 turned into a reusable execution strategy. A stable counting
+// sort of the labels yields a permutation under which each label's
+// elements form one contiguous run; the multiprefix then degenerates
+// to a segmented scan — sequential reads over the runs instead of the
+// bucket algorithm's scattered per-label accumulator traffic — and the
+// per-label reductions fall out as the run totals. Because the sort
+// depends only on the labels, it belongs at plan time (the §5.2.1
+// setup/evaluation split); the one-shot engine here rebuilds it per
+// call and is the reference the planned paths must match.
+//
+// Stability is what preserves the paper's semantics: a stable sort
+// keeps same-label elements in vector order, so the running combine
+// along a run visits exactly the "earlier elements of the same class"
+// of Definition 1, in order, and the scan's prefix values equal the
+// bucket algorithm's bit for bit (same combine order, not just the
+// same multiset).
+
+// SortedIndex is the plan-time structure of the sorted engine: the
+// stable counting-sort permutation and the per-label run bounds.
+type SortedIndex struct {
+	// Perm maps sorted position to original vector index: label l's
+	// elements are Perm[Start[l]:Start[l+1]], in vector order.
+	Perm []int32
+	// Start has length m+1: Start[l] is the first sorted position of
+	// label l's run and Start[m] == n.
+	Start []int32
+}
+
+// maxSortedN is the largest element count the int32 permutation can
+// address. Inputs beyond it (8 GiB of labels) take the other engines.
+const maxSortedN = math.MaxInt32
+
+// BuildSortedIndex counting-sorts labels (already validated against m)
+// into a fresh SortedIndex.
+func BuildSortedIndex(labels []int, m int) (SortedIndex, error) {
+	if len(labels) > maxSortedN {
+		return SortedIndex{}, wrapBadInput("n=%d exceeds the sorted engine's %d-element limit", len(labels), maxSortedN)
+	}
+	idx := SortedIndex{
+		Perm:  make([]int32, len(labels)),
+		Start: make([]int32, m+1),
+	}
+	BuildSortedIndexInto(idx.Perm, idx.Start, labels)
+	return idx, nil
+}
+
+// BuildSortedIndexInto fills perm (len n) and start (len m+1) with the
+// stable counting sort of labels, allocation-free. Labels must already
+// be validated against m = len(start)-1 and n must fit int32.
+//
+// The placement pass walks the input backwards with the run-end
+// cursors stored in start itself, so no separate cursor array is
+// needed; decrementing end cursors while iterating backwards assigns
+// the last occurrence the last slot, which is exactly stability.
+func BuildSortedIndexInto(perm, start []int32, labels []int) {
+	m := len(start) - 1
+	clear(start)
+	for _, l := range labels {
+		start[l]++
+	}
+	var sum int32
+	for l := 0; l < m; l++ {
+		sum += start[l]
+		start[l] = sum // end of run l
+	}
+	start[m] = sum // == n
+	for i := len(labels) - 1; i >= 0; i-- {
+		l := labels[i]
+		start[l]--
+		perm[start[l]] = int32(i)
+	}
+	// start[l] has been decremented back to the begin of run l.
+}
+
+// SortedShard is one worker's share of a parallel sorted run: the
+// sorted-position range [Lo, Hi) it scans and the labels [OwnLo,
+// OwnHi) whose reductions it owns. The owned ranges partition [0, m)
+// across the shards, so every label's reduction (including empty
+// labels, which get the identity) is written by exactly one party —
+// the owner's scan pass, or the stitch for runs that straddle a
+// boundary.
+type SortedShard struct {
+	Lo, Hi       int
+	OwnLo, OwnHi int
+	// LeadPartial reports that label OwnLo's run begins before Lo: the
+	// shard's leading elements continue a run opened by an earlier
+	// shard, so their prefixes need the stitched carry applied in a
+	// second pass, and the run's reduction is written by the stitch.
+	LeadPartial bool
+}
+
+// SortedShards partitions a sorted index across workers using the same
+// par.Range element split as the chunked engine, and derives each
+// shard's owned-label range: OwnLo is the label containing position Lo
+// (skipping runs that end at or before Lo), OwnHi the next shard's
+// OwnLo (m for the last). Shard 0 additionally owns any empty labels
+// before the first element.
+func SortedShards(start []int32, n, workers int) []SortedShard {
+	m := len(start) - 1
+	shards := make([]SortedShard, workers)
+	l := 0
+	for w := 0; w < workers; w++ {
+		lo, hi := par.Range(n, workers, w)
+		for l < m && int(start[l+1]) <= lo {
+			l++
+		}
+		own := l
+		lead := l < m && int(start[l]) < lo
+		if w == 0 {
+			own, lead = 0, false
+		}
+		if w > 0 {
+			shards[w-1].OwnHi = l
+		}
+		shards[w] = SortedShard{Lo: lo, Hi: hi, OwnLo: own, OwnHi: m, LeadPartial: lead}
+	}
+	return shards
+}
+
+// fastIdent is the identity the monomorphic kernels scan from: 0 for
+// FastAdd, the type minimum for FastMax — by the FastOp contract these
+// equal the operator's declared Identity.
+func fastIdent[E fastElem](fast FastOp) E {
+	var id E
+	if fast == FastMax {
+		switch p := any(&id).(type) {
+		case *int64:
+			*p = math.MinInt64
+		case *float64:
+			*p = math.Inf(-1)
+		}
+	}
+	return id
+}
+
+// sortedSegKernel is the innermost monomorphic loop: scan sorted
+// positions [s, e) of one run, threading acc. multi may be nil
+// (reduce-only).
+func sortedSegKernel[E fastElem](fast FastOp, values []E, perm []int32, multi []E, s, e int, acc E) E {
+	switch {
+	case fast == FastAdd && multi == nil:
+		for _, p := range perm[s:e] {
+			acc += values[p]
+		}
+	case fast == FastAdd:
+		for _, p := range perm[s:e] {
+			multi[p] = acc
+			acc += values[p]
+		}
+	case fast == FastMax && multi == nil:
+		for _, p := range perm[s:e] {
+			if v := values[p]; !(acc > v) {
+				acc = v
+			}
+		}
+	case fast == FastMax:
+		for _, p := range perm[s:e] {
+			multi[p] = acc
+			if v := values[p]; !(acc > v) {
+				acc = v
+			}
+		}
+	}
+	return acc
+}
+
+// sortedSegScan runs sortedSegKernel over [s, e) in windows, polling
+// stop whenever the shared credit counter is exhausted (roughly every
+// CancelStride elements across runs). A false return means the scan
+// was aborted and the output is partial.
+func sortedSegScan[E fastElem](fast FastOp, values []E, perm []int32, multi []E, s, e int, acc E, stop func() bool, credit *int) (E, bool) {
+	for {
+		if *credit <= 0 {
+			if stop != nil && stop() {
+				return acc, false
+			}
+			*credit = cancelStride
+		}
+		w := min(e, s+*credit)
+		acc = sortedSegKernel(fast, values, perm, multi, s, w, acc)
+		*credit -= w - s
+		if w >= e {
+			return acc, true
+		}
+		s = w
+	}
+}
+
+// sortedScanLabelsKernel is the monomorphic fused scan over the runs
+// of labels [l0, l1): prefixes into multi (through perm), run totals
+// into red.
+func sortedScanLabelsKernel[E fastElem](fast FastOp, values []E, perm, start []int32, multi, red []E, l0, l1 int, stop func() bool) bool {
+	ident := fastIdent[E](fast)
+	credit := cancelStride
+	for l := l0; l < l1; l++ {
+		acc, ok := sortedSegScan(fast, values, perm, multi, int(start[l]), int(start[l+1]), ident, stop, &credit)
+		if !ok {
+			return false
+		}
+		red[l] = acc
+	}
+	return true
+}
+
+// sortedSegGeneric is the generic counterpart of sortedSegScan: one
+// run segment with per-combine hook events (vector-index attributed,
+// like BucketRange) and stop polling.
+func sortedSegGeneric[T any](op Op[T], phase string, values []T, perm []int32, multi []T, s, e int, acc T, hook FaultHook, stop func() bool, credit *int) (T, bool) {
+	for i := s; i < e; i++ {
+		if *credit <= 0 {
+			if stop != nil && stop() {
+				return acc, false
+			}
+			*credit = cancelStride
+		}
+		*credit--
+		p := perm[i]
+		if multi != nil {
+			multi[p] = acc
+		}
+		if hook != nil {
+			hook.Combine(phase, int(p))
+		}
+		acc = op.Combine(acc, values[p])
+	}
+	return acc, true
+}
+
+// SortedScanLabels runs the fused segmented scan over the runs of
+// labels [l0, l1): multi[perm[i]] receives the running combine of the
+// run's earlier elements (nil multi for reduce-only), red[l] the run
+// total (the identity for empty runs). fast should be
+// op.FastKind(hook). stop, when non-nil, is polled roughly every
+// CancelStride elements; a true return aborts the scan (the caller
+// discards the partial output) and SortedScanLabels reports false.
+func SortedScanLabels[T any](op Op[T], fast FastOp, values []T, perm, start []int32, multi, red []T, l0, l1 int, hook FaultHook, stop func() bool) bool {
+	if fast == FastAdd || fast == FastMax {
+		switch vs := any(values).(type) {
+		case []int64:
+			return sortedScanLabelsKernel(fast, vs, perm, start, asI64(multi), asI64(red), l0, l1, stop)
+		case []float64:
+			return sortedScanLabelsKernel(fast, vs, perm, start, asF64(multi), asF64(red), l0, l1, stop)
+		}
+	}
+	credit := cancelStride
+	for l := l0; l < l1; l++ {
+		acc, ok := sortedSegGeneric(op, PhaseSortedScan, values, perm, multi, int(start[l]), int(start[l+1]), op.Identity, hook, stop, &credit)
+		if !ok {
+			return false
+		}
+		red[l] = acc
+	}
+	return true
+}
+
+// sortedShardKernel is the monomorphic pass 1 over one shard; see
+// SortedShardScan for the contract.
+func sortedShardKernel[E fastElem](fast FastOp, values []E, perm, start []int32, multi, red []E, sh SortedShard, w int, leadTotal, carryOut []E, leadClosed, hasTrail []bool, stop func() bool) bool {
+	leadClosed[w], hasTrail[w] = false, false
+	ident := fastIdent[E](fast)
+	credit := cancelStride
+	l := sh.OwnLo
+	if sh.LeadPartial {
+		e := min(int(start[l+1]), sh.Hi)
+		acc, ok := sortedSegScan(fast, values, perm, multi, sh.Lo, e, ident, stop, &credit)
+		if !ok {
+			return false
+		}
+		if int(start[l+1]) <= sh.Hi {
+			leadTotal[w], leadClosed[w] = acc, true
+			l++
+		} else {
+			// The whole shard lies inside one run.
+			carryOut[w], hasTrail[w] = acc, true
+			return true
+		}
+	}
+	for ; l < sh.OwnHi; l++ {
+		acc, ok := sortedSegScan(fast, values, perm, multi, int(start[l]), int(start[l+1]), ident, stop, &credit)
+		if !ok {
+			return false
+		}
+		red[l] = acc
+	}
+	if m := len(start) - 1; sh.OwnHi < m && int(start[sh.OwnHi]) < sh.Hi {
+		acc, ok := sortedSegScan(fast, values, perm, multi, int(start[sh.OwnHi]), sh.Hi, ident, stop, &credit)
+		if !ok {
+			return false
+		}
+		carryOut[w], hasTrail[w] = acc, true
+	}
+	return true
+}
+
+// SortedShardScan is pass 1 of the parallel sorted engine over one
+// shard: complete owned runs are scanned from the identity (prefixes
+// into multi, totals into red); a leading partial run is scanned from
+// the identity with its portion total recorded in leadTotal[w] (run
+// closes inside the shard, leadClosed) or carryOut[w] (run covers the
+// whole shard, hasTrail); a trailing run left open at Hi records its
+// portion in carryOut[w] with hasTrail. The prefixes of a leading
+// partial are provisional until SortedLeadApply rewrites them with the
+// stitched carry. Results land in the w-indexed slices so the
+// monomorphic kernels can write them without boxing.
+func SortedShardScan[T any](op Op[T], fast FastOp, values []T, perm, start []int32, multi, red []T, sh SortedShard, w int, leadTotal, carryOut []T, leadClosed, hasTrail []bool, hook FaultHook, stop func() bool) bool {
+	if fast == FastAdd || fast == FastMax {
+		switch vs := any(values).(type) {
+		case []int64:
+			return sortedShardKernel(fast, vs, perm, start, asI64(multi), asI64(red), sh, w, asI64(leadTotal), asI64(carryOut), leadClosed, hasTrail, stop)
+		case []float64:
+			return sortedShardKernel(fast, vs, perm, start, asF64(multi), asF64(red), sh, w, asF64(leadTotal), asF64(carryOut), leadClosed, hasTrail, stop)
+		}
+	}
+	leadClosed[w], hasTrail[w] = false, false
+	credit := cancelStride
+	l := sh.OwnLo
+	if sh.LeadPartial {
+		e := min(int(start[l+1]), sh.Hi)
+		acc, ok := sortedSegGeneric(op, PhaseSortedScan, values, perm, multi, sh.Lo, e, op.Identity, hook, stop, &credit)
+		if !ok {
+			return false
+		}
+		if int(start[l+1]) <= sh.Hi {
+			leadTotal[w], leadClosed[w] = acc, true
+			l++
+		} else {
+			carryOut[w], hasTrail[w] = acc, true
+			return true
+		}
+	}
+	for ; l < sh.OwnHi; l++ {
+		acc, ok := sortedSegGeneric(op, PhaseSortedScan, values, perm, multi, int(start[l]), int(start[l+1]), op.Identity, hook, stop, &credit)
+		if !ok {
+			return false
+		}
+		red[l] = acc
+	}
+	if m := len(start) - 1; sh.OwnHi < m && int(start[sh.OwnHi]) < sh.Hi {
+		acc, ok := sortedSegGeneric(op, PhaseSortedScan, values, perm, multi, int(start[sh.OwnHi]), sh.Hi, op.Identity, hook, stop, &credit)
+		if !ok {
+			return false
+		}
+		carryOut[w], hasTrail[w] = acc, true
+	}
+	return true
+}
+
+// SortedStitch is the sequential cross-shard carry propagation (the
+// Blelloch-style middle step, O(workers)): walking the shards in
+// order, it records each shard's carry-in (the running value of the
+// run open at its Lo), completes the reductions of straddling runs
+// into red, and resets the carry at every run boundary. It reports
+// whether any shard has a leading partial run — i.e. whether a
+// SortedLeadApply pass is needed to finalize prefixes.
+func SortedStitch[T any](op Op[T], shards []SortedShard, leadTotal, carryOut, carryIn []T, leadClosed, hasTrail []bool, red []T, hook FaultHook) bool {
+	needApply := false
+	carry := op.Identity
+	for w, sh := range shards {
+		carryIn[w] = carry
+		if sh.LeadPartial {
+			needApply = true
+			if hook != nil {
+				hook.Combine(PhaseSortedStitch, sh.OwnLo)
+			}
+			if !leadClosed[w] {
+				// The run covers the whole shard; keep accumulating.
+				carry = op.Combine(carry, carryOut[w])
+				continue
+			}
+			red[sh.OwnLo] = op.Combine(carry, leadTotal[w])
+		}
+		if hasTrail[w] {
+			carry = carryOut[w]
+		} else {
+			carry = op.Identity
+		}
+	}
+	return needApply
+}
+
+// SortedLeadApply is pass 2 for one shard: rescan the leading partial
+// run's portion with the stitched carry-in as the starting
+// accumulator, overwriting the provisional prefixes from pass 1.
+// Shards without a leading partial return immediately; reduce-only
+// runs never need this pass.
+func SortedLeadApply[T any](op Op[T], fast FastOp, values []T, perm, start []int32, multi []T, sh SortedShard, w int, carryIn []T, hook FaultHook, stop func() bool) bool {
+	if !sh.LeadPartial {
+		return true
+	}
+	e := min(int(start[sh.OwnLo+1]), sh.Hi)
+	credit := cancelStride
+	if fast == FastAdd || fast == FastMax {
+		switch vs := any(values).(type) {
+		case []int64:
+			_, ok := sortedSegScan(fast, vs, perm, asI64(multi), sh.Lo, e, asI64(carryIn)[w], stop, &credit)
+			return ok
+		case []float64:
+			_, ok := sortedSegScan(fast, vs, perm, asF64(multi), sh.Lo, e, asF64(carryIn)[w], stop, &credit)
+			return ok
+		}
+	}
+	_, ok := sortedSegGeneric(op, PhaseSortedApply, values, perm, multi, sh.Lo, e, carryIn[w], hook, stop, &credit)
+	return ok
+}
+
+// ctxStop adapts a context to the kernels' stop callback; nil context
+// means no polling (and no closure).
+func ctxStop(cfg Config) func() bool {
+	if cfg.Ctx == nil {
+		return nil
+	}
+	ctx := cfg.Ctx
+	return func() bool { return ctx.Err() != nil }
+}
+
+// Sorted runs the multiprefix through the sorted segmented-scan
+// engine: counting-sort the labels, scan the contiguous runs, with
+// prefixes scattered back through the permutation. The one-shot form
+// is serial (the sort is rebuilt per call); the parallel shard
+// decomposition is reached through the backend Plan pipeline, where
+// the permutation and shard bounds are plan-time structures.
+func Sorted[T any](op Op[T], values []T, labels []int, m int, cfg Config) (res Result[T], err error) {
+	if err := checkInputs(op, values, labels, m); err != nil {
+		return Result[T]{}, err
+	}
+	if err := ctxErr(cfg.Ctx); err != nil {
+		return Result[T]{}, err
+	}
+	idx, err := BuildSortedIndex(labels, m)
+	if err != nil {
+		return Result[T]{}, err
+	}
+	phase := PhaseSortedScan
+	defer recoverEnginePanic("sorted", &phase, &err)
+	multi := make([]T, len(values))
+	red := make([]T, m)
+	fast := op.fastKind(cfg.FaultHook)
+	if !SortedScanLabels(op, fast, values, idx.Perm, idx.Start, multi, red, 0, m, cfg.FaultHook, ctxStop(cfg)) {
+		return Result[T]{}, cfg.Ctx.Err()
+	}
+	return Result[T]{Multi: multi, Reductions: red}, nil
+}
+
+// SortedReduce is the reductions-only multireduce through the sorted
+// engine.
+func SortedReduce[T any](op Op[T], values []T, labels []int, m int, cfg Config) (out []T, err error) {
+	if err := checkInputs(op, values, labels, m); err != nil {
+		return nil, err
+	}
+	if err := ctxErr(cfg.Ctx); err != nil {
+		return nil, err
+	}
+	idx, err := BuildSortedIndex(labels, m)
+	if err != nil {
+		return nil, err
+	}
+	phase := PhaseSortedScan
+	defer recoverEnginePanic("sorted", &phase, &err)
+	red := make([]T, m)
+	fast := op.fastKind(cfg.FaultHook)
+	if !SortedScanLabels(op, fast, values, idx.Perm, idx.Start, nil, red, 0, m, cfg.FaultHook, ctxStop(cfg)) {
+		return nil, cfg.Ctx.Err()
+	}
+	return red, nil
+}
+
+// Sorted is Sorted drawing the permutation, run bounds and result
+// storage from b — allocation-free in steady state.
+func (b *Buffers[T]) Sorted(op Op[T], values []T, labels []int, m int, cfg Config) (res Result[T], err error) {
+	if err := checkInputs(op, values, labels, m); err != nil {
+		return Result[T]{}, err
+	}
+	if err := ctxErr(cfg.Ctx); err != nil {
+		return Result[T]{}, err
+	}
+	if len(values) > maxSortedN {
+		return Result[T]{}, wrapBadInput("n=%d exceeds the sorted engine's %d-element limit", len(values), maxSortedN)
+	}
+	perm, start := b.growSortedIndex(len(values), m)
+	BuildSortedIndexInto(perm, start, labels)
+	phase := PhaseSortedScan
+	defer recoverEnginePanic("sorted", &phase, &err)
+	multi := b.growMulti(len(values))
+	red := b.growRed(m)
+	fast := op.fastKind(cfg.FaultHook)
+	if !SortedScanLabels(op, fast, values, perm, start, multi, red, 0, m, cfg.FaultHook, ctxStop(cfg)) {
+		return Result[T]{}, cfg.Ctx.Err()
+	}
+	return Result[T]{Multi: multi, Reductions: red}, nil
+}
+
+// SortedReduce is SortedReduce on pooled state.
+func (b *Buffers[T]) SortedReduce(op Op[T], values []T, labels []int, m int, cfg Config) (out []T, err error) {
+	if err := checkInputs(op, values, labels, m); err != nil {
+		return nil, err
+	}
+	if err := ctxErr(cfg.Ctx); err != nil {
+		return nil, err
+	}
+	if len(values) > maxSortedN {
+		return nil, wrapBadInput("n=%d exceeds the sorted engine's %d-element limit", len(values), maxSortedN)
+	}
+	perm, start := b.growSortedIndex(len(values), m)
+	BuildSortedIndexInto(perm, start, labels)
+	phase := PhaseSortedScan
+	defer recoverEnginePanic("sorted", &phase, &err)
+	red := b.growRed(m)
+	fast := op.fastKind(cfg.FaultHook)
+	if !SortedScanLabels(op, fast, values, perm, start, nil, red, 0, m, cfg.FaultHook, ctxStop(cfg)) {
+		return nil, cfg.Ctx.Err()
+	}
+	return red, nil
+}

@@ -138,6 +138,19 @@ func (b *Barrier) Await() {
 	b.mu.Unlock()
 }
 
+// DrainAwait arrives at the barrier k more times, doing no work
+// between arrivals. It is how a worker that aborts a multi-barrier
+// round (recovered panic, cancellation) keeps the remaining phases
+// aligned for its siblings without shrinking the barrier — Drop would
+// permanently poison a reusable team, while draining leaves it healthy
+// for the next round. The worker must know exactly how many Awaits its
+// siblings will still perform (deterministic phase counts).
+func (b *Barrier) DrainAwait(k int) {
+	for ; k > 0; k-- {
+		b.Await()
+	}
+}
+
 // Drop permanently removes one party from the barrier: the departing
 // goroutine promises never to call Await again. If the goroutines
 // already waiting now form a complete phase, they are released. Drop is

@@ -187,3 +187,34 @@ func (p *Plan[T]) MultiprefixInto(values, multi, reductions []T) error {
 	s.multisumsInto(multi)
 	return nil
 }
+
+// MultiprefixBatch evaluates each srcs[k] against the prepared
+// spinetree, writing its multiprefix into dsts[k] (len n). The
+// spinetree setup — the expensive, value-independent half of the
+// paper's §5.2.1 split — is paid once for the whole batch; reductions
+// (len Buckets()) is scratch reused across vectors.
+func (p *Plan[T]) MultiprefixBatch(dsts, srcs [][]T, reductions []T) error {
+	if len(dsts) != len(srcs) {
+		return errPlanOut(len(srcs), len(dsts))
+	}
+	for k := range srcs {
+		if err := p.MultiprefixInto(srcs[k], dsts[k], reductions); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReduceBatch evaluates each srcs[k] against the prepared spinetree,
+// writing its bucket sums into dsts[k] (len Buckets()).
+func (p *Plan[T]) ReduceBatch(dsts, srcs [][]T) error {
+	if len(dsts) != len(srcs) {
+		return errPlanOut(len(srcs), len(dsts))
+	}
+	for k := range srcs {
+		if err := p.ReduceInto(srcs[k], dsts[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
