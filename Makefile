@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test check vet race race-matrix fuzz-smoke bench bench-smoke bench-json
+.PHONY: all build test check check-service vet race race-matrix fuzz-smoke bench bench-smoke bench-json bench-service
 
 all: build test
 
@@ -45,10 +45,17 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzBatchParity$$' -fuzztime $(FUZZTIME) ./internal/backend
 
 # Tier-1+: the full robustness gate: vet (includes cmd/benchjson),
-# race, fuzz smoke, and a one-iteration pass over every benchmark so a
-# broken benchmark cannot land silently.
-check: vet race race-matrix fuzz-smoke bench-smoke
+# race, fuzz smoke, a one-iteration pass over every benchmark so a
+# broken benchmark cannot land silently, and the out-of-process
+# service smoke (boot mpd, chaos request, drain).
+check: vet race race-matrix fuzz-smoke bench-smoke check-service
 	$(GO) build -o /dev/null ./cmd/benchjson
+
+# Service smoke gate: builds mpd + mpload, boots the daemon on a
+# random port with chaos armed, and asserts the degradation ladder,
+# typed errors, and SIGTERM drain from outside the process.
+check-service:
+	bash ./scripts/check_service.sh
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
@@ -61,3 +68,8 @@ bench-smoke:
 # Regenerate the committed engine-performance snapshot.
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_engines.json
+
+# Regenerate the committed service-performance snapshot: mpload boots
+# an in-process server and measures QPS/latency per traffic mix.
+bench-service:
+	$(GO) run ./cmd/mpload -dur 5s -mix reduce,multi,mixed -o BENCH_service.json

@@ -31,32 +31,49 @@ import (
 // destination vectors must not overlap each other, the sources, or
 // plan storage. On error the contents of dsts are unspecified.
 func (p *Plan[T]) RunBatch(dsts, srcs [][]T) error {
-	if err := p.checkBatch(dsts, srcs, p.n); err != nil {
-		return err
-	}
-	err := p.runBatch(dsts, srcs, true)
-	if err == nil {
-		return nil
-	}
-	if p.fallback && p.exec != planSerial && !terminalErr(err) {
-		return p.serialBatch(dsts, srcs, true)
-	}
-	return err
+	return p.RunBatchCall(Call{}, dsts, srcs)
+}
+
+// RunBatchCall is RunBatch under per-call overrides: the batch runs
+// with c's context and fault hook in place of the plan Config's.
+func (p *Plan[T]) RunBatchCall(c Call, dsts, srcs [][]T) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	defer func(old core.Config) { p.cfg = old }(p.override(c))
+	return p.batch(dsts, srcs, true)
 }
 
 // ReduceBatch evaluates each srcs[k] (length n) against the planned
 // label structure, writing its per-label reductions into dsts[k]
 // (length m). The same storage and error rules as RunBatch apply.
 func (p *Plan[T]) ReduceBatch(dsts, srcs [][]T) error {
-	if err := p.checkBatch(dsts, srcs, p.m); err != nil {
+	return p.ReduceBatchCall(Call{}, dsts, srcs)
+}
+
+// ReduceBatchCall is ReduceBatch under per-call overrides.
+func (p *Plan[T]) ReduceBatchCall(c Call, dsts, srcs [][]T) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	defer func(old core.Config) { p.cfg = old }(p.override(c))
+	return p.batch(dsts, srcs, false)
+}
+
+// batch is the locked batch body shared by the multi and reduce
+// forms: validation, dispatch, and the degraded-auto serial retry.
+func (p *Plan[T]) batch(dsts, srcs [][]T, withMulti bool) error {
+	dstLen := p.m
+	if withMulti {
+		dstLen = p.n
+	}
+	if err := p.checkBatch(dsts, srcs, dstLen); err != nil {
 		return err
 	}
-	err := p.runBatch(dsts, srcs, false)
+	err := p.runBatch(dsts, srcs, withMulti)
 	if err == nil {
 		return nil
 	}
 	if p.fallback && p.exec != planSerial && !terminalErr(err) {
-		return p.serialBatch(dsts, srcs, false)
+		return p.serialBatch(dsts, srcs, withMulti)
 	}
 	return err
 }
@@ -102,16 +119,16 @@ func (p *Plan[T]) runBatch(dsts, srcs [][]T, withMulti bool) error {
 		return p.vreduceBatch(dsts, srcs)
 	default:
 		// planBuffers, planPram: per-vector evaluation plus a copy into
-		// the caller's storage. Run/Reduce carry their own fallback.
+		// the caller's storage. run/reduce carry their own fallback.
 		for k := range srcs {
 			if withMulti {
-				res, err := p.Run(srcs[k])
+				res, err := p.run(srcs[k])
 				if err != nil {
 					return err
 				}
 				copy(dsts[k], res.Multi)
 			} else {
-				red, err := p.Reduce(srcs[k])
+				red, err := p.reduce(srcs[k])
 				if err != nil {
 					return err
 				}
@@ -170,6 +187,12 @@ func (p *Plan[T]) sortedSerialBatch(dsts, srcs [][]T, withMulti bool) (err error
 		stop = p.sortedStop
 	}
 	for k := range srcs {
+		// Poll between vectors as well: a short vector never exhausts
+		// the in-scan stride credit, so without this check a cancelled
+		// batch of small vectors would run to completion.
+		if stop != nil && stop() {
+			return p.guard.first()
+		}
 		var multi, red []T
 		if withMulti {
 			multi, red = dsts[k], p.red

@@ -1,0 +1,56 @@
+package backend
+
+// Plan construction is O(n log n)-ish work (validation, counting
+// sort, shard decomposition) over a label vector that repeat traffic
+// sends unchanged; a service caches plans keyed by their full
+// construction input. Key is that cache key: the cheap comparable
+// part — backend and operator names, shapes, and a 64-bit label
+// digest — with the label vector itself left to the cache entry for
+// an equality check on hit. The digest alone is not trusted for
+// identity: an adversarial client that found an FNV collision must
+// get a correct answer (a second plan), never another key's plan.
+
+// Key identifies a plan's construction input for caching. Two plans
+// built from inputs with equal Keys *and* equal label vectors are
+// interchangeable. Key is comparable and so usable as a map key.
+type Key struct {
+	// Backend is the registry name the plan is opened under.
+	Backend string
+	// Op is the operator name (Op.Name).
+	Op string
+	// N is the element count, M the label-space size.
+	N, M int
+	// Digest is an FNV-1a hash over the label vector.
+	Digest uint64
+}
+
+// KeyFor builds the cache key for a plan over (backend, op, labels, m).
+func KeyFor(backendName, opName string, labels []int, m int) Key {
+	return Key{
+		Backend: backendName,
+		Op:      opName,
+		N:       len(labels),
+		M:       m,
+		Digest:  DigestLabels(labels),
+	}
+}
+
+// DigestLabels hashes a label vector with 64-bit FNV-1a, feeding each
+// label as eight little-endian bytes. Deterministic across runs and
+// platforms.
+func DigestLabels(labels []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, l := range labels {
+		v := uint64(l)
+		for b := 0; b < 8; b++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	return h
+}

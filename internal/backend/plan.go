@@ -55,10 +55,25 @@ const (
 // evaluate any number of value vectors against it. For the portable
 // backends a warm Plan performs zero steady-state heap allocations.
 //
-// Results returned by Run and Reduce alias plan-owned storage: they
-// are valid until the next Run/Reduce on the same Plan (or Close).
-// A Plan is not safe for concurrent use.
+// # Concurrency
+//
+// A Plan may be shared between goroutines: every entry point — Run,
+// Reduce, RunBatch, ReduceBatch, their Call variants, RunEach,
+// ReduceEach and Close — serializes on an internal lock, so
+// concurrent calls execute one at a time in some order. This holds
+// for every registered backend, including the simulated vector and
+// PRAM machines. The guarantee is mutual exclusion, not result
+// lifetime: Run and Reduce return slices that alias plan-owned
+// storage and are overwritten by the next call on the same Plan, so
+// goroutines sharing a Plan must use the batch entry points, which
+// write into caller-owned destinations and are therefore safe
+// end-to-end (a batch of one is the degenerate form). This is exactly
+// how the service layer drives one cached Plan from many requests.
 type Plan[T any] struct {
+	// mu serializes every public entry point: one evaluation (or
+	// Close) at a time per Plan.
+	mu sync.Mutex
+
 	backend  string
 	exec     planKind
 	fallback bool // auto: degrade to the serial pass on internal failure
@@ -350,8 +365,11 @@ func (p *Plan[T]) Classes() int { return p.classes }
 
 // Close releases the plan's worker team promptly. A closed plan
 // rejects further runs. Close is optional: a dropped plan's team is
-// reclaimed by a GC cleanup.
+// reclaimed by a GC cleanup. Close waits for an in-flight evaluation
+// to finish.
 func (p *Plan[T]) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.closed {
 		return
 	}
@@ -381,9 +399,62 @@ func terminalErr(err error) bool {
 		errors.Is(err, context.DeadlineExceeded)
 }
 
+// Terminal reports whether err must not be retried on another
+// backend: invalid input (a retry computes the same rejection) and
+// cancellation (a retry defeats the cancellation). The service
+// layer's degradation ladder uses the same classification as the
+// in-plan auto fallback.
+func Terminal(err error) bool { return terminalErr(err) }
+
+// Call carries the per-call dynamic knobs of one evaluation on a
+// shared Plan. A Plan bakes its Config at build time; a long-lived
+// plan (the service layer's cache) instead needs the cancellation
+// context and fault hook of the request it is currently serving. A
+// nil field inherits the plan Config's value. The overrides are
+// honored by every portable backend; the simulated vector machine
+// binds its config at plan-build time, so there they only cover the
+// serial degradation path.
+type Call struct {
+	// Ctx overrides Config.Ctx for this call: per-request deadlines
+	// and cancellation on a shared plan.
+	Ctx context.Context
+	// Hook overrides Config.FaultHook for this call — per-request
+	// fault injection (the service's chaos mode).
+	Hook core.FaultHook
+}
+
+// override installs the call's knobs into the plan config and returns
+// the previous config for restoring. Callers hold p.mu, so the swap
+// is invisible to other goroutines; team worker bodies read p.cfg
+// only inside rounds bracketed by the call.
+func (p *Plan[T]) override(c Call) core.Config {
+	old := p.cfg
+	if c.Ctx != nil {
+		p.cfg.Ctx = c.Ctx
+	}
+	if c.Hook != nil {
+		p.cfg.FaultHook = c.Hook
+	}
+	return old
+}
+
 // Run evaluates the full multiprefix over values. The Result aliases
 // plan-owned storage, valid until the next call on this plan.
 func (p *Plan[T]) Run(values []T) (core.Result[T], error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.run(values)
+}
+
+// RunCall is Run under per-call overrides.
+func (p *Plan[T]) RunCall(c Call, values []T) (core.Result[T], error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	defer func(old core.Config) { p.cfg = old }(p.override(c))
+	return p.run(values)
+}
+
+func (p *Plan[T]) run(values []T) (core.Result[T], error) {
 	if err := p.checkRun(values); err != nil {
 		return core.Result[T]{}, err
 	}
@@ -422,6 +493,20 @@ func (p *Plan[T]) Run(values []T) (core.Result[T], error) {
 // Reduce evaluates the reductions-only multireduce over values. The
 // slice aliases plan-owned storage.
 func (p *Plan[T]) Reduce(values []T) ([]T, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reduce(values)
+}
+
+// ReduceCall is Reduce under per-call overrides.
+func (p *Plan[T]) ReduceCall(c Call, values []T) ([]T, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	defer func(old core.Config) { p.cfg = old }(p.override(c))
+	return p.reduce(values)
+}
+
+func (p *Plan[T]) reduce(values []T) ([]T, error) {
 	if err := p.checkRun(values); err != nil {
 		return nil, err
 	}

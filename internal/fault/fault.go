@@ -39,8 +39,20 @@ const (
 // Injector is a deterministic implementation of core.FaultHook.
 // Construct with New — which disables every injection point (index
 // sentinels at -1) — then configure the exported fields before handing
-// it to an engine. All methods are safe for concurrent use by engine
-// workers.
+// it to an engine.
+//
+// # Concurrency
+//
+// One Injector may be shared by every worker goroutine of a run — the
+// chunked and sorted engines call the hook concurrently from all
+// shards — and across concurrent runs (the service's chaos mode). All
+// methods are safe for concurrent use: the event counters and the
+// stall latch are atomic, and the configuration fields are only read.
+// The configuration fields themselves are NOT synchronized: set them
+// before handing the Injector to an engine and do not mutate them
+// while any run that can see the hook is in flight (that is a data
+// race); build a fresh Injector instead. The counters may be read at
+// any time, including mid-run.
 type Injector struct {
 	// PanicEvent/PanicPhase/PanicIndex select where to panic:
 	// the event kind, the phase name ("" matches any phase) and the

@@ -1,0 +1,161 @@
+// Package server is the multiprefix service layer: an HTTP/JSON front
+// end over the backend registry in which robustness is the
+// architecture. Every request flows through the same pipeline —
+// admission control (bounded in-flight, load shedding), a
+// single-flight LRU plan cache, a cross-request batch coalescer that
+// fuses concurrent requests sharing a plan into one team round, and a
+// degradation ladder (fused batch -> split-and-rerun isolation ->
+// hook-free serial retry -> typed error) — so an engine panic, a
+// cancelled client or an expired deadline costs exactly the request
+// that caused it and nothing else.
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"multiprefix/internal/backend"
+	"multiprefix/internal/core"
+)
+
+// ops maps wire operator names to the int64 operator table. The
+// service computes over int64 — the paper's integer multiprefix — and
+// exposes every associative operator the core ships for it.
+var ops = map[string]core.Op[int64]{
+	"sum":  core.AddInt64,
+	"prod": core.MulInt64,
+	"max":  core.MaxInt64,
+	"min":  core.MinInt64,
+	"and":  core.AndInt64,
+	"or":   core.OrInt64,
+	"xor":  core.XorInt64,
+}
+
+// serviceBackends is the subset of the registry the service serves.
+// The simulated vector and PRAM machines bind their configuration at
+// plan-build time, so per-request deadlines and chaos hooks cannot
+// reach them; they stay study-only.
+var serviceBackends = map[string]bool{
+	"auto":      true,
+	"serial":    true,
+	"sorted":    true,
+	"chunked":   true,
+	"parallel":  true,
+	"spinetree": true,
+}
+
+// computeRequest is the JSON body of every compute endpoint. The
+// batch endpoints read Batch, the single-vector endpoints Values.
+type computeRequest struct {
+	// Op is the operator name: sum, prod, max, min, and, or, xor.
+	Op string `json:"op"`
+	// Backend overrides the server's default backend for this
+	// request's plan. Must be one of the service backends.
+	Backend string `json:"backend,omitempty"`
+	// M is the label-space size; Labels[i] in [0, M).
+	M      int   `json:"m"`
+	Labels []int `json:"labels"`
+	// Values is the single value vector (len == len(Labels)).
+	Values []int64 `json:"values,omitempty"`
+	// Batch is the batch endpoints' value vectors, each len(Labels).
+	Batch [][]int64 `json:"batch,omitempty"`
+	// DeadlineMS caps this request's compute time in milliseconds;
+	// 0 selects the server default, values above the server maximum
+	// are clamped.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// computeResponse is the success body of the single-vector endpoints.
+type computeResponse struct {
+	Backend string `json:"backend"`
+	Op      string `json:"op"`
+	N       int    `json:"n"`
+	M       int    `json:"m"`
+	// Multi is the full multiprefix (multiprefix endpoint).
+	Multi []int64 `json:"multi,omitempty"`
+	// Reductions is the per-label total vector (multireduce endpoint).
+	Reductions []int64 `json:"reductions,omitempty"`
+	// Coalesced reports how many requests shared this request's fused
+	// engine round (1 = ran alone).
+	Coalesced int `json:"coalesced"`
+	// Fallback names the backend the degradation ladder retried on
+	// when the planned engine failed; empty on the normal path.
+	Fallback string `json:"fallback,omitempty"`
+}
+
+// batchResponse is the success body of the batch endpoints. The HTTP
+// status is 200 whenever the request itself was well-formed; each
+// vector carries its own result or typed error.
+type batchResponse struct {
+	Backend string      `json:"backend"`
+	Op      string      `json:"op"`
+	N       int         `json:"n"`
+	M       int         `json:"m"`
+	Results []batchItem `json:"results"`
+	// Failed counts results carrying an error.
+	Failed int `json:"failed"`
+}
+
+// batchItem is one vector's outcome inside a batchResponse: either a
+// result or a typed error, never both.
+type batchItem struct {
+	Multi      []int64   `json:"multi,omitempty"`
+	Reductions []int64   `json:"reductions,omitempty"`
+	Coalesced  int       `json:"coalesced,omitempty"`
+	Fallback   string    `json:"fallback,omitempty"`
+	Error      *apiError `json:"error,omitempty"`
+}
+
+// apiError is the typed error body every non-200 response (and every
+// failed batch item) carries.
+type apiError struct {
+	// Kind is the machine-readable class: bad_input, unknown_backend,
+	// payload_too_large, overloaded, draining, deadline_exceeded,
+	// canceled, engine_panic, internal.
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+}
+
+type errorResponse struct {
+	Error apiError `json:"error"`
+}
+
+// Error kinds and the statuses they map to. The table in the README
+// mirrors this.
+const (
+	kindBadInput    = "bad_input"
+	kindUnknownBack = "unknown_backend"
+	kindTooLarge    = "payload_too_large"
+	kindOverloaded  = "overloaded"
+	kindDraining    = "draining"
+	kindDeadline    = "deadline_exceeded"
+	kindCanceled    = "canceled"
+	kindEnginePanic = "engine_panic"
+	kindInternal    = "internal"
+	kindMethod      = "method_not_allowed"
+)
+
+// classify maps an engine or pipeline error to its HTTP status and
+// typed kind — the single place the degradation ladder's outcomes
+// turn into wire semantics.
+func classify(err error) (int, string) {
+	var ub *backend.UnknownBackendError
+	var pe *core.EnginePanicError
+	switch {
+	case errors.As(err, &ub):
+		return http.StatusBadRequest, kindUnknownBack
+	case errors.Is(err, core.ErrBadInput):
+		return http.StatusBadRequest, kindBadInput
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, kindDeadline
+	case errors.Is(err, context.Canceled):
+		// The client went away or chaos cancelled it; a retry elsewhere
+		// may succeed, so advertise retryability.
+		return http.StatusServiceUnavailable, kindCanceled
+	case errors.As(err, &pe):
+		return http.StatusInternalServerError, kindEnginePanic
+	default:
+		return http.StatusInternalServerError, kindInternal
+	}
+}

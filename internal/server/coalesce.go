@@ -1,0 +1,231 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"multiprefix/internal/backend"
+	"multiprefix/internal/core"
+)
+
+// pending is one request vector queued for execution: its input, its
+// caller-owned destination, the request's context/deadline and chaos
+// hook, and the latch the handler waits on.
+type pending struct {
+	src      []int64
+	dst      []int64
+	ctx      context.Context
+	hook     core.FaultHook
+	deadline time.Time
+	done     chan outcome // buffered(1): execute never blocks on it
+}
+
+// outcome is what the pipeline reports back to the waiting handler.
+type outcome struct {
+	err error
+	// fallback is set when the degradation ladder served this vector
+	// from the serial retry rung.
+	fallback bool
+	// coalesced is how many request vectors shared the fused round.
+	coalesced int
+}
+
+// groupKey identifies a coalescing group: every pending vector on the
+// same plan with the same result shape can share one fused batch.
+type groupKey struct {
+	plan   *backend.Plan[int64]
+	reduce bool
+}
+
+type group struct {
+	entry *planEntry
+	items []*pending
+}
+
+// coalescer merges concurrent requests that share a cached plan into
+// fused RunBatch/ReduceBatch rounds. Each group runs a short
+// collection window, takes up to BatchCap queued vectors, and
+// executes them as one team round — the paper's batching insight
+// (amortize the fixed per-round cost over many vectors) applied
+// across requests. A group's runner goroutine exists only while the
+// group has traffic; an empty collection ends it.
+type coalescer struct {
+	s      *Server
+	mu     sync.Mutex
+	groups map[groupKey]*group
+	wg     sync.WaitGroup
+}
+
+func newCoalescer(s *Server) *coalescer {
+	return &coalescer{s: s, groups: make(map[groupKey]*group)}
+}
+
+// submit queues one vector. The caller must hold a pin on entry until
+// it has received on it.done — that pin is what keeps entry.plan's
+// team alive while the group uses it.
+func (c *coalescer) submit(entry *planEntry, reduce bool, it *pending) {
+	k := groupKey{plan: entry.plan, reduce: reduce}
+	c.mu.Lock()
+	g := c.groups[k]
+	if g == nil {
+		g = &group{entry: entry}
+		c.groups[k] = g
+		c.wg.Add(1)
+		go c.run(k, g)
+	}
+	g.items = append(g.items, it)
+	c.mu.Unlock()
+}
+
+// wait blocks until every group runner has exited. Callers stop
+// submitting first (drain + server shutdown), so this terminates.
+func (c *coalescer) wait() { c.wg.Wait() }
+
+func (c *coalescer) run(k groupKey, g *group) {
+	defer c.wg.Done()
+	for {
+		if w := c.s.opts.CoalesceWindow; w > 0 {
+			time.Sleep(w)
+		}
+		c.mu.Lock()
+		batch := g.items
+		if len(batch) == 0 {
+			delete(c.groups, k)
+			c.mu.Unlock()
+			return
+		}
+		if limit := c.s.opts.BatchCap; len(batch) > limit {
+			g.items = batch[limit:]
+			batch = batch[:limit:limit]
+		} else {
+			g.items = nil
+		}
+		c.mu.Unlock()
+		c.s.execute(g.entry, k.reduce, batch)
+	}
+}
+
+// execute runs one fused batch through the degradation ladder:
+//
+//  1. Vectors whose context is already dead (client gone, deadline
+//     passed while queued, chaos cancel) are failed typed, costing no
+//     engine time — and, crucially, not poisoning their co-batch.
+//  2. The live vectors run as one fused team round under a batch
+//     context bounded by the latest member deadline.
+//  3. If the fused round aborts, it is split and rerun vector by
+//     vector under each request's own context and hook
+//     (backend.RunEach), so the failure stays with the vector that
+//     caused it. The fused attempt's barrier draining has already
+//     left the team healthy.
+//  4. A vector whose isolated rerun fails non-terminally (engine
+//     panic) is retried once, hook-free, on a cached serial plan —
+//     core.Fallback's semantics lifted to the service.
+//  5. What remains is a typed error for exactly the affected request.
+func (s *Server) execute(e *planEntry, reduce bool, batch []*pending) {
+	live := make([]*pending, 0, len(batch))
+	for _, it := range batch {
+		if err := it.ctx.Err(); err != nil {
+			s.countMemberErr(err)
+			it.done <- outcome{err: err}
+			continue
+		}
+		live = append(live, it)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	s.st.fusedRounds.Add(1)
+	s.st.fusedMembers.Add(uint64(len(live)))
+	srcs := make([][]int64, len(live))
+	dsts := make([][]int64, len(live))
+	var hook core.FaultHook
+	latest := live[0].deadline
+	for i, it := range live {
+		srcs[i], dsts[i] = it.src, it.dst
+		if hook == nil {
+			hook = it.hook
+		}
+		if it.deadline.After(latest) {
+			latest = it.deadline
+		}
+	}
+	bctx, cancel := context.WithDeadline(s.base, latest)
+	call := backend.Call{Ctx: bctx, Hook: hook}
+	var err error
+	if reduce {
+		err = e.plan.ReduceBatchCall(call, dsts, srcs)
+	} else {
+		err = e.plan.RunBatchCall(call, dsts, srcs)
+	}
+	cancel()
+	if err == nil {
+		for _, it := range live {
+			it.done <- outcome{coalesced: len(live)}
+		}
+		return
+	}
+
+	// The fused round aborted as a unit; isolate the failure.
+	s.st.splitRounds.Add(1)
+	calls := make([]backend.Call, len(live))
+	for i, it := range live {
+		calls[i] = backend.Call{Ctx: it.ctx, Hook: it.hook}
+	}
+	var errs []error
+	if reduce {
+		errs = e.plan.ReduceEach(calls, dsts, srcs)
+	} else {
+		errs = e.plan.RunEach(calls, dsts, srcs)
+	}
+	for i, it := range live {
+		merr := errs[i]
+		if merr == nil {
+			it.done <- outcome{coalesced: 1}
+			continue
+		}
+		var pe *core.EnginePanicError
+		if errors.As(merr, &pe) {
+			s.st.enginePanics.Add(1)
+		}
+		if !backend.Terminal(merr) && !s.opts.NoSerialRetry && e.key.Backend != "serial" {
+			if rerr := s.serialRetry(e, reduce, it); rerr == nil {
+				s.st.serialFallbacks.Add(1)
+				it.done <- outcome{fallback: true, coalesced: 1}
+				continue
+			}
+		}
+		s.countMemberErr(merr)
+		it.done <- outcome{err: merr}
+	}
+}
+
+// serialRetry is the ladder's last productive rung: the vector rerun
+// on a cached plan for the serial backend, hook-free (the planned
+// serial pass never observes fault hooks) but still under the
+// request's own context, so deadlines keep binding.
+func (s *Server) serialRetry(e *planEntry, reduce bool, it *pending) error {
+	se, err := s.cache.acquire("serial", e.op, e.labels, e.key.M)
+	if err != nil {
+		return err
+	}
+	defer s.cache.release(se)
+	d := [1][]int64{it.dst}
+	src := [1][]int64{it.src}
+	call := backend.Call{Ctx: it.ctx}
+	if reduce {
+		return se.plan.ReduceBatchCall(call, d[:], src[:])
+	}
+	return se.plan.RunBatchCall(call, d[:], src[:])
+}
+
+func (s *Server) countMemberErr(err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.st.deadlineExceeded.Add(1)
+	case errors.Is(err, context.Canceled):
+		s.st.canceled.Add(1)
+	}
+}

@@ -1,0 +1,299 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"multiprefix/internal/core"
+)
+
+// TestChaosSoakAndDrain is the acceptance soak: concurrent load with
+// ~1% of requests chaos-injected (engine panics and cancellations),
+// asserting
+//
+//   - every non-chaos outcome is a correct 200 (co-batched requests
+//     survive their poisoned neighbors),
+//   - chaos panics are absorbed by the degradation ladder (200 +
+//     fallback, still correct) and chaos cancels surface as typed
+//     503/canceled only,
+//   - a drain in the middle of in-flight traffic drops zero admitted
+//     requests,
+//   - the server leaks no goroutines once closed.
+func TestChaosSoakAndDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	baseline := runtime.NumGoroutine()
+
+	s := New(Options{
+		Backend:          "chunked",
+		ChaosPanicEvery:  97,
+		ChaosCancelEvery: 131,
+		ChaosSeed:        7,
+		CoalesceWindow:   500 * time.Microsecond,
+		MaxInFlight:      256,
+	})
+	ts := httptest.NewServer(s.Handler())
+
+	// Three plan shapes rotate through the soak, all warm quickly.
+	type shape struct {
+		labels []int
+		values []int64
+		m      int
+		want   core.Result[int64]
+	}
+	shapes := make([]shape, 3)
+	for si := range shapes {
+		n := 2048 + 512*si
+		m := 16 + 8*si
+		labels := make([]int, n)
+		values := make([]int64, n)
+		for i := range labels {
+			labels[i] = (i*5 + si) % m
+			values[i] = int64((i + si) % 23)
+		}
+		want, err := core.Serial(core.AddInt64, values, labels, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shapes[si] = shape{labels: labels, values: values, m: m, want: want}
+	}
+	bodies := make([][]byte, len(shapes))
+	for si, sh := range shapes {
+		b, err := json.Marshal(map[string]any{
+			"op": "sum", "m": sh.m, "labels": sh.labels, "values": sh.values,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[si] = b
+	}
+
+	const (
+		workers       = 8
+		perWorker     = 150
+		totalRequests = workers * perWorker
+	)
+	var (
+		mu       sync.Mutex
+		okCount  int
+		fbCount  int
+		canceled int
+		badKinds []string
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := ts.Client()
+			for i := 0; i < perWorker; i++ {
+				si := (w + i) % len(shapes)
+				sh := shapes[si]
+				endpoint := "/v1/multiprefix"
+				if i%2 == 1 {
+					endpoint = "/v1/multireduce"
+				}
+				resp, err := client.Post(ts.URL+endpoint, "application/json", bytes.NewReader(bodies[si]))
+				if err != nil {
+					t.Errorf("worker %d req %d: %v", w, i, err)
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var cr computeResponse
+					if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+						t.Errorf("decode: %v", err)
+						resp.Body.Close()
+						return
+					}
+					resp.Body.Close()
+					got, ref := cr.Multi, sh.want.Multi
+					if endpoint == "/v1/multireduce" {
+						got, ref = cr.Reductions, sh.want.Reductions
+					}
+					wrong := len(got) != len(ref)
+					if !wrong {
+						for k := range ref {
+							if got[k] != ref[k] {
+								wrong = true
+								break
+							}
+						}
+					}
+					if wrong {
+						t.Errorf("worker %d req %d: wrong answer under chaos (fallback=%q)", w, i, cr.Fallback)
+						return
+					}
+					mu.Lock()
+					okCount++
+					if cr.Fallback != "" {
+						fbCount++
+					}
+					mu.Unlock()
+				default:
+					var er errorResponse
+					_ = json.NewDecoder(resp.Body).Decode(&er)
+					resp.Body.Close()
+					mu.Lock()
+					if er.Error.Kind == kindCanceled {
+						canceled++
+					} else {
+						badKinds = append(badKinds, er.Error.Kind)
+					}
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	st := s.Stats()
+	if okCount+canceled != totalRequests {
+		t.Fatalf("accounting: ok %d + canceled %d != %d", okCount, canceled, totalRequests)
+	}
+	if len(badKinds) > 0 {
+		t.Fatalf("unexpected error kinds under chaos: %v", badKinds)
+	}
+	// ~1/131 cancels armed; every one must surface typed, none silent.
+	if canceled == 0 || uint64(canceled) != st.ChaosCancels {
+		t.Fatalf("canceled %d vs chaos cancels %d", canceled, st.ChaosCancels)
+	}
+	// Every armed panic walked the ladder to a serial answer.
+	if st.ChaosPanics == 0 {
+		t.Fatal("soak armed no panics; raise load or lower ChaosPanicEvery")
+	}
+	if fbCount == 0 || st.SerialFallbacks == 0 {
+		t.Fatalf("panics never reached the serial rung: fb %d, stats %+v", fbCount, st)
+	}
+	if st.FusedRounds == 0 || st.FusedMembers <= st.FusedRounds {
+		t.Fatalf("soak never coalesced: rounds %d members %d", st.FusedRounds, st.FusedMembers)
+	}
+
+	// Drain with traffic still in flight: every admitted request must
+	// complete; requests arriving after the flip get typed 503s.
+	inFlight := 8
+	results := make(chan int, inFlight)
+	var dwg sync.WaitGroup
+	for g := 0; g < inFlight; g++ {
+		dwg.Add(1)
+		go func(g int) {
+			defer dwg.Done()
+			resp, err := ts.Client().Post(ts.URL+"/v1/multiprefix", "application/json", bytes.NewReader(bodies[g%len(bodies)]))
+			if err != nil {
+				results <- -1
+				return
+			}
+			defer resp.Body.Close()
+			results <- resp.StatusCode
+		}(g)
+	}
+	waitAdmitted(t, s, 1)
+	s.Drain()
+	dwg.Wait()
+	close(results)
+	for code := range results {
+		// 200 (admitted before the flip, possibly chaos-fallback), 503
+		// (draining or a chaos cancel): both are served answers. -1 or
+		// anything else means a dropped request.
+		if code != http.StatusOK && code != http.StatusServiceUnavailable {
+			t.Fatalf("request dropped during drain: status %d", code)
+		}
+	}
+
+	ts.Close()
+	s.Close()
+
+	// Goroutine accounting: the coalescer runners and plan teams are
+	// gone once Close returns; give the HTTP stack a moment to reap
+	// its own.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s", baseline, now, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// waitAdmitted blocks until at least want requests are past admission
+// (and therefore guaranteed to be served across a drain).
+func waitAdmitted(t *testing.T, s *Server, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.st.inFlight.Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatal("no request was admitted within 5s")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// TestDrainZeroDrop is the focused lifecycle variant (runs in -short):
+// requests admitted before Drain complete with correct answers even
+// though the flip happens while they are queued in the coalescer.
+func TestDrainZeroDrop(t *testing.T) {
+	s := New(Options{CoalesceWindow: 5 * time.Millisecond, MaxInFlight: 64})
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+
+	labels, values := refInputs(4096, 16)
+	want, _ := core.Serial(core.AddInt64, values, labels, 16)
+	body, _ := json.Marshal(map[string]any{"op": "sum", "m": 16, "labels": labels, "values": values})
+
+	const inFlight = 6
+	var wg sync.WaitGroup
+	codes := make([]int, inFlight)
+	resps := make([]computeResponse, inFlight)
+	for g := 0; g < inFlight; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			resp, err := ts.Client().Post(ts.URL+"/v1/multireduce", "application/json", bytes.NewReader(body))
+			if err != nil {
+				codes[g] = -1
+				return
+			}
+			defer resp.Body.Close()
+			codes[g] = resp.StatusCode
+			_ = json.NewDecoder(resp.Body).Decode(&resps[g])
+		}(g)
+	}
+	waitAdmitted(t, s, 1)
+	s.Drain()
+	wg.Wait()
+
+	served := 0
+	for g, code := range codes {
+		switch code {
+		case http.StatusOK:
+			served++
+			for k := range want.Reductions {
+				if resps[g].Reductions[k] != want.Reductions[k] {
+					t.Fatalf("request %d: wrong answer across drain", g)
+				}
+			}
+		case http.StatusServiceUnavailable: // arrived after the flip
+		default:
+			t.Fatalf("request %d dropped: status %d", g, code)
+		}
+	}
+	if served == 0 {
+		t.Fatal("drain flipped before any request was admitted; widen the sleep")
+	}
+}

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# check_service.sh — service-layer smoke gate (`make check-service`).
+#
+# Boots mpd on a random loopback port with chaos armed, then asserts
+# the whole ladder from outside the process:
+#   1. readiness turns 200,
+#   2. a smoke multiprefix request answers correctly,
+#   3. a chaos-panicked request is still answered (degradation ladder:
+#      200 + "fallback":"serial"),
+#   4. a malformed request gets a typed 400,
+#   5. draining rejects new work with 503 + Retry-After while SIGTERM
+#      exits cleanly with zero dropped in-flight requests,
+# and builds cmd/mpload so the load generator cannot rot.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+GO=${GO:-go}
+BIN=$(mktemp -d)
+trap 'kill "$MPD_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+$GO build -o "$BIN/mpd" ./cmd/mpd
+$GO build -o "$BIN/mpload" ./cmd/mpload
+
+PORT=$((20000 + RANDOM % 20000))
+URL="http://127.0.0.1:$PORT"
+# panic=2: every second request hits an engine panic, so the ladder is
+# exercised by the smoke traffic itself.
+"$BIN/mpd" -addr "127.0.0.1:$PORT" -backend chunked -chaos "panic=2,seed=9" \
+  >"$BIN/mpd.log" 2>&1 &
+MPD_PID=$!
+
+for i in $(seq 1 100); do
+  if curl -sf "$URL/readyz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$MPD_PID" 2>/dev/null; then
+    echo "check-service: mpd died on startup"; cat "$BIN/mpd.log"; exit 1
+  fi
+  sleep 0.1
+done
+curl -sf "$URL/readyz" >/dev/null || { echo "check-service: never ready"; exit 1; }
+
+BODY='{"op":"sum","m":2,"labels":[0,1,0,1,0],"values":[1,2,3,4,5]}'
+WANT_MULTI='[0,0,1,2,4]'
+
+# Smoke + chaos: with panic=2, four requests guarantee both a clean
+# pass and a ladder pass; each must return the same correct answer.
+SAW_FALLBACK=0
+for i in 1 2 3 4; do
+  RESP=$(curl -sf -X POST "$URL/v1/multiprefix" -d "$BODY")
+  GOT=$(echo "$RESP" | jq -c .multi)
+  if [ "$GOT" != "$WANT_MULTI" ]; then
+    echo "check-service: wrong answer: $RESP"; exit 1
+  fi
+  if [ "$(echo "$RESP" | jq -r .fallback)" = "serial" ]; then SAW_FALLBACK=1; fi
+done
+if [ "$SAW_FALLBACK" != 1 ]; then
+  echo "check-service: chaos panic never walked the ladder"; exit 1
+fi
+FB=$(curl -sf "$URL/v1/stats" | jq .serial_fallbacks)
+if [ "$FB" -lt 1 ]; then
+  echo "check-service: stats report no serial fallbacks"; exit 1
+fi
+
+# Typed rejection.
+CODE=$(curl -s -o "$BIN/err.json" -w '%{http_code}' -X POST "$URL/v1/multiprefix" \
+  -d '{"op":"median","m":2,"labels":[0],"values":[1]}')
+if [ "$CODE" != 400 ] || [ "$(jq -r .error.kind "$BIN/err.json")" != bad_input ]; then
+  echo "check-service: bad op not rejected typed (code $CODE)"; exit 1
+fi
+
+# Drain: SIGTERM, then new work must see 503 (draining) or connection
+# refused (listener closed) — never a hang or a 5xx crash page.
+kill -TERM "$MPD_PID"
+sleep 0.2
+CODE=$(curl -s -o "$BIN/drain.json" -w '%{http_code}' --max-time 5 \
+  -X POST "$URL/v1/multiprefix" -d "$BODY" || true)
+case "$CODE" in
+  503)
+    KIND=$(jq -r .error.kind "$BIN/drain.json")
+    [ "$KIND" = draining ] || { echo "check-service: drain kind $KIND"; exit 1; } ;;
+  000|"") ;; # listener already down: also a clean drain
+  *) echo "check-service: unexpected status $CODE during drain"; exit 1 ;;
+esac
+
+for i in $(seq 1 100); do
+  kill -0 "$MPD_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$MPD_PID" 2>/dev/null; then
+  echo "check-service: mpd did not exit after SIGTERM"; cat "$BIN/mpd.log"; exit 1
+fi
+wait "$MPD_PID" || { echo "check-service: mpd exited nonzero"; cat "$BIN/mpd.log"; exit 1; }
+grep -q "drained:" "$BIN/mpd.log" || { echo "check-service: no drain summary"; cat "$BIN/mpd.log"; exit 1; }
+
+echo "check-service: ok (smoke, chaos ladder, typed errors, drain)"
