@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test check check-service vet race race-matrix fuzz-smoke bench bench-smoke bench-json bench-service
+.PHONY: all build test check check-service vet lint race race-matrix fuzz-smoke bench bench-smoke bench-json bench-service
 
 all: build test
 
@@ -20,6 +20,13 @@ test: build
 
 vet:
 	$(GO) vet ./...
+
+# Static-analysis gate: go vet plus the project analyzer suite
+# (cmd/mplint: hotpathalloc, barrierdiscipline, lockdiscipline,
+# terminalerr, ctxpoll) and a best-effort govulncheck. Fails on any
+# non-suppressed diagnostic; suppressions require //mp:nolint <reason>.
+lint:
+	bash ./scripts/check_lint.sh
 
 race:
 	$(GO) test -race ./...
@@ -44,11 +51,11 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSortedParity$$' -fuzztime $(FUZZTIME) ./internal/backend
 	$(GO) test -run '^$$' -fuzz '^FuzzBatchParity$$' -fuzztime $(FUZZTIME) ./internal/backend
 
-# Tier-1+: the full robustness gate: vet (includes cmd/benchjson),
-# race, fuzz smoke, a one-iteration pass over every benchmark so a
-# broken benchmark cannot land silently, and the out-of-process
+# Tier-1+: the full robustness gate: lint (vet + the mplint analyzer
+# suite), race, fuzz smoke, a one-iteration pass over every benchmark
+# so a broken benchmark cannot land silently, and the out-of-process
 # service smoke (boot mpd, chaos request, drain).
-check: vet race race-matrix fuzz-smoke bench-smoke check-service
+check: lint race race-matrix fuzz-smoke bench-smoke check-service
 	$(GO) build -o /dev/null ./cmd/benchjson
 
 # Service smoke gate: builds mpd + mpload, boots the daemon on a

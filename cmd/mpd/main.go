@@ -136,7 +136,7 @@ func parseChaos(spec string, opts *server.Options) error {
 		}
 		n, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {
-			return fmt.Errorf("%q: %v", part, err)
+			return fmt.Errorf("%q: %w", part, err)
 		}
 		switch k {
 		case "panic":

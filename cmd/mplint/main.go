@@ -1,0 +1,99 @@
+// Command mplint runs the project's analyzer suite — hotpathalloc,
+// barrierdiscipline, lockdiscipline, terminalerr, ctxpoll — over the
+// module and exits non-zero if any non-suppressed diagnostic remains.
+// It is the standalone driver for internal/analysis (the offline
+// stand-in for go vet -vettool; see the package doc and tools.go).
+//
+// Usage:
+//
+//	mplint [-C dir] [-only name,name] [patterns...]
+//
+// Patterns default to ./... and are resolved by `go list` in the
+// module directory (default: the current directory).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"multiprefix/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("mplint", flag.ContinueOnError)
+	dir := fs.String("C", ".", "module directory to analyze")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: mplint [-C dir] [-only name,name] [patterns...]\n\nAnalyzers:\n")
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(fs.Output(), "  %-18s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	suite, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mplint:", err)
+		return 2
+	}
+
+	pkgs, err := analysis.Load(*dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mplint:", err)
+		return 2
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunPackage(pkg, suite)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mplint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "mplint: %d diagnostic(s)\n", found)
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	all := analysis.Analyzers()
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var suite []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		suite = append(suite, a)
+	}
+	return suite, nil
+}

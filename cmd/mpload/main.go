@@ -286,7 +286,7 @@ func parseChaos(spec string, opts *server.Options) error {
 		}
 		var n int64
 		if _, err := fmt.Sscanf(v, "%d", &n); err != nil {
-			return fmt.Errorf("%q: %v", part, err)
+			return fmt.Errorf("%q: %w", part, err)
 		}
 		switch k {
 		case "panic":

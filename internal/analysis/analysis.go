@@ -1,0 +1,176 @@
+// Package analysis is mplint's analyzer framework: a small, offline,
+// stdlib-only analogue of golang.org/x/tools/go/analysis. The repo's
+// multiprefix invariants — zero-allocation hot paths, panic-safe
+// barrier arrivals, mu-guarded Plan state, terminal-error wrapping and
+// cancellation polling — were hand-enforced conventions through PR 6;
+// this package encodes each as a compile-time check so they survive
+// growth past what review can eyeball.
+//
+// The x/tools analysis framework itself is deliberately not a
+// dependency: the build environment is offline, so the loader
+// (load.go) drives `go list -export` plus go/parser and go/types
+// directly, and the Analyzer/Pass surface below mirrors the x/tools
+// shape closely enough that the analyzers could be ported to real
+// *analysis.Analyzer values (and run under go vet -vettool) if the
+// dependency ever becomes available. See tools.go for the gate.
+//
+// # Annotation grammar
+//
+// Invariants are declared in comments with the shared //mp: prefix:
+//
+//   - "//mp:hotpath" on a function: the body must not allocate
+//     (hotpathalloc).
+//   - "//mp:guarded-by <field>" on a struct field: accesses require
+//     the named mutex (lockdiscipline).
+//   - "//mp:locked" on a function: callers guarantee the mutex (or
+//     pre-publication exclusivity); guarded accesses inside are legal.
+//   - "//mp:terminal" on a function: every error it constructs must
+//     wrap a terminal sentinel with %w (terminalerr).
+//   - "//mp:polls" on a function: it polls cancellation internally, so
+//     batch loops may rely on it (ctxpoll).
+//   - "//mp:engine" anywhere in a file: opts the file's package into
+//     the engine-scoped ctxpoll loop checks (the real engine packages
+//     are matched by import path; fixtures use the tag).
+//   - "//mp:nolint <reason>" at the end of a line: suppresses every
+//     diagnostic reported on that line. The reason is mandatory; a
+//     bare //mp:nolint is itself a diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppressions.
+	Name string
+	// Doc is the one-line description shown by mplint -help.
+	Doc string
+	// Run reports the analyzer's diagnostics for one package.
+	Run func(*Pass) error
+}
+
+// Pass carries everything one analyzer run needs about one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Path is the package's import path ("multiprefix/internal/core").
+	Path string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, positioned for file:line:col output.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzers is the full mplint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		HotpathAlloc,
+		BarrierDiscipline,
+		LockDiscipline,
+		TerminalErr,
+		CtxPoll,
+	}
+}
+
+// RunPackage runs every analyzer in suite over pkg and returns the
+// surviving diagnostics, with //mp:nolint suppressions applied. A
+// nolint comment lacking a reason is reported as a diagnostic of the
+// synthetic "nolint" analyzer so suppressions stay auditable.
+func RunPackage(pkg *Package, suite []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range suite {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Path:     pkg.Path,
+			diags:    &raw,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	suppressed, bad := suppressions(pkg)
+	kept := raw[:0]
+	for _, d := range raw {
+		if _, ok := suppressed[lineKey{d.Pos.Filename, d.Pos.Line}]; ok {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	kept = append(kept, bad...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// suppressions collects the //mp:nolint lines of a package, and a
+// diagnostic for every nolint that omits its mandatory reason.
+func suppressions(pkg *Package) (map[lineKey]string, []Diagnostic) {
+	m := make(map[lineKey]string)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//mp:nolint")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				reason := strings.TrimSpace(rest)
+				if reason == "" {
+					bad = append(bad, Diagnostic{
+						Analyzer: "nolint",
+						Pos:      pos,
+						Message:  "//mp:nolint requires a reason (\"//mp:nolint <why this is safe>\")",
+					})
+					continue
+				}
+				m[lineKey{pos.Filename, pos.Line}] = reason
+			}
+		}
+	}
+	return m, bad
+}

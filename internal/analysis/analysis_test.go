@@ -1,0 +1,261 @@
+package analysis
+
+// The fixture harness: an offline analogue of x/tools' analysistest.
+// Each fixture package under testdata/src/<name> is type-checked with
+// the same loader machinery mplint uses, one analyzer runs over it,
+// and the diagnostics are matched bidirectionally against the
+// fixture's `// want "regexp"` comments — every diagnostic needs a
+// want on its line, every want needs a diagnostic. Suppression is
+// exercised for free: each fixture carries an //mp:nolint case whose
+// diagnostic must NOT surface.
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// loadFixtures type-checks the named testdata/src packages in order,
+// so a later fixture may import an earlier one by its bare name (the
+// barrieruse -> barrierdef edge). Stdlib imports resolve through the
+// same gc export-data path the real loader uses.
+func loadFixtures(t *testing.T, names ...string) []*Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		byPath:  make(map[string]*listPkg),
+		exports: make(map[string]string),
+		checked: make(map[string]*Package),
+	}
+	ld.gc = importer.ForCompiler(fset, "gc", ld.lookup)
+
+	var pkgs []*Package
+	for _, name := range names {
+		dir := filepath.Join("testdata", "src", name)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("fixture dir %s: %v", dir, err)
+		}
+		var goFiles []string
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".go") {
+				goFiles = append(goFiles, e.Name())
+			}
+		}
+		sort.Strings(goFiles)
+		files, err := ParseDir(fset, dir, goFiles)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", name, err)
+		}
+		tpkg, info, err := Check(fset, name, files, ld)
+		if err != nil {
+			t.Fatalf("type-checking fixture %s: %v", name, err)
+		}
+		p := &Package{
+			Path:  name,
+			Name:  tpkg.Name(),
+			Dir:   dir,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		}
+		ld.checked[name] = p
+		pkgs = append(pkgs, p)
+	}
+	return pkgs
+}
+
+// wantRe matches `// want "<quoted Go string holding a regexp>"`.
+var wantRe = regexp.MustCompile(`// want ("(?:[^"\\]|\\.)*")`)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// collectWants parses the fixture's want comments into positioned
+// expectations.
+func collectWants(t *testing.T, p *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pattern, err := strconv.Unquote(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want string %s: %v", p.Fset.Position(c.Pos()), m[1], err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", p.Fset.Position(c.Pos()), pattern, err)
+				}
+				pos := p.Fset.Position(c.Pos())
+				wants = append(wants, &expectation{
+					file: pos.Filename,
+					line: pos.Line,
+					re:   re,
+					raw:  pattern,
+				})
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs one analyzer over the fixture packages and matches
+// diagnostics against want comments in both directions.
+func checkFixture(t *testing.T, a *Analyzer, names ...string) {
+	t.Helper()
+	for _, p := range loadFixtures(t, names...) {
+		wants := collectWants(t, p)
+		diags, err := RunPackage(p, []*Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, p.Path, err)
+		}
+	diag:
+		for _, d := range diags {
+			for _, w := range wants {
+				if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+					continue
+				}
+				if w.re.MatchString(d.Message) {
+					w.matched = true
+					continue diag
+				}
+			}
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+			}
+		}
+	}
+}
+
+func TestHotpathAllocFixture(t *testing.T) {
+	checkFixture(t, HotpathAlloc, "hotpath")
+}
+
+func TestBarrierDisciplineFixture(t *testing.T) {
+	// barrierdef first: barrieruse imports it. The defining package
+	// carries no want comments — its Await loops must stay silent.
+	checkFixture(t, BarrierDiscipline, "barrierdef", "barrieruse")
+}
+
+func TestLockDisciplineFixture(t *testing.T) {
+	checkFixture(t, LockDiscipline, "lockguard")
+}
+
+func TestTerminalErrFixture(t *testing.T) {
+	checkFixture(t, TerminalErr, "terminal")
+}
+
+func TestCtxPollFixture(t *testing.T) {
+	checkFixture(t, CtxPoll, "ctxloop")
+}
+
+// TestNolintRequiresReason pins the auditability rule: a bare
+// //mp:nolint is itself a diagnostic, and one with a reason
+// suppresses. Inline source, because the bare form cannot carry a
+// want comment on its own line (it would suppress nothing and the
+// harness would see the nolint diagnostic as unexpected).
+func TestNolintRequiresReason(t *testing.T) {
+	const src = `package nolintfix
+
+type T struct{ n int }
+
+func bare() int {
+	t := T{n: 1} //mp:nolint
+	return t.n
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "nolintfix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpkg, info, err := Check(fset, "nolintfix", []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Path: "nolintfix", Name: "nolintfix", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+	diags, err := RunPackage(pkg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the bare-nolint one: %v", len(diags), diags)
+	}
+	if d := diags[0]; d.Analyzer != "nolint" || !strings.Contains(d.Message, "requires a reason") {
+		t.Fatalf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestMplintSelfClean is the meta-test: the full suite over the whole
+// module must report nothing. Every invariant the analyzers encode is
+// either honored by the shipped code or carries an audited //mp:nolint
+// reason — a regression in either direction fails here (and in `make
+// lint`) before it reaches review.
+func TestMplintSelfClean(t *testing.T) {
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader returned no packages")
+	}
+	suite := Analyzers()
+	var all []Diagnostic
+	for _, p := range pkgs {
+		diags, err := RunPackage(p, suite)
+		if err != nil {
+			t.Fatalf("running suite on %s: %v", p.Path, err)
+		}
+		all = append(all, diags...)
+	}
+	for _, d := range all {
+		t.Errorf("repo is not lint-clean: %s", d)
+	}
+	if len(all) == 0 {
+		t.Logf("suite clean over %d packages", len(pkgs))
+	}
+}
+
+// TestAnalyzerMetadata keeps the suite's registry coherent: unique
+// non-empty names (suppression keys and -only selectors) and docs.
+func TestAnalyzerMetadata(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing metadata", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Name == "nolint" {
+			t.Errorf("analyzer name %q collides with the synthetic suppression checker", a.Name)
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("suite has %d analyzers, want 5", len(seen))
+	}
+}

@@ -1,0 +1,238 @@
+package analysis
+
+// Shared annotation extraction and AST utilities for the analyzers.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// annotation tags recognized on function declarations.
+const (
+	tagHotpath  = "//mp:hotpath"
+	tagLocked   = "//mp:locked"
+	tagTerminal = "//mp:terminal"
+	tagPolls    = "//mp:polls"
+	tagEngine   = "//mp:engine"
+	tagGuarded  = "//mp:guarded-by"
+)
+
+// hasTag reports whether a comment group contains a line starting
+// with tag (the tag may be followed by prose on the same line).
+func hasTag(doc *ast.CommentGroup, tag string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if text := c.Text; text == tag || strings.HasPrefix(text, tag+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcTags maps each function declaration in the pass to the set of
+// tags in its doc comment.
+type funcTags struct {
+	hotpath  map[*ast.FuncDecl]bool
+	locked   map[*ast.FuncDecl]bool
+	terminal map[*ast.FuncDecl]bool
+	polls    map[*ast.FuncDecl]bool
+}
+
+func collectFuncTags(files []*ast.File) funcTags {
+	t := funcTags{
+		hotpath:  make(map[*ast.FuncDecl]bool),
+		locked:   make(map[*ast.FuncDecl]bool),
+		terminal: make(map[*ast.FuncDecl]bool),
+		polls:    make(map[*ast.FuncDecl]bool),
+	}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if hasTag(fd.Doc, tagHotpath) {
+				t.hotpath[fd] = true
+			}
+			if hasTag(fd.Doc, tagLocked) {
+				t.locked[fd] = true
+			}
+			if hasTag(fd.Doc, tagTerminal) {
+				t.terminal[fd] = true
+			}
+			if hasTag(fd.Doc, tagPolls) {
+				t.polls[fd] = true
+			}
+		}
+	}
+	return t
+}
+
+// fileHasTag reports whether any comment in the file carries the tag
+// (used by //mp:engine to opt fixture packages into scoped checks).
+func fileHasTag(f *ast.File, tag string) bool {
+	for _, cg := range f.Comments {
+		if hasTag(cg, tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFuncs builds a lookup from any position to the innermost
+// enclosing *ast.FuncDecl of a file set's files. Func literals are
+// attributed to their enclosing declaration: the annotation contract
+// (hotpath, locked, polls) is declared per named function and closures
+// inherit it.
+type enclosingFuncs struct {
+	decls []*ast.FuncDecl
+}
+
+func collectFuncs(files []*ast.File) enclosingFuncs {
+	var e enclosingFuncs
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				e.decls = append(e.decls, fd)
+			}
+		}
+	}
+	return e
+}
+
+func (e enclosingFuncs) at(pos token.Pos) *ast.FuncDecl {
+	for _, fd := range e.decls {
+		if fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// walkStack traverses root, calling fn with each node and the stack of
+// its ancestors (outermost first, not including the node itself). A
+// false return prunes the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		ok := fn(n, stack)
+		if ok {
+			stack = append(stack, n)
+		}
+		return ok
+	})
+}
+
+// inside reports whether any ancestor on the stack is of type N.
+func inside[N ast.Node](stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(N); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName resolves a call expression to (package path, function
+// name) when the callee is a plain identifier or selector bound to a
+// function or method object; ok is false for indirect calls through
+// variables of function type and for builtins.
+func calleeName(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", "", false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return "", "", false
+	}
+	if _, isFn := obj.(*types.Func); !isFn {
+		return "", "", false
+	}
+	path := ""
+	if obj.Pkg() != nil {
+		path = obj.Pkg().Path()
+	}
+	return path, obj.Name(), true
+}
+
+// isBuiltinCall reports whether call invokes a predeclared builtin
+// (len, cap, append, make, new, copy, ...) or is a type conversion.
+func isBuiltinCall(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, ok := info.Uses[fun].(*types.Builtin); ok {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if _, ok := info.Uses[fun.Sel].(*types.Builtin); ok {
+			return true
+		}
+	}
+	return isConversion(info, call)
+}
+
+// isConversion reports whether the call expression is a type
+// conversion (T(x)).
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// isInterface reports whether t's underlying type is an interface
+// (including any), excluding type parameters.
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, isTP := t.(*types.TypeParam); isTP {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// methodRecvNamed resolves a method call's receiver to its named type,
+// following pointers; nil when the call is not a method selection.
+func methodRecvNamed(info *types.Info, call *ast.CallExpr) *types.Named {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return nil
+	}
+	t := selection.Recv()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// callName returns the bare called name for poll-set matching: the
+// method or function identifier, or "" for indirect calls through
+// non-ident expressions.
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

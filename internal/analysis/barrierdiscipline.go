@@ -1,0 +1,123 @@
+package analysis
+
+// barrierdiscipline pins the panic-safety contract of barrier-
+// synchronous workers (DESIGN's degradation story, PR 1 and PR 5):
+// a worker body that arrives at a par.Barrier must guarantee — via a
+// defer installed before the first arrival — that an abort still
+// balances the barrier, either by Drop (one-shot engines) or by
+// DrainAwait of the deterministic remaining arrivals (reusable
+// teams). A body that panics between arrivals without that defer
+// deadlocks every sibling at the next phase.
+
+import (
+	"go/ast"
+)
+
+// BarrierDiscipline is analyzer (2) of the suite: any function that
+// calls Await on a Barrier-named type must contain, lexically before
+// its first Await, a defer whose body mentions Drop or DrainAwait.
+// The package that defines the Barrier type is exempt (the primitive
+// arrives at itself: DrainAwait loops over Await, the pool's run loop
+// recovers per step).
+var BarrierDiscipline = &Analyzer{
+	Name: "barrierdiscipline",
+	Doc:  "barrier arrivals need a defer-reachable Drop/DrainAwait on every panic path",
+	Run:  runBarrierDiscipline,
+}
+
+func runBarrierDiscipline(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBarrierBody(pass, fd.Body)
+			// Func literals are independent worker bodies: a closure
+			// handed to Team.Run must carry its own discipline.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkBarrierBody(pass, fl.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkBarrierBody examines one function body's own statements —
+// nested func literals are checked separately, since each is its own
+// goroutine-visible unit.
+func checkBarrierBody(pass *Pass, body *ast.BlockStmt) {
+	var awaits []*ast.CallExpr
+	deferGuard := false
+	var guardPos = body.End()
+
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if !insideDefer(stack) {
+				return false // separate unit, checked on its own
+			}
+			return true // deferred closures belong to this body's guard
+		case *ast.DeferStmt:
+			if mentionsBarrierRelease(pass, n) {
+				deferGuard = true
+				if n.Pos() < guardPos {
+					guardPos = n.Pos()
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			if name := callName(n); name == "Await" && onBarrier(pass, n) {
+				awaits = append(awaits, n)
+			}
+		}
+		return true
+	})
+
+	for _, call := range awaits {
+		if deferGuard && guardPos < call.Pos() {
+			continue
+		}
+		if deferGuard {
+			pass.Reportf(call.Pos(), "barrier Await before the Drop/DrainAwait defer is installed: a panic between them deadlocks siblings")
+			continue
+		}
+		pass.Reportf(call.Pos(), "barrier Await without a defer-reachable Drop/DrainAwait: a panic in this body deadlocks sibling workers")
+	}
+}
+
+// onBarrier reports whether the call is a method on a type named
+// Barrier defined outside this package.
+func onBarrier(pass *Pass, call *ast.CallExpr) bool {
+	named := methodRecvNamed(pass.Info, call)
+	if named == nil || named.Obj().Name() != "Barrier" {
+		return false
+	}
+	return named.Obj().Pkg() == nil || named.Obj().Pkg() != pass.Pkg
+}
+
+// mentionsBarrierRelease reports whether the deferred call's subtree
+// references Drop or DrainAwait.
+func mentionsBarrierRelease(pass *Pass, d *ast.DeferStmt) bool {
+	found := false
+	ast.Inspect(d.Call, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name := callName(call); (name == "Drop" || name == "DrainAwait") && onBarrier(pass, call) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func insideDefer(stack []ast.Node) bool {
+	return inside[*ast.DeferStmt](stack)
+}

@@ -1,0 +1,91 @@
+package analysis
+
+// TestHotpathAllocCoverage closes the loop between the static and the
+// dynamic halves of the zero-allocation contract: hotpathalloc proves
+// an //mp:hotpath body introduces no new allocation *sites*, and the
+// testing.AllocsPerRun suites prove the warm steady state measures 0
+// allocs/op. This meta-test pins their join — every exported function
+// annotated //mp:hotpath must be exercised by an allocation test in
+// its own package, so the annotation can never outrun the measurement.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestHotpathAllocCoverage(t *testing.T) {
+	root := filepath.Join("..", "..")
+	// dir -> exported //mp:hotpath function names declared there.
+	hot := make(map[string][]string)
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() || !hasTag(fd.Doc, tagHotpath) {
+				continue
+			}
+			dir := filepath.Dir(path)
+			hot[dir] = append(hot[dir], fd.Name.Name)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot) == 0 {
+		t.Fatal("no exported //mp:hotpath functions found; the annotation layer is gone")
+	}
+
+	for dir, names := range hot {
+		// Concatenate the package's allocation tests: any _test.go
+		// that measures with testing.AllocsPerRun.
+		var allocTests strings.Builder
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Contains(string(src), "AllocsPerRun") {
+				allocTests.Write(src)
+			}
+		}
+		body := allocTests.String()
+		sort.Strings(names)
+		for _, name := range names {
+			if !strings.Contains(body, name+"(") {
+				t.Errorf("%s: exported //mp:hotpath func %s has no AllocsPerRun coverage in its package's tests", dir, name)
+			}
+		}
+	}
+}

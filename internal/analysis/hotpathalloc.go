@@ -1,0 +1,279 @@
+package analysis
+
+// hotpathalloc enforces the zero-allocation discipline of the
+// //mp:hotpath kernels and planned run bodies: the runtime claim
+// (TestPooledZeroAllocs, TestPlanZeroAllocs measure 0 allocs/op warm)
+// is pinned statically, so an alloc introduced on a hot path fails
+// `make lint` before it ever reaches a benchmark.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotpathAlloc reports allocation and boxing hazards in functions
+// annotated //mp:hotpath.
+//
+// Flagged inside an annotated body (closures inherit the annotation):
+//
+//   - make/new calls and slice-, map- or pointer-producing composite
+//     literals (&T{...}, []T{...}) — direct heap allocations;
+//   - fmt-family calls — allocation plus interface boxing of every
+//     operand;
+//   - append whose base was not created in the same function by a
+//     capacity-carrying make — growth without preallocation evidence;
+//   - implicit boxing: a concrete (non-interface) value passed to an
+//     interface parameter, assigned to an interface variable, or
+//     converted to an interface without an immediate type assertion
+//     (the any(x).(T) dispatch idiom compiles allocation-free and is
+//     allowed);
+//   - func literals declared inside loops — a closure value per
+//     iteration.
+//
+// Code inside defer statements is exempt: defers run once per call on
+// the cold (typically panic-recovery) edge, not per element.
+type hotpathAllocState struct{ pass *Pass }
+
+// HotpathAlloc is analyzer (1) of the suite.
+var HotpathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "//mp:hotpath functions must not allocate, box operands, or call fmt",
+	Run:  runHotpathAlloc,
+}
+
+func runHotpathAlloc(pass *Pass) error {
+	tags := collectFuncTags(pass.Files)
+	st := hotpathAllocState{pass: pass}
+	for fd := range tags.hotpath {
+		if fd.Body == nil {
+			continue
+		}
+		preallocated := st.capacityMakes(fd.Body)
+		walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+			if _, isDefer := n.(*ast.DeferStmt); isDefer {
+				return false // cold path: once per call, panic edge
+			}
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				st.compositeLit(n, stack)
+			case *ast.CallExpr:
+				st.call(n, stack, preallocated)
+			case *ast.FuncLit:
+				if insideLoop(stack) {
+					pass.Reportf(n.Pos(), "func literal inside a loop allocates a closure per iteration")
+				}
+			case *ast.AssignStmt:
+				st.assign(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// capacityMakes collects identifiers assigned from a three-argument
+// make — the "preallocated capacity evidence" that legitimizes a
+// later append on the same variable.
+func (st hotpathAllocState) capacityMakes(body *ast.BlockStmt) map[types.Object]bool {
+	evidence := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) != 3 {
+				continue
+			}
+			if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fn.Name != "make" {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := st.pass.Info.Defs[id]; obj != nil {
+					evidence[obj] = true
+				} else if obj := st.pass.Info.Uses[id]; obj != nil {
+					evidence[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return evidence
+}
+
+func (st hotpathAllocState) compositeLit(lit *ast.CompositeLit, stack []ast.Node) {
+	pass := st.pass
+	t := pass.Info.Types[lit].Type
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		pass.Reportf(lit.Pos(), "%s literal allocates on the hot path", typeKindName(t))
+		return
+	}
+	// &T{...}: the composite escapes through the pointer.
+	if len(stack) > 0 {
+		if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op == token.AND {
+			pass.Reportf(lit.Pos(), "&composite literal escapes to the heap on the hot path")
+		}
+	}
+}
+
+func typeKindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}
+
+func (st hotpathAllocState) call(call *ast.CallExpr, stack []ast.Node, preallocated map[types.Object]bool) {
+	pass := st.pass
+
+	// Conversions to interface types: allowed only as the immediate
+	// operand of a type assertion or type switch (the monomorphic
+	// dispatch idiom, which the compiler compiles without boxing).
+	if isConversion(pass.Info, call) {
+		if t := pass.Info.Types[call].Type; isInterface(t) && !assertedAway(call, stack) {
+			pass.Reportf(call.Pos(), "conversion to interface boxes the operand on the hot path")
+		}
+		return
+	}
+
+	// Builtins: make/new allocate; append needs capacity evidence.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s allocates on the hot path", id.Name)
+			case "append":
+				st.append(call, preallocated)
+			}
+			return
+		}
+	}
+
+	// fmt family.
+	if path, name, ok := calleeName(pass.Info, call); ok && path == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s allocates and boxes its operands on the hot path", name)
+		return
+	}
+
+	// Implicit boxing at the call boundary: concrete argument, interface
+	// parameter.
+	sig := callSignature(pass.Info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if last, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = last.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if !isInterface(pt) {
+			continue
+		}
+		at := pass.Info.Types[arg].Type
+		if at == nil || isInterface(at) {
+			continue
+		}
+		if _, isTP := at.(*types.TypeParam); isTP {
+			continue
+		}
+		if isUntypedNil(pass.Info, arg) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "concrete value boxed into interface parameter on the hot path")
+	}
+}
+
+func (st hotpathAllocState) append(call *ast.CallExpr, preallocated map[types.Object]bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+		if obj := st.pass.Info.Uses[id]; obj != nil && preallocated[obj] {
+			return
+		}
+	}
+	st.pass.Reportf(call.Pos(), "append without preallocated-capacity evidence (make with explicit cap) on the hot path")
+}
+
+func (st hotpathAllocState) assign(as *ast.AssignStmt) {
+	pass := st.pass
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		// TypeOf, not the Types map: assignment-LHS identifiers are
+		// recorded in Defs/Uses only.
+		lt := pass.Info.TypeOf(as.Lhs[i])
+		rt := pass.Info.TypeOf(as.Rhs[i])
+		if !isInterface(lt) || rt == nil || isInterface(rt) {
+			continue
+		}
+		if _, isTP := rt.(*types.TypeParam); isTP {
+			continue
+		}
+		if isUntypedNil(pass.Info, as.Rhs[i]) {
+			continue
+		}
+		pass.Reportf(as.Rhs[i].Pos(), "concrete value boxed into interface variable on the hot path")
+	}
+}
+
+// assertedAway reports whether the interface conversion is the direct
+// operand of a type assertion or type switch — the any(x).(T) /
+// switch any(x).(type) idiom the compiler optimizes to no allocation.
+func assertedAway(conv *ast.CallExpr, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.TypeAssertExpr:
+			return ast.Unparen(p.X) == conv
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	t := info.Types[call.Fun].Type
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e].Type
+	if t == nil {
+		return true
+	}
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func insideLoop(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}

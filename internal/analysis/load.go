@@ -1,0 +1,222 @@
+package analysis
+
+// The loader: mplint's replacement for go/packages, built from the go
+// tool itself plus the stdlib type checker. One `go list -deps
+// -export -json` invocation yields, for every package reachable from
+// the requested patterns, its source location and — crucially — the
+// build-cache export-data file the compiler produced for it. Module
+// packages are then parsed with go/parser and type-checked from
+// source in dependency order; standard-library imports are satisfied
+// by the gc importer reading that export data, so the whole load
+// works offline with no pre-installed $GOROOT/pkg archives.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, type-checked module package.
+type Package struct {
+	Path  string // import path
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg mirrors the `go list -json` fields the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	Imports    []string
+}
+
+// Load type-checks the module packages matched by patterns (typically
+// "./...") in moduleDir. Test files are excluded — `go list`'s GoFiles
+// holds only the build's compilation unit — so invariants are enforced
+// on shipped code, not on test scaffolding.
+func Load(moduleDir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=Dir,ImportPath,Name,Standard,Export,GoFiles,Imports",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
+	}
+	var pkgs []*listPkg
+	byPath := make(map[string]*listPkg)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		pkgs = append(pkgs, lp)
+		byPath[lp.ImportPath] = lp
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		byPath:  byPath,
+		exports: make(map[string]string),
+		checked: make(map[string]*Package),
+	}
+	for _, lp := range pkgs {
+		if lp.Standard && lp.Export != "" {
+			ld.exports[lp.ImportPath] = lp.Export
+		}
+	}
+	ld.gc = importer.ForCompiler(fset, "gc", ld.lookup)
+
+	var loaded []*Package
+	for _, lp := range pkgs {
+		if lp.Standard {
+			continue
+		}
+		p, err := ld.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		loaded = append(loaded, p)
+	}
+	return loaded, nil
+}
+
+type loader struct {
+	fset    *token.FileSet
+	byPath  map[string]*listPkg
+	exports map[string]string // stdlib import path -> export-data file
+	checked map[string]*Package
+	gc      types.Importer
+}
+
+// lookup feeds the gc importer the export-data file `go list -export`
+// reported for a standard-library package. A path missing from the
+// -deps listing (possible when a later Load call names a package the
+// first sweep never reached) is resolved by one more go list call.
+func (ld *loader) lookup(path string) (io.ReadCloser, error) {
+	exp, ok := ld.exports[path]
+	if !ok {
+		out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+		if err != nil {
+			return nil, fmt.Errorf("no export data for %q: %w", path, err)
+		}
+		exp = strings.TrimSpace(string(out))
+		if exp == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		ld.exports[path] = exp
+	}
+	return os.Open(exp)
+}
+
+// Import satisfies types.Importer for module and stdlib packages
+// alike: module dependencies were type-checked from source first (the
+// deps listing is topologically ordered), stdlib comes from export
+// data.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := ld.checked[path]; ok {
+		return p.Types, nil
+	}
+	if lp, ok := ld.byPath[path]; ok && !lp.Standard {
+		p, err := ld.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return ld.gc.Import(path)
+}
+
+func (ld *loader) check(lp *listPkg) (*Package, error) {
+	if p, ok := ld.checked[lp.ImportPath]; ok {
+		return p, nil
+	}
+	files, err := ParseDir(ld.fset, lp.Dir, lp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	tpkg, info, err := Check(ld.fset, lp.ImportPath, files, ld)
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{
+		Path:  lp.ImportPath,
+		Name:  lp.Name,
+		Dir:   lp.Dir,
+		Fset:  ld.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	ld.checked[lp.ImportPath] = p
+	return p, nil
+}
+
+// ParseDir parses the named files of one directory with comments
+// retained (the annotations live there).
+func ParseDir(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Check type-checks one package's parsed files, returning the package
+// and a fully populated types.Info.
+func Check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return tpkg, info, nil
+}

@@ -1,0 +1,141 @@
+package analysis
+
+// lockdiscipline pins Plan's concurrency contract (PR 4/PR 5): all of
+// the plan's mutable scratch state is serialized by p.mu, taken at the
+// exported entry points; the helper tree below them runs with the lock
+// held. The contract is declared with //mp:guarded-by <mutex> on the
+// struct fields and //mp:locked on the helpers whose callers hold it.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockDiscipline is analyzer (3) of the suite: a field carrying a
+// //mp:guarded-by <mutex> comment may be accessed only in functions
+// that (a) lock that mutex themselves, (b) are annotated //mp:locked
+// (callers hold it, or the value is still unpublished), or (c) have a
+// name ending in "locked"/"Locked" (the conventional suffix). Keyed
+// composite-literal initialization is exempt — the value is not yet
+// shared.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "//mp:guarded-by fields require the named mutex or an //mp:locked context",
+	Run:  runLockDiscipline,
+}
+
+func runLockDiscipline(pass *Pass) error {
+	guarded := guardedFields(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	tags := collectFuncTags(pass.Files)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if tags.locked[fd] || lockedName(fd.Name.Name) {
+				continue
+			}
+			held := lockedMutexes(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s := pass.Info.Selections[sel]
+				if s == nil || s.Kind() != types.FieldVal {
+					return true
+				}
+				v, ok := s.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				mu, isGuarded := guarded[v]
+				if !isGuarded || held[mu] {
+					return true
+				}
+				pass.Reportf(sel.Sel.Pos(),
+					"%s is guarded by %s: access it under %s.Lock(), or annotate this function //mp:locked",
+					v.Name(), mu, mu)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// guardedFields maps field objects to the mutex named in their
+// //mp:guarded-by comment (doc or trailing line comment).
+func guardedFields(pass *Pass) map[*types.Var]string {
+	guarded := make(map[*types.Var]string)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				mu := guardName(fld.Doc)
+				if mu == "" {
+					mu = guardName(fld.Comment)
+				}
+				if mu == "" {
+					continue
+				}
+				for _, name := range fld.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						guarded[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// guardName extracts the mutex name of a //mp:guarded-by comment.
+func guardName(doc *ast.CommentGroup) string {
+	if doc == nil {
+		return ""
+	}
+	for _, c := range doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, tagGuarded+" "); ok {
+			if fields := strings.Fields(rest); len(fields) > 0 {
+				return fields[0]
+			}
+		}
+	}
+	return ""
+}
+
+// lockedMutexes returns the names of mutexes the body locks
+// syntactically: any call of the shape <expr>.<name>.Lock().
+func lockedMutexes(body *ast.BlockStmt) map[string]bool {
+	held := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || callName(call) != "Lock" {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+			held[muSel.Sel.Name] = true
+		} else if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			held[id.Name] = true
+		}
+		return true
+	})
+	return held
+}
+
+func lockedName(name string) bool {
+	return strings.HasSuffix(name, "locked") || strings.HasSuffix(name, "Locked")
+}

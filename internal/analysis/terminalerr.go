@@ -1,0 +1,95 @@
+package analysis
+
+// terminalerr pins the terminal-error classification chain (PR 6's
+// degradation ladder): backend.Terminal and the service's retry logic
+// decide by errors.Is against core.ErrBadInput, context.Canceled and
+// friends, so any constructor on that chain that flattens an error
+// with %v — or mints a fresh one with errors.New — silently converts
+// a terminal failure into a retryable one (or vice versa).
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// TerminalErr is analyzer (4) of the suite. Two rules:
+//
+//  1. Everywhere: an fmt.Errorf whose arguments include an error but
+//     whose (constant-folded) format has no %w verb destroys the
+//     wrapped chain — errors.Is can no longer classify the result.
+//  2. In functions annotated //mp:terminal: every fmt.Errorf must wrap
+//     with %w (the sentinel keeps the classification), and errors.New
+//     is forbidden outside package-level sentinel declarations.
+var TerminalErr = &Analyzer{
+	Name: "terminalerr",
+	Doc:  "terminal-error paths must wrap sentinels with %w, never flatten with %v",
+	Run:  runTerminalErr,
+}
+
+func runTerminalErr(pass *Pass) error {
+	errType := types.Universe.Lookup("error").Type()
+	tags := collectFuncTags(pass.Files)
+	funcs := collectFuncs(pass.Files)
+
+	for _, file := range pass.Files {
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := calleeName(pass.Info, call)
+			if !ok {
+				return true
+			}
+			enclosing := funcs.at(call.Pos())
+			terminal := enclosing != nil && tags.terminal[enclosing]
+
+			switch {
+			case path == "fmt" && name == "Errorf" && len(call.Args) > 0:
+				format, known := constantString(pass.Info, call.Args[0])
+				wraps := known && strings.Contains(format, "%w")
+				if wraps {
+					return true
+				}
+				if known && hasErrorArg(pass.Info, call.Args[1:], errType) {
+					pass.Reportf(call.Pos(), "fmt.Errorf formats an error without %%w: the wrapped chain is lost and errors.Is cannot classify the result")
+					return true
+				}
+				if terminal && known {
+					pass.Reportf(call.Pos(), "fmt.Errorf in an //mp:terminal function must wrap a terminal sentinel with %%w")
+				}
+			case path == "errors" && name == "New" && terminal:
+				pass.Reportf(call.Pos(), "errors.New in an //mp:terminal function mints an unclassifiable error; wrap a sentinel with fmt.Errorf and %%w")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// constantString resolves e to its compile-time string value, folding
+// concatenation of constants; known is false for dynamic formats.
+func constantString(info *types.Info, e ast.Expr) (s string, known bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// hasErrorArg reports whether any argument's static type is assignable
+// to error.
+func hasErrorArg(info *types.Info, args []ast.Expr, errType types.Type) bool {
+	for _, arg := range args {
+		t := info.Types[arg].Type
+		if t == nil {
+			continue
+		}
+		if types.AssignableTo(t, errType) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,24 @@
+// Package barrierdef is the fixture stand-in for the par package: it
+// defines the Barrier type, so its own methods — the primitive
+// arriving at itself — are exempt from barrierdiscipline.
+package barrierdef
+
+// Barrier is a minimal stand-in for par.Barrier.
+type Barrier struct{ n int }
+
+// Await is one arrival.
+func (b *Barrier) Await() {}
+
+// Drop abandons the barrier for the rest of the round.
+func (b *Barrier) Drop() {}
+
+// DrainAwait arrives k more times without doing work.
+func (b *Barrier) DrainAwait(k int) {}
+
+// DrainAll loops Await internally: defining-package code is exempt
+// from the discipline it implements.
+func (b *Barrier) DrainAll() {
+	for i := 0; i < b.n; i++ {
+		b.Await()
+	}
+}

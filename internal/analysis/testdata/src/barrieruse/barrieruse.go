@@ -1,0 +1,45 @@
+// Package barrieruse exercises the barrierdiscipline analyzer from a
+// consumer of the Barrier type.
+package barrieruse
+
+import "barrierdef"
+
+func bad(bar *barrierdef.Barrier) {
+	bar.Await() // want "barrier Await without a defer-reachable Drop/DrainAwait"
+}
+
+func goodDrain(bar *barrierdef.Barrier) {
+	done := 0
+	defer func() { bar.DrainAwait(2 - done) }()
+	bar.Await()
+	done++
+	bar.Await()
+	done++
+}
+
+func goodDrop(bar *barrierdef.Barrier) {
+	defer bar.Drop()
+	bar.Await()
+}
+
+func lateGuard(bar *barrierdef.Barrier) {
+	bar.Await() // want "barrier Await before the Drop/DrainAwait defer is installed"
+	defer bar.Drop()
+	bar.Await()
+}
+
+// worker bodies handed to a team runner are independent units: each
+// closure needs its own discipline.
+func worker(run func(func(int)), bar *barrierdef.Barrier) {
+	run(func(w int) {
+		bar.Await() // want "barrier Await without a defer-reachable Drop/DrainAwait"
+	})
+	run(func(w int) {
+		defer bar.Drop()
+		bar.Await()
+	})
+}
+
+func suppressed(bar *barrierdef.Barrier) {
+	bar.Await() //mp:nolint fixture: the surrounding harness guarantees Drop on panic
+}

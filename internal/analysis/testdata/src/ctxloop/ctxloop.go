@@ -1,0 +1,87 @@
+// Package ctxloop exercises the ctxpoll analyzer. The file-level
+// engine tag opts this fixture into the engine-scoped loop checks.
+//
+//mp:engine
+package ctxloop
+
+import (
+	"context"
+	"fmt"
+)
+
+const cancelStride = 8192
+
+func work(v []int) int {
+	total := 0
+	for _, x := range v {
+		total += x
+	}
+	return total
+}
+
+//mp:polls
+func pollHelper(ctx context.Context) error { return ctx.Err() }
+
+func badBatch(ctx context.Context, dsts, srcs [][]int) {
+	for k := range srcs {
+		dsts[k][0] = work(srcs[k]) // want "batch loop over vectors does real work without polling"
+	}
+}
+
+func goodBatch(ctx context.Context, dsts, srcs [][]int) error {
+	for k := range srcs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		dsts[k][0] = work(srcs[k])
+	}
+	return nil
+}
+
+func goodViaHelper(ctx context.Context, dsts, srcs [][]int) error {
+	for k := range srcs {
+		if err := pollHelper(ctx); err != nil {
+			return err
+		}
+		dsts[k][0] = work(srcs[k])
+	}
+	return nil
+}
+
+// validation-only loops — every call sits inside a return — are
+// exempt: they finish in microseconds and precede the real work.
+func validateOnly(srcs [][]int) error {
+	for k := range srcs {
+		if len(srcs[k]) == 0 {
+			return fmt.Errorf("ctxloop: empty vector %d", k)
+		}
+	}
+	return nil
+}
+
+func badStride(n int, v []int) int {
+	total := 0
+	for lo := 0; lo < n; lo += cancelStride {
+		total += work(v) // want "cancel-stride loop does not poll cancellation"
+	}
+	return total
+}
+
+func goodStride(ctx context.Context, n int, v []int) (int, error) {
+	total := 0
+	for lo := 0; lo < n; lo += cancelStride {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total += work(v)
+	}
+	return total, nil
+}
+
+func detached() context.Context {
+	return context.Background() // want "context.Background\\(\\) detaches library work"
+}
+
+func suppressedBase() context.Context {
+	return context.Background() //mp:nolint fixture: process-lifetime base context
+}

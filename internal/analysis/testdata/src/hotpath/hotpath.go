@@ -1,0 +1,101 @@
+// Package hotpath exercises the hotpathalloc analyzer: every hazard
+// class it reports, the idioms it must accept, and suppression.
+package hotpath
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+func sink(v any) { _ = v }
+
+//mp:hotpath
+func allocates(n int) []int {
+	out := make([]int, n) // want "make allocates on the hot path"
+	_ = new(pair)         // want "new allocates on the hot path"
+	return out
+}
+
+//mp:hotpath
+func literals() {
+	_ = []int{1, 2, 3}   // want "slice literal allocates on the hot path"
+	_ = map[string]int{} // want "map literal allocates on the hot path"
+	_ = &pair{a: 1}      // want "escapes to the heap on the hot path"
+	_ = pair{a: 1, b: 2} // plain struct literal stays on the stack
+}
+
+//mp:hotpath
+func callsFmt(x int) {
+	fmt.Println(x) // want "fmt.Println allocates and boxes its operands"
+}
+
+//mp:hotpath
+func boxes(x int) {
+	sink(x) // want "concrete value boxed into interface parameter"
+	var v any
+	v = x   // want "concrete value boxed into interface variable"
+	sink(v) // passing an interface to an interface parameter is box-free
+}
+
+//mp:hotpath
+func appends(xs []int) []int {
+	out := make([]int, 0, len(xs)) // want "make allocates on the hot path"
+	for _, x := range xs {
+		out = append(out, x) // capacity evidence: the 3-arg make above
+	}
+	xs = append(xs, 1) // want "append without preallocated-capacity evidence"
+	return out
+}
+
+//mp:hotpath
+func closures() int {
+	total := 0
+	for i := 0; i < 3; i++ {
+		f := func() int { return i } // want "func literal inside a loop"
+		total += f()
+	}
+	return total
+}
+
+//mp:hotpath
+func boxConv(x int64) any {
+	return any(x) // want "conversion to interface boxes the operand"
+}
+
+// dispatch is the monomorphic-kernel idiom the engines rely on: an
+// interface conversion consumed immediately by a type assertion or
+// type switch compiles without boxing and must be accepted.
+//
+//mp:hotpath
+func dispatch(v []int64) int {
+	if s, ok := any(v).([]int64); ok {
+		return len(s)
+	}
+	switch s := any(v).(type) {
+	case []int64:
+		return len(s)
+	}
+	return 0
+}
+
+// deferred allocations sit on the cold once-per-call panic edge, not
+// the per-element path, and are exempt.
+//
+//mp:hotpath
+func deferred() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("hotpath: recovered: %v", r)
+		}
+	}()
+	return nil
+}
+
+// untagged functions may allocate freely.
+func untagged(n int) []int {
+	return make([]int, n)
+}
+
+//mp:hotpath
+func suppressed() []int {
+	return make([]int, 8) //mp:nolint fixture: one-time setup allocation, measured cold
+}

@@ -1,0 +1,45 @@
+// Package lockguard exercises the lockdiscipline analyzer.
+package lockguard
+
+import "sync"
+
+// Plan is the fixture stand-in for backend.Plan.
+type Plan struct {
+	mu sync.Mutex
+	//mp:guarded-by mu
+	state int
+	other int // unguarded: free access
+}
+
+func (p *Plan) Good() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state
+}
+
+func (p *Plan) Bad() int {
+	return p.state // want "state is guarded by mu"
+}
+
+// helperLocked relies on the locked-suffix convention.
+func (p *Plan) helperLocked() int { return p.state }
+
+// tagged is trusted via the annotation.
+//
+//mp:locked
+func (p *Plan) tagged() int { return p.state }
+
+func (p *Plan) Unguarded() int { return p.other }
+
+// closures inherit the enclosing function's qualification: Good2 locks
+// mu, so the literal's access is fine.
+func (p *Plan) Good2() func() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f := func() int { return p.state }
+	return f
+}
+
+func (p *Plan) suppressed() int {
+	return p.state //mp:nolint fixture: read under an external coarse lock
+}

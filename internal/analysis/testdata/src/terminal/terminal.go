@@ -1,0 +1,50 @@
+// Package terminal exercises the terminalerr analyzer.
+package terminal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is a package-level sentinel: errors.New here is the intended
+// way to mint it.
+var ErrBad = errors.New("terminal: bad input")
+
+func flatten(err error) error {
+	return fmt.Errorf("wrapped: %v", err) // want "fmt.Errorf formats an error without %w"
+}
+
+func flattenConcat(err error) error {
+	const prefix = "terminal: "
+	return fmt.Errorf(prefix+"%v", err) // want "fmt.Errorf formats an error without %w"
+}
+
+func wrap(err error) error {
+	return fmt.Errorf("wrapped: %w", err) // keeps the chain
+}
+
+func noErrArg(n int) error {
+	return fmt.Errorf("bad count %d", n) // untagged function, no error arg: fine
+}
+
+// validate classifies its failures terminally: every constructed error
+// must keep an errors.Is-able sentinel in the chain.
+//
+//mp:terminal
+func validate(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative %d", n) // want "must wrap a terminal sentinel"
+	}
+	if n > 100 {
+		return errors.New("too big") // want "errors.New in an //mp:terminal function"
+	}
+	if n == 13 {
+		return fmt.Errorf("unlucky %d: %w", n, ErrBad)
+	}
+	return nil
+}
+
+//mp:terminal
+func suppressed() error {
+	return errors.New("one-off") //mp:nolint fixture: pre-existing API error text promise
+}

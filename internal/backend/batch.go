@@ -30,12 +30,16 @@ import (
 // computed internally but not returned — use ReduceBatch for them. The
 // destination vectors must not overlap each other, the sources, or
 // plan storage. On error the contents of dsts are unspecified.
+//
+//mp:hotpath
 func (p *Plan[T]) RunBatch(dsts, srcs [][]T) error {
 	return p.RunBatchCall(Call{}, dsts, srcs)
 }
 
 // RunBatchCall is RunBatch under per-call overrides: the batch runs
 // with c's context and fault hook in place of the plan Config's.
+//
+//mp:hotpath
 func (p *Plan[T]) RunBatchCall(c Call, dsts, srcs [][]T) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -46,11 +50,15 @@ func (p *Plan[T]) RunBatchCall(c Call, dsts, srcs [][]T) error {
 // ReduceBatch evaluates each srcs[k] (length n) against the planned
 // label structure, writing its per-label reductions into dsts[k]
 // (length m). The same storage and error rules as RunBatch apply.
+//
+//mp:hotpath
 func (p *Plan[T]) ReduceBatch(dsts, srcs [][]T) error {
 	return p.ReduceBatchCall(Call{}, dsts, srcs)
 }
 
 // ReduceBatchCall is ReduceBatch under per-call overrides.
+//
+//mp:hotpath
 func (p *Plan[T]) ReduceBatchCall(c Call, dsts, srcs [][]T) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -78,6 +86,7 @@ func (p *Plan[T]) batch(dsts, srcs [][]T, withMulti bool) error {
 	return err
 }
 
+//mp:locked
 func (p *Plan[T]) checkBatch(dsts, srcs [][]T, dstLen int) error {
 	if p.closed {
 		return fmt.Errorf("%w: batch run on a closed Plan", core.ErrBadInput)
@@ -98,6 +107,9 @@ func (p *Plan[T]) checkBatch(dsts, srcs [][]T, dstLen int) error {
 
 // runBatch dispatches one validated batch to the plan's execution
 // strategy.
+//
+//mp:locked
+//mp:polls
 func (p *Plan[T]) runBatch(dsts, srcs [][]T, withMulti bool) error {
 	if len(srcs) == 0 {
 		return nil
@@ -144,6 +156,8 @@ func (p *Plan[T]) runBatch(dsts, srcs [][]T, withMulti bool) error {
 // the caller's destinations. Also the batch fallback for degraded auto
 // plans, which lazily allocates the reduction scratch a buffers- or
 // vector-backed plan doesn't otherwise carry.
+//
+//mp:locked
 func (p *Plan[T]) serialBatch(dsts, srcs [][]T, withMulti bool) (err error) {
 	defer recoverPlanPanic("plan/serial", &err)
 	if withMulti && len(p.red) != p.m {
@@ -178,6 +192,8 @@ func (p *Plan[T]) serialBatch(dsts, srcs [][]T, withMulti bool) (err error) {
 
 // sortedSerialBatch is the fused single-worker sorted batch: one fused
 // segmented scan per vector over the plan-time permutation.
+//
+//mp:locked
 func (p *Plan[T]) sortedSerialBatch(dsts, srcs [][]T, withMulti bool) (err error) {
 	defer recoverPlanPanic("plan/sorted", &err)
 	fast := p.op.FastKind(p.cfg.FaultHook)
@@ -207,6 +223,8 @@ func (p *Plan[T]) sortedSerialBatch(dsts, srcs [][]T, withMulti bool) (err error
 }
 
 // teamBatch drives one team round for the whole batch.
+//
+//mp:locked
 func (p *Plan[T]) teamBatch(body func(w int, bar *par.Barrier), dsts, srcs [][]T, withMulti bool) error {
 	p.batchDsts, p.batchSrcs = dsts, srcs
 	p.runMulti = withMulti
@@ -223,6 +241,8 @@ func (p *Plan[T]) teamBatch(body func(w int, bar *par.Barrier), dsts, srcs [][]T
 // mergeInto is the chunked engine's pass 3 (exclusive scan across
 // chunks per label) into an arbitrary reduction target, leaving each
 // chunk's bucket slot holding its offset.
+//
+//mp:locked
 func (p *Plan[T]) mergeInto(red []T) {
 	hook := p.cfg.FaultHook
 	core.FillIdentity(p.op, red)
@@ -246,6 +266,8 @@ func (p *Plan[T]) mergeInto(red []T) {
 // next vector's local pass: apply only reads this worker's own offset
 // buckets and writes its own range of the previous destination, while
 // the next local pass resets only this worker's own buckets.
+//
+//mp:locked
 func (p *Plan[T]) chunkBatch(w int, inner *par.Barrier) {
 	total := 2 * len(p.batchSrcs)
 	done := 0
@@ -313,6 +335,8 @@ func (p *Plan[T]) chunkBatch(w int, inner *par.Barrier) {
 // orders the handoff; the next vector's shard scan starts only after
 // this worker's rescan, so the w-indexed carry slots are never written
 // while another shard still reads its own.
+//
+//mp:locked
 func (p *Plan[T]) sortedBatch(w int, inner *par.Barrier) {
 	total := 2 * len(p.batchSrcs)
 	done := 0

@@ -165,6 +165,16 @@ func TestRunBatchZeroAllocs(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
+		runBatchCall := func() {
+			if err := plan.RunBatchCall(Call{}, multiDsts, srcs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		reduceBatchCall := func() {
+			if err := plan.ReduceBatchCall(Call{}, redDsts, srcs); err != nil {
+				t.Fatal(err)
+			}
+		}
 		runBatch()
 		reduceBatch() // warm the team and any lazy scratch
 		if allocs := testing.AllocsPerRun(5, runBatch); allocs != 0 {
@@ -172,6 +182,14 @@ func TestRunBatchZeroAllocs(t *testing.T) {
 		}
 		if allocs := testing.AllocsPerRun(5, reduceBatch); allocs != 0 {
 			t.Errorf("%s/w%d: ReduceBatch %.1f allocs/run, want 0", tc.name, tc.cfg.Workers, allocs)
+		}
+		// The per-call override variants are //mp:hotpath too: the
+		// config save/restore must stay on the stack.
+		if allocs := testing.AllocsPerRun(5, runBatchCall); allocs != 0 {
+			t.Errorf("%s/w%d: RunBatchCall %.1f allocs/run, want 0", tc.name, tc.cfg.Workers, allocs)
+		}
+		if allocs := testing.AllocsPerRun(5, reduceBatchCall); allocs != 0 {
+			t.Errorf("%s/w%d: ReduceBatchCall %.1f allocs/run, want 0", tc.name, tc.cfg.Workers, allocs)
 		}
 		plan.Close()
 	}

@@ -78,25 +78,31 @@ type Plan[T any] struct {
 	exec     planKind
 	fallback bool // auto: degrade to the serial pass on internal failure
 	op       core.Op[T]
-	cfg      core.Config
-	n, m     int
-	classes  int
-	labels   []int
+	// cfg is swapped by per-call overrides and restored on return.
+	//mp:guarded-by mu
+	cfg     core.Config
+	n, m    int
+	classes int
+	labels  []int
 
-	// serial / chunked result storage
+	// serial / chunked result storage, overwritten by every evaluation
+	//mp:guarded-by mu
 	multi []T
-	red   []T
+	//mp:guarded-by mu
+	red []T
 
 	// chunked state, mirroring core's pooled chunkRunner with the
 	// first-touch discovery hoisted to plan time
-	workers   int
-	buckets   [][]T
-	touched   [][]int
-	team      *par.Team
-	guard     planGuard
-	fast      core.FastOp
-	runMulti  bool // current run wants Multi (read by worker bodies)
-	values    []T  // current run's values (read by worker bodies)
+	workers int
+	buckets [][]T
+	touched [][]int
+	team    *par.Team
+	guard   planGuard
+	fast    core.FastOp
+	//mp:guarded-by mu
+	runMulti bool // current run wants Multi (read by worker bodies)
+	//mp:guarded-by mu
+	values    []T // current run's values (read by worker bodies)
 	localBody func(w int, bar *par.Barrier)
 	applyBody func(w int, bar *par.Barrier)
 
@@ -114,10 +120,12 @@ type Plan[T any] struct {
 	sortedApplyBody      func(w int, bar *par.Barrier)
 
 	// batched execution state (read by the batch team bodies)
+	//mp:guarded-by mu
 	batchDsts, batchSrcs [][]T
-	batchNeedApply       bool // written by worker 0 between barriers
-	chunkBatchBody       func(w int, bar *par.Barrier)
-	sortedBatchBody      func(w int, bar *par.Barrier)
+	//mp:guarded-by mu
+	batchNeedApply  bool // written by worker 0 between barriers
+	chunkBatchBody  func(w int, bar *par.Barrier)
+	sortedBatchBody func(w int, bar *par.Barrier)
 
 	// spinetree / parallel delegate state
 	buf     *core.Buffers[T]
@@ -129,6 +137,7 @@ type Plan[T any] struct {
 	vrunBatch    func(dsts, srcs [][]T) error
 	vreduceBatch func(dsts, srcs [][]T) error
 
+	//mp:guarded-by mu
 	closed bool
 }
 
@@ -261,6 +270,8 @@ func (b impl[T]) Plan(op core.Op[T], labels []int, m int, cfg core.Config) (*Pla
 // chunk's touched-label list (first-touch order, normally discovered
 // per run with O(m) seen bookkeeping), per-chunk bucket storage, and
 // the persistent worker team with prebound bodies.
+//
+//mp:locked
 func (p *Plan[T]) prepareChunks() {
 	p.workers = core.ChunkWorkers(p.cfg.Workers, p.n)
 	p.buckets = make([][]T, p.workers)
@@ -309,6 +320,8 @@ func (p *Plan[T]) prepareVector() error {
 
 // bindVecPlan builds the vecmp.Plan at the machine element type E
 // (== T) and binds the monomorphic evaluation closures.
+//
+//mp:locked
 func bindVecPlan[E vector.Elem, T any](p *Plan[T]) error {
 	eop, ok := any(p.op).(core.Op[E])
 	if !ok {
@@ -380,6 +393,7 @@ func (p *Plan[T]) Close() {
 	}
 }
 
+//mp:locked
 func (p *Plan[T]) checkRun(values []T) error {
 	if p.closed {
 		return fmt.Errorf("%w: Run on a closed Plan", core.ErrBadInput)
@@ -427,6 +441,8 @@ type Call struct {
 // the previous config for restoring. Callers hold p.mu, so the swap
 // is invisible to other goroutines; team worker bodies read p.cfg
 // only inside rounds bracketed by the call.
+//
+//mp:locked
 func (p *Plan[T]) override(c Call) core.Config {
 	old := p.cfg
 	if c.Ctx != nil {
@@ -440,6 +456,8 @@ func (p *Plan[T]) override(c Call) core.Config {
 
 // Run evaluates the full multiprefix over values. The Result aliases
 // plan-owned storage, valid until the next call on this plan.
+//
+//mp:hotpath
 func (p *Plan[T]) Run(values []T) (core.Result[T], error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -447,6 +465,8 @@ func (p *Plan[T]) Run(values []T) (core.Result[T], error) {
 }
 
 // RunCall is Run under per-call overrides.
+//
+//mp:hotpath
 func (p *Plan[T]) RunCall(c Call, values []T) (core.Result[T], error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -454,6 +474,12 @@ func (p *Plan[T]) RunCall(c Call, values []T) (core.Result[T], error) {
 	return p.run(values)
 }
 
+// run dispatches one full-multiprefix evaluation to the planned
+// engine, falling back to serial on non-terminal failure. Callers hold
+// p.mu. Every engine polls p.cfg.Ctx at cancel-stride granularity.
+//
+//mp:locked
+//mp:polls
 func (p *Plan[T]) run(values []T) (core.Result[T], error) {
 	if err := p.checkRun(values); err != nil {
 		return core.Result[T]{}, err
@@ -492,6 +518,8 @@ func (p *Plan[T]) run(values []T) (core.Result[T], error) {
 
 // Reduce evaluates the reductions-only multireduce over values. The
 // slice aliases plan-owned storage.
+//
+//mp:hotpath
 func (p *Plan[T]) Reduce(values []T) ([]T, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -499,6 +527,8 @@ func (p *Plan[T]) Reduce(values []T) ([]T, error) {
 }
 
 // ReduceCall is Reduce under per-call overrides.
+//
+//mp:hotpath
 func (p *Plan[T]) ReduceCall(c Call, values []T) ([]T, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -506,6 +536,10 @@ func (p *Plan[T]) ReduceCall(c Call, values []T) ([]T, error) {
 	return p.reduce(values)
 }
 
+// reduce dispatches one reductions-only evaluation; see run.
+//
+//mp:locked
+//mp:polls
 func (p *Plan[T]) reduce(values []T) ([]T, error) {
 	if err := p.checkRun(values); err != nil {
 		return nil, err
@@ -556,6 +590,8 @@ func (p *Plan[T]) reduce(values []T) ([]T, error) {
 // pass over p.multi/p.red (allocated lazily: the auto-parallel plan
 // normally keeps its storage in p.buf). Like the one-shot Fallback,
 // the retry is hook-free.
+//
+//mp:locked
 func (p *Plan[T]) fallbackSerial(values []T, withMulti bool) (core.Result[T], error) {
 	if len(p.multi) != p.n || len(p.red) != p.m {
 		p.multi = make([]T, p.n)
@@ -584,6 +620,8 @@ func recoverPlanPanic(engine string, err *error) {
 // one-shot serial engine it never observes fault hooks; with a
 // context set it runs in CancelStride segments, polling at each
 // boundary.
+//
+//mp:locked
 func (p *Plan[T]) runSerial(values []T, withMulti bool) (err error) {
 	defer recoverPlanPanic("plan/serial", &err)
 	core.FillIdentity(p.op, p.red)
@@ -614,6 +652,8 @@ func (p *Plan[T]) runSerial(values []T, withMulti bool) (err error) {
 // plan-time partitions and touched lists, pass 3 (merge) on the
 // calling goroutine — the same four-pass structure, panic recovery
 // and cancellation polling as the one-shot engine.
+//
+//mp:locked
 func (p *Plan[T]) runChunked(values []T, withMulti bool) error {
 	p.values = values
 	p.runMulti = withMulti
@@ -652,6 +692,8 @@ func (p *Plan[T]) runChunked(values []T, withMulti bool) error {
 // buckets to the identity (the plan-time touched list replaces the
 // one-shot engine's per-run first-touch discovery), then the bucket
 // pass in CancelStride segments.
+//
+//mp:locked
 func (p *Plan[T]) chunkLocal(w int, _ *par.Barrier) {
 	defer func() {
 		if rec := recover(); rec != nil {
@@ -682,6 +724,8 @@ func (p *Plan[T]) chunkLocal(w int, _ *par.Barrier) {
 // chunkApply is pass 4 for one worker: add the chunk's offsets onto
 // its local prefix sums. Chunk 0's offsets are the identity, so
 // worker 0 idles.
+//
+//mp:locked
 func (p *Plan[T]) chunkApply(w int, _ *par.Barrier) {
 	if w == 0 {
 		return
@@ -708,6 +752,8 @@ func (p *Plan[T]) chunkApply(w int, _ *par.Barrier) {
 // runPram executes one simulated PRAM run. The simulator builds its
 // machine per run, so this path amortizes only validation; it exists
 // so study code can drive repeated traffic through the same Plan API.
+//
+//mp:locked
 func (p *Plan[T]) runPram(values []T, withMulti bool) (core.Result[T], error) {
 	procs := par.ClampWorkers(p.cfg.Workers)
 	vs := any(values).([]int64)

@@ -252,6 +252,16 @@ func TestPlanZeroAllocs(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
+		runCall := func() {
+			if _, err := plan.RunCall(Call{}, values); err != nil {
+				t.Fatal(err)
+			}
+		}
+		reduceCall := func() {
+			if _, err := plan.ReduceCall(Call{}, values); err != nil {
+				t.Fatal(err)
+			}
+		}
 		run()
 		reduce() // warm plan-owned buffers and the worker team
 		if allocs := testing.AllocsPerRun(5, run); allocs != 0 {
@@ -259,6 +269,14 @@ func TestPlanZeroAllocs(t *testing.T) {
 		}
 		if allocs := testing.AllocsPerRun(5, reduce); allocs != 0 {
 			t.Errorf("%s: Reduce %.1f allocs/run, want 0", tc.name, allocs)
+		}
+		// The per-call override variants are //mp:hotpath too: the
+		// config save/restore must stay on the stack.
+		if allocs := testing.AllocsPerRun(5, runCall); allocs != 0 {
+			t.Errorf("%s: RunCall %.1f allocs/run, want 0", tc.name, allocs)
+		}
+		if allocs := testing.AllocsPerRun(5, reduceCall); allocs != 0 {
+			t.Errorf("%s: ReduceCall %.1f allocs/run, want 0", tc.name, allocs)
 		}
 		plan.Close()
 	}

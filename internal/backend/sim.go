@@ -49,6 +49,7 @@ func labels32(labels []int, m int) ([]int32, error) {
 // that explicitly asks for the paper's test gets it.
 func vcfg(cfg core.Config) vecmp.Config {
 	return vecmp.Config{
+		Ctx:             cfg.Ctx,
 		RowLength:       cfg.RowLength,
 		MarkerSpineTest: cfg.SpineTest == core.SpineTestMarker,
 	}

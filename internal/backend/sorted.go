@@ -36,6 +36,8 @@ import (
 // prepareSorted builds the plan-time sorted structures. With one
 // worker the plan runs the serial fused scan; with more it also builds
 // the shard decomposition, carry slots and the persistent team.
+//
+//mp:locked
 func (p *Plan[T]) prepareSorted() error {
 	if p.n > math.MaxInt32 {
 		return fmt.Errorf("%w: n=%d exceeds the sorted engine's %d-element limit", core.ErrBadInput, p.n, math.MaxInt32)
@@ -67,6 +69,8 @@ func (p *Plan[T]) prepareSorted() error {
 
 // runSorted evaluates one value vector through the planned sorted
 // engine, into p.multi (when withMulti) and p.red.
+//
+//mp:locked
 func (p *Plan[T]) runSorted(values []T, withMulti bool) (err error) {
 	defer recoverPlanPanic("plan/sorted", &err)
 	var multi []T
@@ -113,6 +117,8 @@ func (p *Plan[T]) runSorted(values []T, withMulti bool) (err error) {
 
 // sortedScan is pass 1 for one worker. The body never touches the
 // team's inner barrier, so a failed run leaves the team healthy.
+//
+//mp:locked
 func (p *Plan[T]) sortedScan(w int, _ *par.Barrier) {
 	defer func() {
 		if rec := recover(); rec != nil {
@@ -134,6 +140,8 @@ func (p *Plan[T]) sortedScan(w int, _ *par.Barrier) {
 // sortedApply is pass 2 for one worker: rescan the leading partial
 // run's portion with the stitched carry-in. Shards without a leading
 // partial idle.
+//
+//mp:locked
 func (p *Plan[T]) sortedApply(w int, _ *par.Barrier) {
 	defer func() {
 		if rec := recover(); rec != nil {

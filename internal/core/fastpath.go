@@ -49,11 +49,14 @@ func (op Op[T]) fastKind(hook FaultHook) FastOp {
 // asI64 and asF64 view a []T as its concrete element type; nil when T
 // is a different type (or when the slice is nil, which callers treat
 // the same way).
+//
+//mp:hotpath
 func asI64[T any](s []T) []int64 {
 	v, _ := any(s).([]int64)
 	return v
 }
 
+//mp:hotpath
 func asF64[T any](s []T) []float64 {
 	v, _ := any(s).([]float64)
 	return v
@@ -63,6 +66,8 @@ func asF64[T any](s []T) []float64 {
 // monomorphic kernel. multi may be nil (reduce-only); buckets must be
 // pre-filled with the identity. A false return means the caller must
 // run the generic loop.
+//
+//mp:hotpath
 func tryBucketLoop[T any](fast FastOp, values []T, labels []int, multi, buckets []T) bool {
 	if fast == FastNone {
 		return false
@@ -76,6 +81,7 @@ func tryBucketLoop[T any](fast FastOp, values []T, labels []int, multi, buckets 
 	return false
 }
 
+//mp:hotpath
 func bucketKernel[E fastElem](fast FastOp, values []E, labels []int, multi, buckets []E) bool {
 	switch {
 	case fast == FastAdd && multi == nil:
@@ -130,6 +136,7 @@ func tryChunkLocal[T any](fast FastOp, ident T, values []T, labels []int, multi,
 	return order, false
 }
 
+//mp:hotpath
 func chunkLocalKernel[E fastElem](fast FastOp, ident E, values []E, labels []int, multi, buckets []E, seen []bool, order []int, lo, hi int) ([]int, bool) {
 	switch fast {
 	case FastAdd:
@@ -138,7 +145,7 @@ func chunkLocalKernel[E fastElem](fast FastOp, ident E, values []E, labels []int
 			if !seen[l] {
 				seen[l] = true
 				buckets[l] = ident
-				order = append(order, l)
+				order = append(order, l) //mp:nolint at most m first-touches per run; warm pooled runs reuse the grown capacity (TestPooledZeroAllocs pins 0 allocs)
 			}
 			s := buckets[l]
 			if multi != nil {
@@ -152,7 +159,7 @@ func chunkLocalKernel[E fastElem](fast FastOp, ident E, values []E, labels []int
 			if !seen[l] {
 				seen[l] = true
 				buckets[l] = ident
-				order = append(order, l)
+				order = append(order, l) //mp:nolint at most m first-touches per run; warm pooled runs reuse the grown capacity (TestPooledZeroAllocs pins 0 allocs)
 			}
 			s := buckets[l]
 			if multi != nil {
@@ -183,6 +190,7 @@ func tryChunkApply[T any](fast FastOp, labels []int, offsets, multi []T, lo, hi 
 	return false
 }
 
+//mp:hotpath
 func chunkApplyKernel[E fastElem](fast FastOp, labels []int, offsets, multi []E, lo, hi int) bool {
 	switch fast {
 	case FastAdd:
@@ -218,6 +226,7 @@ func (a *arena[T]) tryRowsumsCol(fast FastOp, values []T, c, klo, khi int) bool 
 	return false
 }
 
+//mp:hotpath
 func rowsumsKernel[E fastElem](fast FastOp, gp, m, c, klo, khi int, spine []int32, rowsum, values []E, isSpine []bool) bool {
 	switch fast {
 	case FastAdd:
@@ -266,6 +275,7 @@ func (a *arena[T]) trySpinesumsRow(fast FastOp, op Op[T], test SpineTest, ilo, i
 	return false
 }
 
+//mp:hotpath
 func spinesumsKernel[E fastElem](fast FastOp, test SpineTest, ident E, m, ilo, ihi int, spine []int32, rowsum, spinesum []E, isSpine []bool) bool {
 	if fast != FastAdd && fast != FastMax {
 		return false
@@ -308,6 +318,7 @@ func (a *arena[T]) tryMultisumsCol(fast FastOp, values, multi []T, c, klo, khi i
 	return false
 }
 
+//mp:hotpath
 func multisumsKernel[E fastElem](fast FastOp, gp, m, c, klo, khi int, spine []int32, spinesum, values, multi []E) bool {
 	switch fast {
 	case FastAdd:
@@ -349,6 +360,7 @@ func (a *arena[T]) tryReductions(fast FastOp, red []T) bool {
 	return false
 }
 
+//mp:hotpath
 func reduceKernel[E fastElem](fast FastOp, red, spinesum, rowsum []E) bool {
 	switch fast {
 	case FastAdd:

@@ -209,7 +209,7 @@ func (r *parRunner[T]) sync(bar *par.Barrier, phase string, w int) {
 	if r.hook != nil {
 		r.hook.Barrier(phase, w)
 	}
-	bar.Await()
+	bar.Await() //mp:nolint every engine body runs under guarded(), whose defer Drops the barrier on panic
 }
 
 // combine applies the operator, reporting the element to the fault

@@ -110,6 +110,8 @@ func (b *Buffers[T]) dropTeam() {
 }
 
 // Serial is Serial drawing result storage from b.
+//
+//mp:hotpath
 func (b *Buffers[T]) Serial(op Op[T], values []T, labels []int, m int) (res Result[T], err error) {
 	if err := checkInputs(op, values, labels, m); err != nil {
 		return Result[T]{}, err
@@ -129,6 +131,8 @@ func (b *Buffers[T]) Serial(op Op[T], values []T, labels []int, m int) (res Resu
 }
 
 // SerialReduce is SerialReduce drawing result storage from b.
+//
+//mp:hotpath
 func (b *Buffers[T]) SerialReduce(op Op[T], values []T, labels []int, m int) (out []T, err error) {
 	if err := checkInputs(op, values, labels, m); err != nil {
 		return nil, err
@@ -146,6 +150,8 @@ func (b *Buffers[T]) SerialReduce(op Op[T], values []T, labels []int, m int) (ou
 }
 
 // Spinetree is Spinetree reusing b's arena and result storage.
+//
+//mp:hotpath
 func (b *Buffers[T]) Spinetree(op Op[T], values []T, labels []int, m int, cfg Config) (res Result[T], err error) {
 	if err := checkInputs(op, values, labels, m); err != nil {
 		return Result[T]{}, err
@@ -186,6 +192,8 @@ func (b *Buffers[T]) Spinetree(op Op[T], values []T, labels []int, m int, cfg Co
 }
 
 // SpinetreeReduce is SpinetreeReduce reusing b's arena and storage.
+//
+//mp:hotpath
 func (b *Buffers[T]) SpinetreeReduce(op Op[T], values []T, labels []int, m int, cfg Config) (out []T, err error) {
 	if err := checkInputs(op, values, labels, m); err != nil {
 		return nil, err
@@ -213,6 +221,8 @@ func (b *Buffers[T]) SpinetreeReduce(op Op[T], values []T, labels []int, m int, 
 // Parallel is Parallel reusing b's arena, result storage and worker
 // team. A failed run (panic, cancellation) may have poisoned the
 // team's barrier, so the team is rebuilt on the next call.
+//
+//mp:hotpath
 func (b *Buffers[T]) Parallel(op Op[T], values []T, labels []int, m int, cfg Config) (res Result[T], err error) {
 	if err := checkInputs(op, values, labels, m); err != nil {
 		return Result[T]{}, err
@@ -252,6 +262,8 @@ func (b *Buffers[T]) Parallel(op Op[T], values []T, labels []int, m int, cfg Con
 }
 
 // ParallelReduce is ParallelReduce on pooled state.
+//
+//mp:hotpath
 func (b *Buffers[T]) ParallelReduce(op Op[T], values []T, labels []int, m int, cfg Config) (out []T, err error) {
 	if err := checkInputs(op, values, labels, m); err != nil {
 		return nil, err
@@ -286,6 +298,8 @@ func (b *Buffers[T]) ParallelReduce(op Op[T], values []T, labels []int, m int, c
 // Chunked is Chunked reusing b's per-chunk buckets, result storage and
 // worker team. Chunk bodies never touch the team's inner barrier, so a
 // failed chunked run leaves the team healthy.
+//
+//mp:hotpath
 func (b *Buffers[T]) Chunked(op Op[T], values []T, labels []int, m int, cfg Config) (res Result[T], err error) {
 	if err := checkInputs(op, values, labels, m); err != nil {
 		return Result[T]{}, err
@@ -330,6 +344,8 @@ func (b *Buffers[T]) Chunked(op Op[T], values []T, labels []int, m int, cfg Conf
 }
 
 // ChunkedReduce is ChunkedReduce on pooled state.
+//
+//mp:hotpath
 func (b *Buffers[T]) ChunkedReduce(op Op[T], values []T, labels []int, m int, cfg Config) (out []T, err error) {
 	if err := checkInputs(op, values, labels, m); err != nil {
 		return nil, err

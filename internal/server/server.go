@@ -169,7 +169,7 @@ func New(opts Options) *Server {
 	s.cache = newPlanCache(s.opts.PlanCacheCap, s.opts.Workers, &s.st)
 	s.coal = newCoalescer(s)
 	s.slots = make(chan struct{}, s.opts.MaxInFlight)
-	s.base, s.stop = context.WithCancel(context.Background())
+	s.base, s.stop = context.WithCancel(context.Background()) //mp:nolint process-lifetime base context; per-request ctx derives from it and Shutdown cancels it
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/multiprefix", s.handleCompute(false, false))
 	s.mux.HandleFunc("/v1/multireduce", s.handleCompute(true, false))

@@ -1,0 +1,62 @@
+package vecmp
+
+import (
+	"math/rand"
+	"testing"
+
+	"multiprefix/internal/core"
+	"multiprefix/internal/vector"
+)
+
+// TestPlanIntoZeroAllocs pins the §5.2.1 repeated-evaluation claim at
+// the allocation level: once the spinetree is built, every Into/Batch
+// entry point — the //mp:hotpath surface of the prepared plan —
+// evaluates into caller-supplied storage with zero steady-state heap
+// allocations.
+func TestPlanIntoZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	n, buckets := 4096, 128
+	labels := make([]int32, n)
+	values := make([]int64, n)
+	for i := range labels {
+		labels[i] = int32(rng.Intn(buckets))
+		values[i] = int64(rng.Intn(50)) + 1
+	}
+	m := vector.NewDefault()
+	plan, err := NewPlan(m, core.AddInt64, labels, buckets, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := make([]int64, n)
+	red := make([]int64, buckets)
+	const k = 3
+	srcs := make([][]int64, k)
+	multiDsts := make([][]int64, k)
+	redDsts := make([][]int64, k)
+	for j := 0; j < k; j++ {
+		srcs[j] = values
+		multiDsts[j] = make([]int64, n)
+		redDsts[j] = make([]int64, buckets)
+	}
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"ReduceInto", func() error { return plan.ReduceInto(values, red) }},
+		{"MultiprefixInto", func() error { return plan.MultiprefixInto(values, multi, red) }},
+		{"MultiprefixBatch", func() error { return plan.MultiprefixBatch(multiDsts, srcs, red) }},
+		{"ReduceBatch", func() error { return plan.ReduceBatch(redDsts, srcs) }},
+	}
+	for _, tc := range cases {
+		if err := tc.run(); err != nil { // warm-up, and check it works at all
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if allocs := testing.AllocsPerRun(5, func() {
+			if err := tc.run(); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Errorf("%s: %.1f allocs/run, want 0", tc.name, allocs)
+		}
+	}
+}

@@ -1,8 +1,6 @@
 package vecmp
 
 import (
-	"fmt"
-
 	"multiprefix/internal/core"
 	"multiprefix/internal/vector"
 )
@@ -47,7 +45,7 @@ func (p *Plan[T]) Buckets() int { return p.s.b }
 func (p *Plan[T]) Reduce(values []T) ([]T, error) {
 	s := p.s
 	if len(values) != s.n {
-		return nil, fmt.Errorf("vecmp: plan built for %d values, got %d", s.n, len(values))
+		return nil, errPlanShape(s.n, len(values))
 	}
 	s.values = values
 	s.initSums()
@@ -61,7 +59,7 @@ func (p *Plan[T]) Reduce(values []T) ([]T, error) {
 func (p *Plan[T]) Multiprefix(values []T) (multi, reductions []T, err error) {
 	s := p.s
 	if len(values) != s.n {
-		return nil, nil, fmt.Errorf("vecmp: plan built for %d values, got %d", s.n, len(values))
+		return nil, nil, errPlanShape(s.n, len(values))
 	}
 	s.values = values
 	s.initSums()

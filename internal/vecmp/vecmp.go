@@ -20,6 +20,7 @@
 package vecmp
 
 import (
+	"context"
 	"fmt"
 
 	"multiprefix/internal/core"
@@ -28,6 +29,10 @@ import (
 
 // Config tunes the vectorized engine.
 type Config struct {
+	// Ctx, when non-nil, is polled between batch vectors (and may be
+	// polled between phases): a cancelled context stops a long batch
+	// after the current vector instead of running it to completion.
+	Ctx context.Context
 	// RowLength is the grid row length; 0 picks
 	// core.ChooseRowLength(n, banks, bankBusy) — near sqrt(n), skipping
 	// strides that alias memory banks.
@@ -208,23 +213,28 @@ func grown[E any](s []E, n int) []E {
 // whatever storage it already holds. Every slice is fully initialized
 // by init()/the phases, so stale contents from a previous run are
 // never observed.
+//
+// Validation failures wrap core.ErrBadInput: the backend's degradation
+// ladder classifies them as terminal (retrying cannot help).
+//
+//mp:terminal
 func (s *state[T]) prepare(m *vector.Machine, op core.Op[T], values []T, labels []int32, buckets int, cfg Config) error {
 	if !op.Valid() {
-		return fmt.Errorf("vecmp: operator has nil Combine")
+		return fmt.Errorf("vecmp: operator has nil Combine: %w", core.ErrBadInput)
 	}
 	if len(values) != len(labels) {
-		return fmt.Errorf("vecmp: %d values, %d labels", len(values), len(labels))
+		return fmt.Errorf("vecmp: %d values, %d labels: %w", len(values), len(labels), core.ErrBadInput)
 	}
 	if buckets < 0 {
-		return fmt.Errorf("vecmp: negative bucket count %d", buckets)
+		return fmt.Errorf("vecmp: negative bucket count %d: %w", buckets, core.ErrBadInput)
 	}
 	for i, l := range labels {
 		if l < 0 || int(l) >= buckets {
-			return fmt.Errorf("vecmp: labels[%d]=%d outside [0,%d)", i, l, buckets)
+			return fmt.Errorf("vecmp: labels[%d]=%d outside [0,%d): %w", i, l, buckets, core.ErrBadInput)
 		}
 	}
 	if !cfg.MarkerSpineTest && op.IsIdentity == nil {
-		return fmt.Errorf("vecmp: operator %q lacks IsIdentity; the paper's spine test needs it (or set MarkerSpineTest)", op.Name)
+		return fmt.Errorf("vecmp: operator %q lacks IsIdentity; the paper's spine test needs it (or set MarkerSpineTest): %w", op.Name, core.ErrBadInput)
 	}
 	n := len(values)
 	p := cfg.RowLength
@@ -259,6 +269,19 @@ func (s *state[T]) prepare(m *vector.Machine, op core.Op[T], values []T, labels 
 		s.isSpine = nil
 	}
 	return nil
+}
+
+// pollCancel reports the configured context's cancellation error, nil
+// when no context was configured. Batch evaluation calls it between
+// vectors so a deadline or shed decision takes effect within one
+// vector's work.
+//
+//mp:polls
+func (s *state[T]) pollCancel() error {
+	if s.cfg.Ctx == nil {
+		return nil
+	}
+	return s.cfg.Ctx.Err()
 }
 
 // init clears the arena: buckets' spine pointers to themselves

@@ -8,12 +8,21 @@ import (
 	"multiprefix/internal/vector"
 )
 
+// errPlanShape reports a value vector whose length doesn't match the
+// plan. Wraps core.ErrBadInput: shape mismatches are terminal — the
+// backend's degradation ladder must not retry them on a fallback.
+//
+//mp:terminal
 func errPlanShape(n, got int) error {
-	return fmt.Errorf("vecmp: plan built for %d values, got %d", n, got)
+	return fmt.Errorf("vecmp: plan built for %d values, got %d: %w", n, got, core.ErrBadInput)
 }
 
+// errPlanOut reports caller-supplied output storage of the wrong
+// length; terminal for the same reason as errPlanShape.
+//
+//mp:terminal
 func errPlanOut(want, got int) error {
-	return fmt.Errorf("vecmp: output length %d, want %d", got, want)
+	return fmt.Errorf("vecmp: output length %d, want %d: %w", got, want, core.ErrBadInput)
 }
 
 // Workspace pools reusable engine state so repeated vectorized runs —
@@ -153,6 +162,8 @@ func MultireduceIn[T vector.Elem](b *Buffers[T], m *vector.Machine, op core.Op[T
 // ReduceInto evaluates the plan's multireduce writing the bucket sums
 // into out (len must be Buckets()) — the zero-allocation repeated-
 // evaluation path for iterative kernels that call Reduce in a loop.
+//
+//mp:hotpath
 func (p *Plan[T]) ReduceInto(values, out []T) error {
 	s := p.s
 	if len(values) != s.n {
@@ -171,6 +182,8 @@ func (p *Plan[T]) ReduceInto(values, out []T) error {
 
 // MultiprefixInto evaluates the plan's full multiprefix writing into
 // caller-supplied multi (len n) and reductions (len Buckets()).
+//
+//mp:hotpath
 func (p *Plan[T]) MultiprefixInto(values, multi, reductions []T) error {
 	s := p.s
 	if len(values) != s.n {
@@ -193,11 +206,16 @@ func (p *Plan[T]) MultiprefixInto(values, multi, reductions []T) error {
 // spinetree setup — the expensive, value-independent half of the
 // paper's §5.2.1 split — is paid once for the whole batch; reductions
 // (len Buckets()) is scratch reused across vectors.
+//
+//mp:hotpath
 func (p *Plan[T]) MultiprefixBatch(dsts, srcs [][]T, reductions []T) error {
 	if len(dsts) != len(srcs) {
 		return errPlanOut(len(srcs), len(dsts))
 	}
 	for k := range srcs {
+		if err := p.s.pollCancel(); err != nil {
+			return err
+		}
 		if err := p.MultiprefixInto(srcs[k], dsts[k], reductions); err != nil {
 			return err
 		}
@@ -207,11 +225,16 @@ func (p *Plan[T]) MultiprefixBatch(dsts, srcs [][]T, reductions []T) error {
 
 // ReduceBatch evaluates each srcs[k] against the prepared spinetree,
 // writing its bucket sums into dsts[k] (len Buckets()).
+//
+//mp:hotpath
 func (p *Plan[T]) ReduceBatch(dsts, srcs [][]T) error {
 	if len(dsts) != len(srcs) {
 		return errPlanOut(len(srcs), len(dsts))
 	}
 	for k := range srcs {
+		if err := p.s.pollCancel(); err != nil {
+			return err
+		}
 		if err := p.ReduceInto(srcs[k], dsts[k]); err != nil {
 			return err
 		}

@@ -18,6 +18,9 @@ type Machine struct {
 	cycles float64
 	instrs int64
 	byKind map[string]float64
+	// scalarKinds interns ScalarOp's "scalar."-qualified labels so
+	// steady-state accounting does not allocate.
+	scalarKinds map[string]string
 
 	// bankCount is scratch for per-strip conflict analysis, reused
 	// across instructions to avoid allocation.
@@ -34,9 +37,10 @@ func New(cfg Config) *Machine {
 		panic("vector: invalid config")
 	}
 	return &Machine{
-		cfg:       cfg,
-		byKind:    make(map[string]float64),
-		bankCount: make([]int32, cfg.Banks),
+		cfg:         cfg,
+		byKind:      make(map[string]float64),
+		scalarKinds: make(map[string]string),
+		bankCount:   make([]int32, cfg.Banks),
 	}
 }
 

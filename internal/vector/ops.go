@@ -183,7 +183,15 @@ func Iota(m *Machine, dst []int32, base int) {
 // parts of baseline kernels (e.g. the serial histogram loop of a
 // FORTRAN bucket sort).
 func (m *Machine) ScalarOp(kind string, k int) {
-	m.charge("scalar."+kind, float64(k)*ScalarClocksPerOp)
+	// Intern the qualified label: the concatenation would otherwise
+	// allocate on every call, and ScalarOp sits inside per-strip loops
+	// on the prepared-plan evaluation path.
+	full, ok := m.scalarKinds[kind]
+	if !ok {
+		full = "scalar." + kind
+		m.scalarKinds[kind] = full
+	}
+	m.charge(full, float64(k)*ScalarClocksPerOp)
 }
 
 // ScalarClocksPerOp is the simulated cost of one scalar memory-touching

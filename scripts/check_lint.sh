@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# check_lint.sh — the static-analysis gate behind `make lint`.
+#
+# Builds mplint once, runs `go vet` plus the project analyzer suite
+# over the module, and fails on any non-suppressed diagnostic. When a
+# govulncheck binary is available it also runs, best-effort: the module
+# has no third-party dependencies and the container is typically
+# offline, so a missing binary or an unreachable vuln DB skips the step
+# with a notice instead of failing the gate.
+set -u
+
+cd "$(dirname "$0")/.."
+GO="${GO:-go}"
+
+fail=0
+
+echo "== go vet =="
+if ! "$GO" vet ./...; then
+    fail=1
+fi
+
+echo "== mplint =="
+bin="$(mktemp -d)/mplint"
+trap 'rm -rf "$(dirname "$bin")"' EXIT
+if ! "$GO" build -o "$bin" ./cmd/mplint; then
+    echo "check_lint: failed to build mplint" >&2
+    exit 1
+fi
+if ! "$bin" ./...; then
+    fail=1
+fi
+
+echo "== govulncheck (best-effort) =="
+if command -v govulncheck >/dev/null 2>&1; then
+    # Vulnerability lookup needs the network; a resolver failure is an
+    # environment problem, not a finding.
+    if ! govulncheck ./...; then
+        echo "check_lint: govulncheck reported findings or could not reach the vuln DB (not fatal offline)" >&2
+    fi
+else
+    echo "check_lint: govulncheck not installed; skipping" >&2
+fi
+
+exit "$fail"
