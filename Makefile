@@ -7,7 +7,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test check check-service vet lint race race-matrix fuzz-smoke bench bench-smoke bench-json bench-service
+.PHONY: all build test check check-service calibrate-smoke vet lint race race-matrix fuzz-smoke bench bench-smoke bench-json bench-service
 
 all: build test
 
@@ -50,12 +50,13 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzPlanParity$$' -fuzztime $(FUZZTIME) ./internal/backend
 	$(GO) test -run '^$$' -fuzz '^FuzzSortedParity$$' -fuzztime $(FUZZTIME) ./internal/backend
 	$(GO) test -run '^$$' -fuzz '^FuzzBatchParity$$' -fuzztime $(FUZZTIME) ./internal/backend
+	$(GO) test -run '^$$' -fuzz '^FuzzTiledParity$$' -fuzztime $(FUZZTIME) ./internal/backend
 
 # Tier-1+: the full robustness gate: lint (vet + the mplint analyzer
 # suite), race, fuzz smoke, a one-iteration pass over every benchmark
 # so a broken benchmark cannot land silently, and the out-of-process
 # service smoke (boot mpd, chaos request, drain).
-check: lint race race-matrix fuzz-smoke bench-smoke check-service
+check: lint race race-matrix fuzz-smoke bench-smoke calibrate-smoke check-service
 	$(GO) build -o /dev/null ./cmd/benchjson
 
 # Service smoke gate: builds mpd + mpload, boots the daemon on a
@@ -63,6 +64,13 @@ check: lint race race-matrix fuzz-smoke bench-smoke check-service
 # typed errors, and SIGTERM drain from outside the process.
 check-service:
 	bash ./scripts/check_service.sh
+
+# Calibrator smoke gate: the measured memory probe behind Auto's
+# engine choice completes inside its time budget, reports sane
+# non-zero bandwidths, and honors the MP_AUTOCAL override that CI
+# uses for determinism.
+calibrate-smoke:
+	bash ./scripts/check_calibrate.sh
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...

@@ -14,6 +14,12 @@
 // The -backend flag (alias: -engine) accepts any name in the unified
 // backend registry, including the sorted segmented-scan engine
 // ("sorted") and the simulated machines ("vector", "pram").
+//
+// -calibrate skips the computation and prints the measured memory
+// probe the auto engine calibrates against (streaming/copy bandwidth,
+// the random-access latency ladder, and the derived tile budget),
+// honoring the MP_AUTOCAL override — the hook `make calibrate-smoke`
+// checks in CI.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"strings"
 
 	"multiprefix"
+	"multiprefix/internal/core"
 )
 
 func main() {
@@ -39,7 +46,13 @@ func main() {
 	flag.StringVar(backendName, "engine", "auto", "alias for -backend")
 	reduceOnly := flag.Bool("reduce", false, "print only the per-label reductions (multireduce)")
 	verbose := flag.Bool("v", false, "report the engine the auto selector picked")
+	calibrate := flag.Bool("calibrate", false, "print the measured auto-calibration probe and exit")
 	flag.Parse()
+
+	if *calibrate {
+		printCalibration()
+		return
+	}
 
 	// Interrupt (Ctrl-C) cancels a run in progress: the engines notice
 	// at their next barrier/chunk boundary and return context.Canceled
@@ -119,5 +132,41 @@ func main() {
 	fmt.Fprintln(w, "# label reduction")
 	for k, r := range res.Reductions {
 		fmt.Fprintf(w, "%d %d\n", k, r)
+	}
+}
+
+// printCalibration reports the resolved process calibration — the
+// measured memory probe (or its MP_AUTOCAL=noprobe absence), the
+// derived or overridden tile budget, and the auto decisions it
+// produces at a few reference shapes — in a stable "key values"
+// format for the calibrate-smoke CI check.
+func printCalibration() {
+	cal := core.DefaultCalibration()
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if p := cal.Probe; p != nil {
+		fmt.Fprintf(w, "stream_gbps %.2f\n", p.StreamBps/1e9)
+		fmt.Fprintf(w, "copy_gbps %.2f\n", p.CopyBps/1e9)
+		fmt.Fprint(w, "random_ws_bytes")
+		for _, ws := range p.RandomWS {
+			fmt.Fprintf(w, " %d", ws)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprint(w, "random_ns")
+		for _, ns := range p.RandomNs {
+			fmt.Fprintf(w, " %.2f", ns)
+		}
+		fmt.Fprintln(w)
+	} else {
+		fmt.Fprintln(w, "probe disabled (MP_AUTOCAL=noprobe)")
+	}
+	fmt.Fprintf(w, "tile_bytes %d\n", core.AutoTileBytes(multiprefix.Config{}))
+	fmt.Fprintf(w, "serial_max %d\n", cal.SerialMax)
+	fmt.Fprintf(w, "sorted_min_m %d\n", cal.SortedMinM)
+	for _, shape := range []struct{ n, m int }{
+		{1 << 16, 1 << 8}, {1 << 18, 1 << 4}, {1 << 18, 1 << 12}, {1 << 20, 1 << 16},
+	} {
+		fmt.Fprintf(w, "auto n=%d m=%d %s\n", shape.n, shape.m,
+			multiprefix.AutoChoice(shape.n, shape.m, multiprefix.Config{}))
 	}
 }

@@ -215,7 +215,13 @@ func (p *Plan[T]) sortedSerialBatch(dsts, srcs [][]T, withMulti bool) (err error
 		} else {
 			red = dsts[k]
 		}
-		if !core.SortedScanLabels(p.op, fast, srcs[k], p.sperm, p.sstart, multi, red, 0, p.m, p.cfg.FaultHook, stop) {
+		var ok bool
+		if p.tiledRun(fast) {
+			ok = core.SortedTiledScanLabels(p.op, fast, srcs[k], p.sperm, p.sstart, multi, red, &p.tiles[0], stop)
+		} else {
+			ok = core.SortedScanLabels(p.op, fast, srcs[k], p.sperm, p.sstart, multi, red, 0, p.m, p.cfg.FaultHook, stop)
+		}
+		if !ok {
 			return p.guard.first()
 		}
 	}
@@ -361,9 +367,15 @@ func (p *Plan[T]) sortedBatch(w int, inner *par.Barrier) {
 		}
 		phase = core.PhaseSortedScan
 		if !p.guard.interrupted(p.cfg.Ctx) {
-			core.SortedShardScan(p.op, p.fast, values, p.sperm, p.sstart, multi, red,
-				sh, w, p.leadTotal, p.carryOut, p.leadClosed, p.hasTrail,
-				p.cfg.FaultHook, p.sortedStop)
+			if p.tiledRun(p.fast) {
+				core.SortedTiledShardScan(p.op, p.fast, values, p.sperm, p.sstart, multi, red,
+					&p.tiles[w], sh, w, p.leadTotal, p.carryOut, p.leadClosed, p.hasTrail,
+					p.sortedStop)
+			} else {
+				core.SortedShardScan(p.op, p.fast, values, p.sperm, p.sstart, multi, red,
+					sh, w, p.leadTotal, p.carryOut, p.leadClosed, p.hasTrail,
+					p.cfg.FaultHook, p.sortedStop)
+			}
 		}
 		inner.Await()
 		done++

@@ -118,6 +118,12 @@ type Plan[T any] struct {
 	sortedStop           func() bool // prebound guard poll for worker bodies
 	sortedBody           func(w int, bar *par.Barrier)
 	sortedApplyBody      func(w int, bar *par.Barrier)
+	// tiles is the plan-time cache-tiling of the sorted scan: one entry
+	// for the serial variant, one per shard for the parallel one. Nil
+	// when tiling doesn't apply (generic element type, non-fast op, or
+	// n within one tile window); runs with a FaultHook skip it at
+	// dispatch since fast demotes to FastNone.
+	tiles []core.TileSegs
 
 	// batched execution state (read by the batch team bodies)
 	//mp:guarded-by mu

@@ -93,6 +93,56 @@ func TestPooledZeroAllocs(t *testing.T) {
 	}
 }
 
+// oneShotChunkedAllocBound pins the one-shot chunked engines' per-call
+// allocation count. A one-shot call inherently allocates the result
+// storage the caller keeps, one bucket array per chunk, and the worker
+// goroutine closures — but the per-chunk first-touch label lists and
+// seen bitmaps come from the process-wide chunkListPool, so the count
+// must stay flat in log2(m). Before pooling, append-growth of those
+// lists put the generic variant at 64 allocs/op at n=2^16 in the
+// committed benchmark snapshot; the bound fails loudly if they ever
+// creep back into the per-call path.
+const oneShotChunkedAllocBound = 28
+
+// TestOneShotChunkedAllocBound measures the package-level Chunked and
+// ChunkedReduce on the generic path at the benchmark's shape.
+func TestOneShotChunkedAllocBound(t *testing.T) {
+	const n, m = 1 << 16, 256
+	rng := rand.New(rand.NewSource(43))
+	values := make([]int64, n)
+	labels := make([]int, n)
+	for i := range values {
+		values[i] = int64(rng.Intn(100))
+		labels[i] = rng.Intn(m)
+	}
+	cfg := Config{Workers: 4}
+	run := func() {
+		if _, err := Chunked(genericAddInt64, values, labels, m, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reduce := func() {
+		if _, err := ChunkedReduce(genericAddInt64, values, labels, m, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	reduce() // warm the chunkListPool
+	bound := float64(oneShotChunkedAllocBound)
+	if raceDetectorEnabled {
+		// The race runtime allocates shadow state for each of the
+		// per-call worker goroutines; give the exact pin headroom for
+		// those non-product allocations.
+		bound += 8
+	}
+	if allocs := testing.AllocsPerRun(10, run); allocs > bound {
+		t.Errorf("Chunked generic: %.1f allocs/run, want <= %.0f", allocs, bound)
+	}
+	if allocs := testing.AllocsPerRun(10, reduce); allocs > bound {
+		t.Errorf("ChunkedReduce generic: %.1f allocs/run, want <= %.0f", allocs, bound)
+	}
+}
+
 // genericAllocBound is the documented steady-state allocation bound
 // for the pooled *generic* path (an operator without a FastOp
 // declaration): the engines themselves still allocate nothing — the

@@ -27,10 +27,79 @@ type AutoCalibration struct {
 	// segmented-scan engine beats the serial bucket pass in the serial
 	// regime: once the m-element accumulator array falls out of cache,
 	// the bucket pass's scattered writes thrash while the sorted scan
-	// streams contiguous runs. 0 means the sorted engine never wins
-	// (the calibration probe's honest answer on machines whose
-	// last-level cache holds the accumulators at any measured m).
+	// streams contiguous runs. 0 means the sorted engine never wins.
+	// Consulted only when Probe is nil: with a measured probe the
+	// serial-vs-sorted decision comes from the cost model instead of
+	// this single threshold.
 	SortedMinM int
+	// Probe is the measured memory profile feeding the
+	// serial-vs-sorted cost model (see MemProbe). The process-wide
+	// calibration fills it from a one-time measurement; explicit
+	// Config.AutoCal values may supply a synthetic probe to pin
+	// decisions, or leave it nil to fall back to SortedMinM.
+	Probe *MemProbe
+	// TileBytes is the sorted engine's per-tile cache budget in bytes;
+	// 0 means DefaultTileBytes. The calibration derives it from the
+	// probe's random-update ladder.
+	TileBytes int
+}
+
+// sortedWins reports whether the sorted engine is predicted to beat
+// the serial bucket pass at shape (n, m): by the measured cost model
+// when a probe is present, by the SortedMinM threshold otherwise.
+// The model prices the tiled scan, so inputs whose working set fits
+// one tile — where no tiling exists and the bucket array is cache-
+// resident anyway — stay serial.
+func (cal AutoCalibration) sortedWins(n, m int) bool {
+	if p := cal.Probe; p != nil {
+		tile := cal.TileBytes
+		if tile <= 0 {
+			tile = p.TileBytes
+		}
+		if tile <= 0 {
+			tile = DefaultTileBytes
+		}
+		if n*tiledElemBytes <= 3*tile {
+			// Below TileWindow's four-window floor no tiling exists, the
+			// bucket array is cache-resident anyway: stay serial.
+			return false
+		}
+		return p.SortedNs(n, m, tile) < p.SerialNs(n, m)
+	}
+	return cal.SortedMinM > 0 && m >= cal.SortedMinM
+}
+
+// AutoTileBytes resolves the sorted engine's per-tile budget for cfg:
+// an explicit Config.AutoCal override, else the process calibration's
+// derived value — the measured probe's ladder knee with any MP_AUTOCAL
+// override applied on top — else DefaultTileBytes. Resolving the
+// process calibration is a one-time measurement (the probe is skipped
+// under MP_AUTOCAL=noprobe); the budget only re-orders memory traffic,
+// never results, so plans may consult it freely.
+func AutoTileBytes(cfg Config) int {
+	if cal := cfg.AutoCal; cal != nil {
+		if cal.TileBytes > 0 {
+			return cal.TileBytes
+		}
+		if cal.Probe != nil && cal.Probe.TileBytes > 0 {
+			return cal.Probe.TileBytes
+		}
+		return DefaultTileBytes
+	}
+	if cal := defaultAutoCal(); cal.TileBytes > 0 {
+		return cal.TileBytes
+	}
+	return DefaultTileBytes
+}
+
+// DefaultCalibration returns the resolved process-wide calibration the
+// Auto engine uses for default-config calls: the one-time measured
+// probe and derived tile budget (or the timed fallbacks under
+// MP_AUTOCAL=noprobe) with MP_AUTOCAL field overrides applied. The
+// returned value is a copy; Probe, when non-nil, is shared and must be
+// treated as read-only.
+func DefaultCalibration() AutoCalibration {
+	return defaultAutoCal()
 }
 
 // engineKind is the Auto engine's selection.
@@ -72,14 +141,24 @@ func defaultAutoCal() AutoCalibration {
 // int64-sum workloads of growing size to locate the serial/parallel
 // crossover — the approach of Träff's tuned MPI_Exscan: pick the
 // algorithm variant per problem shape, from measurements, not faith.
+// The serial-vs-sorted decision is delegated to the measured memory
+// probe's cost model (memprobe.go); the timed SortedMinM head-to-head
+// remains only as the fallback when the probe is disabled
+// (MP_AUTOCAL=noprobe), and MP_AUTOCAL field overrides are applied
+// last so CI can pin any of the knobs.
 func calibrate() AutoCalibration {
 	cal := AutoCalibration{SerialMax: 1 << 20}
-	cal.SortedMinM = calibrateSorted()
+	cal.Probe = defaultMemProbe()
+	if cal.Probe != nil {
+		cal.TileBytes = cal.Probe.TileBytes
+	} else {
+		cal.SortedMinM = calibrateSorted()
+	}
 	if par.DefaultWorkers() <= 1 {
 		// One usable CPU: a parallel decomposition cannot win, and the
 		// Workers gate in autoPick sends default-config calls to Serial
 		// anyway, so skip the probe.
-		return cal
+		return applyAutoCalEnv(cal)
 	}
 	const m = 512
 	sizes := []int{1 << 13, 1 << 15, 1 << 17}
@@ -111,7 +190,7 @@ func calibrate() AutoCalibration {
 		tp := bestOf(3, func() { _, _ = Parallel(AddInt64, values, labels, m, Config{}) })
 		cal.ParallelOverChunked = tp < tc
 	}
-	return cal
+	return applyAutoCalEnv(cal)
 }
 
 // calibrateSorted probes the serial-regime crossover between the
@@ -154,13 +233,14 @@ func bestOf(reps int, f func()) time.Duration {
 // only one worker is available, when n is below the calibrated
 // crossover, or when labels outnumber elements (m > n: the dense O(m)
 // per-worker bucket storage and merge dominate any parallel gain).
-// Within that serial regime, the sorted segmented scan takes over once
-// m reaches the calibrated SortedMinM crossover (the accumulator array
-// no longer fits cache); m > n still goes serial — the sorted engine
-// needs the same O(m) run-bound array the bucket pass thrashes on.
+// Within that serial regime, the sorted segmented scan takes over
+// where the calibration predicts it faster — the measured probe's
+// cost model when present, the SortedMinM threshold otherwise; m > n
+// still goes serial — the sorted engine needs the same O(m) run-bound
+// array the bucket pass thrashes on.
 func autoPick(n, m, workers int, cal AutoCalibration) engineKind {
 	if workers <= 1 || n <= cal.SerialMax || m > n {
-		if cal.SortedMinM > 0 && m >= cal.SortedMinM && m <= n && n <= maxSortedN {
+		if m <= n && n <= maxSortedN && cal.sortedWins(n, m) {
 			return kindSorted
 		}
 		return kindSerial

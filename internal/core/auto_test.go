@@ -14,6 +14,23 @@ func TestAutoChoice(t *testing.T) {
 	chunkedCal := &AutoCalibration{SerialMax: 1000}
 	parallelCal := &AutoCalibration{SerialMax: 1000, ParallelOverChunked: true}
 	sortedCal := &AutoCalibration{SerialMax: 1 << 30, SortedMinM: 2048}
+	// A synthetic measured probe — not host folklore — driving the
+	// serial-vs-sorted cost model: 10 GB/s streams and a random-access
+	// ladder that stays flat through 512 KiB then climbs steeply, i.e. a
+	// machine whose caches end at 2 MiB. Against it the model must send
+	// shapes whose 8m-byte bucket array blows the ladder to sorted, and
+	// keep shapes whose buckets sit in cache (the gather + per-segment
+	// startup isn't worth it) on serial.
+	probeCal := &AutoCalibration{
+		SerialMax: 1 << 30,
+		Probe: &MemProbe{
+			StreamBps: 10e9,
+			CopyBps:   10e9,
+			RandomWS:  []int{1 << 15, 1 << 17, 1 << 19, 1 << 21, 1 << 23},
+			RandomNs:  []float64{2, 2, 3, 40, 80},
+			TileBytes: 1 << 19,
+		},
+	}
 	cases := []struct {
 		name string
 		n, m int
@@ -35,6 +52,16 @@ func TestAutoChoice(t *testing.T) {
 		{"sorted-small-m", 1 << 18, 1024, Config{Workers: 1, AutoCal: sortedCal}, "serial"},
 		{"sorted-m>n", 4000, 5000, Config{Workers: 4, AutoCal: sortedCal}, "serial"},
 		{"sorted-disabled", 1 << 18, 4096, Config{Workers: 1, AutoCal: &AutoCalibration{SerialMax: 1 << 30}}, "serial"},
+		// The measured cost model: with a probe present SortedMinM is
+		// ignored and the decision prices both engines per shape.
+		// m = 2^20 puts an 8 MiB bucket array at the top of the ladder
+		// (80 ns/update): the bucket pass thrashes, sorted wins. m = 4096
+		// keeps the buckets inside the flat region: serial streams.
+		// n = 2^15 fits a single 512 KiB tile: no tiling exists and the
+		// model keeps it serial regardless of m.
+		{"probe-sorted", 1 << 22, 1 << 20, Config{Workers: 1, AutoCal: probeCal}, "sorted"},
+		{"probe-serial-cached-buckets", 1 << 22, 4096, Config{Workers: 1, AutoCal: probeCal}, "serial"},
+		{"probe-fits-one-tile", 1 << 15, 1 << 14, Config{Workers: 1, AutoCal: probeCal}, "serial"},
 	}
 	for _, tc := range cases {
 		if got := AutoChoice(tc.n, tc.m, tc.cfg); got != tc.want {

@@ -8,6 +8,42 @@ import (
 	"multiprefix/internal/par"
 )
 
+// chunkLists pools the type-independent per-chunk bookkeeping of the
+// one-shot chunked engines: the first-touch label lists and the seen
+// bitmaps. Growing the label lists by append cost the one-shot generic
+// variant ~W·log2(m) allocations per call at n=2^16 (64 allocs/op in
+// the committed benchmark snapshot); pooling them the way the Buffers
+// path pools its chunkRunner state leaves only the per-call result and
+// bucket storage. The lists hold ints and bools — no element type —
+// so one process-wide pool serves every instantiation.
+type chunkLists struct {
+	seen    [][]bool
+	touched [][]int
+}
+
+var chunkListPool = sync.Pool{New: func() any { return new(chunkLists) }}
+
+// acquireChunkLists returns pooled per-chunk lists sized for a
+// (workers, m) run: seen bitmaps cleared, touched lists empty with
+// capacity m so first-touch appends never grow.
+func acquireChunkLists(workers, m int) *chunkLists {
+	cl := chunkListPool.Get().(*chunkLists)
+	for len(cl.seen) < workers {
+		cl.seen = append(cl.seen, nil)
+		cl.touched = append(cl.touched, nil)
+	}
+	for w := 0; w < workers; w++ {
+		cl.seen[w] = grown(cl.seen[w], m)
+		clear(cl.seen[w])
+		if cap(cl.touched[w]) < m {
+			cl.touched[w] = make([]int, 0, m)
+		} else {
+			cl.touched[w] = cl.touched[w][:0]
+		}
+	}
+	return cl
+}
+
 // cancelStride is how many elements a chunked worker processes between
 // polls of the cancellation flag and context. Small enough that a
 // mid-run cancellation on multi-million-element inputs returns in well
@@ -85,8 +121,9 @@ func Chunked[T any](op Op[T], values []T, labels []int, m int, cfg Config) (res 
 	defer recoverEnginePanic("chunked", &phase, &err)
 
 	multi := make([]T, n)
-	local := make([][]T, workers)     // per-chunk buckets, reused as offsets
-	touched := make([][]int, workers) // labels each chunk saw, in first-touch order
+	local := make([][]T, workers) // per-chunk buckets, reused as offsets
+	cl := acquireChunkLists(workers, m)
+	defer chunkListPool.Put(cl)
 	hook := cfg.FaultHook
 	fast := op.fastKind(hook)
 	var g chunkGuard
@@ -104,11 +141,8 @@ func Chunked[T any](op Op[T], values []T, labels []int, m int, cfg Config) (res 
 			}()
 			lo, hi := par.Range(n, workers, w)
 			buckets := make([]T, m)
-			seen := make([]bool, m)
-			var order []int
-			order = chunkLocalPass(fast, op, values, labels, multi, buckets, seen, order, lo, hi, hook, &g, cfg.Ctx)
+			cl.touched[w] = chunkLocalPass(fast, op, values, labels, multi, buckets, cl.seen[w], cl.touched[w], lo, hi, hook, &g, cfg.Ctx)
 			local[w] = buckets
-			touched[w] = order
 		}(w)
 	}
 	wg.Wait()
@@ -126,7 +160,7 @@ func Chunked[T any](op Op[T], values []T, labels []int, m int, cfg Config) (res 
 	running := make([]T, m)
 	fillIdentity(running, op.Identity)
 	for w := 0; w < workers; w++ {
-		for _, l := range touched[w] {
+		for _, l := range cl.touched[w] {
 			offset := running[l]
 			if hook != nil {
 				hook.Combine(PhaseChunkMerge, l)
@@ -197,7 +231,8 @@ func ChunkedReduce[T any](op Op[T], values []T, labels []int, m int, cfg Config)
 	defer recoverEnginePanic("chunked", &phase, &err)
 
 	local := make([][]T, workers)
-	touched := make([][]int, workers)
+	cl := acquireChunkLists(workers, m)
+	defer chunkListPool.Put(cl)
 	hook := cfg.FaultHook
 	fast := op.fastKind(hook)
 	var g chunkGuard
@@ -213,11 +248,8 @@ func ChunkedReduce[T any](op Op[T], values []T, labels []int, m int, cfg Config)
 			}()
 			lo, hi := par.Range(n, workers, w)
 			buckets := make([]T, m)
-			seen := make([]bool, m)
-			var order []int
-			order = chunkLocalPass(fast, op, values, labels, nil, buckets, seen, order, lo, hi, hook, &g, cfg.Ctx)
+			cl.touched[w] = chunkLocalPass(fast, op, values, labels, nil, buckets, cl.seen[w], cl.touched[w], lo, hi, hook, &g, cfg.Ctx)
 			local[w] = buckets
-			touched[w] = order
 		}(w)
 	}
 	wg.Wait()
@@ -231,7 +263,7 @@ func ChunkedReduce[T any](op Op[T], values []T, labels []int, m int, cfg Config)
 	out := make([]T, m)
 	fillIdentity(out, op.Identity)
 	for w := 0; w < workers; w++ {
-		for _, l := range touched[w] {
+		for _, l := range cl.touched[w] {
 			if hook != nil {
 				hook.Combine(PhaseChunkMerge, l)
 			}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file is the measured half of the Auto calibration: a one-time
+// memory probe (sequential bandwidth, copy bandwidth, and a
+// random-update latency ladder over growing working sets) and the
+// first-order cost model that turns those numbers into the
+// serial-vs-sorted decision. The previous calibration reduced the
+// whole question to one timed head-to-head at a single shape and
+// pinned SortedMinM = 0 on hosts whose last-level cache swallowed the
+// bucket array; the model below instead prices both engines per shape
+// from the machine's measured characteristics, so the decision moves
+// with (n, m) instead of being a single folklore constant.
+//
+// The model (per element, in ns):
+//
+//   serial  streams values + labels + multi (24 bytes) and performs
+//           one read-modify-write into the m-slot bucket array — a
+//           random update within an 8m-byte working set:
+//               stream(24) + α·rand(8m)
+//
+//   sorted  (tiled) streams values + multi + perm (20 bytes — perm is
+//           int32) with the gather/scatter confined to one tile, so
+//           the random component is priced at the tile budget rather
+//           than the whole vector, and only to the degree the average
+//           segment is too short to stream (blend = min(1, 64/seglen));
+//           each segment also pays a fixed startup:
+//               stream(20) + α·blend·rand(tile) + startup/seglen
+//
+// α < 1 because the measured rand ladder is a fully dependent update
+// chain while both engines keep several updates in flight. The
+// constants are first-order — the model's job is to rank the two
+// engines per shape, and its inputs are measured, cached per process,
+// and overridable (Config.AutoCal, MP_AUTOCAL) so tests and CI pin
+// decisions with explicit numbers.
+
+// MemProbe is the one-time measured memory profile of the host.
+type MemProbe struct {
+	// StreamBps is the sequential read bandwidth (bytes/second) over a
+	// working set far beyond cache.
+	StreamBps float64
+	// CopyBps is the large-copy bandwidth (bytes/second): the cost
+	// model for buffer staging and the service layer's capacity math.
+	CopyBps float64
+	// RandomWS and RandomNs are the random-access ladder: RandomNs[i]
+	// is the measured nanoseconds per dependent random load (a pointer
+	// chase, so each step waits for the previous) within a
+	// RandomWS[i]-byte working set. The model uses the ladder net of
+	// its fastest rung: the cache-resident baseline is latency the
+	// engines hide under their own work.
+	RandomWS []int
+	RandomNs []float64
+	// TileBytes is the per-tile cache budget derived from the ladder:
+	// half the largest working set that still updates at near-minimum
+	// latency, clamped to sane bounds.
+	TileBytes int
+}
+
+// probe model constants — first-order fits whose job is to rank the
+// two engines per shape, not to predict absolute times.
+const (
+	probeAlpha     = 0.5  // dependent-chain overlap factor
+	probeSegBlend  = 64.0 // segment length below which gathers stop streaming
+	probeSegNs     = 10.0 // per-segment startup, ns
+	probeSortedK   = 4.0  // cache lines a short-segment element touches randomly (perm + gather + scatter) vs serial's one bucket
+	probeStreamB   = 24.0 // serial streamed bytes per element
+	probeSortedB   = 20.0 // sorted streamed bytes per element (int32 perm)
+	probeTileMin   = 1 << 18
+	probeTileMax   = 1 << 20
+	probeLadderTop = 1 << 23 // top rung must fit the probe scratch buffer
+)
+
+// streamNs is the modeled cost of streaming b bytes.
+func (p *MemProbe) streamNs(b float64) float64 {
+	if p.StreamBps <= 0 {
+		return 0
+	}
+	return b / p.StreamBps * 1e9
+}
+
+// randNetNs interpolates the measured ladder at a ws-byte working set
+// (log-linear between rungs, clamped at the ends), net of the fastest
+// rung — the extra latency of leaving the near cache levels.
+func (p *MemProbe) randNetNs(ws int) float64 {
+	if len(p.RandomWS) == 0 {
+		return 0
+	}
+	base := p.RandomNs[0]
+	for _, v := range p.RandomNs {
+		if v < base {
+			base = v
+		}
+	}
+	at := func(i int) float64 { return max(p.RandomNs[i]-base, 0) }
+	if ws <= p.RandomWS[0] {
+		return at(0)
+	}
+	last := len(p.RandomWS) - 1
+	if ws >= p.RandomWS[last] {
+		return at(last)
+	}
+	i := 0
+	for p.RandomWS[i+1] < ws {
+		i++
+	}
+	lo, hi := float64(p.RandomWS[i]), float64(p.RandomWS[i+1])
+	t := (math.Log2(float64(ws)) - math.Log2(lo)) / (math.Log2(hi) - math.Log2(lo))
+	return at(i) + t*(at(i+1)-at(i))
+}
+
+// SerialNs models the serial bucket pass over shape (n, m).
+func (p *MemProbe) SerialNs(n, m int) float64 {
+	return float64(n) * (p.streamNs(probeStreamB) + probeAlpha*p.randNetNs(8*m))
+}
+
+// SortedNs models the tiled sorted scan over shape (n, m) with the
+// given per-tile budget (0 means DefaultTileBytes).
+func (p *MemProbe) SortedNs(n, m, tileBytes int) float64 {
+	if tileBytes <= 0 {
+		tileBytes = DefaultTileBytes
+	}
+	nWin := (n*tiledElemBytes + tileBytes - 1) / tileBytes
+	if nWin < 1 {
+		nWin = 1
+	}
+	segLen := float64(n) / (float64(m) * float64(nWin))
+	if segLen < 1 {
+		segLen = 1
+	}
+	blend := probeSegBlend / segLen
+	if blend > 1 {
+		blend = 1
+	}
+	ws := min(n*tiledElemBytes, tileBytes)
+	perElem := p.streamNs(probeSortedB) + probeAlpha*blend*probeSortedK*p.randNetNs(ws) + probeSegNs/segLen
+	return float64(n) * perElem
+}
+
+// MeasureMemProbe runs the probe: a few milliseconds of timed loops,
+// intended to be cached per process (see defaultMemProbe).
+func MeasureMemProbe() *MemProbe {
+	p := &MemProbe{}
+	const streamN = 1 << 21 // 16 MiB of int64: beyond L2 on anything current
+	buf := make([]int64, streamN)
+	for i := range buf {
+		buf[i] = int64(i)
+	}
+	var sink int64
+	p.StreamBps = bestBps(3, streamN*8, func() {
+		s := int64(0)
+		for _, v := range buf {
+			s += v
+		}
+		sink += s
+	})
+	dst := make([]int64, streamN)
+	p.CopyBps = bestBps(3, streamN*8, func() { copy(dst, buf) })
+	_ = sink
+
+	// Random-access ladder: a pointer chase over a single-cycle random
+	// permutation, so every step's address depends on the previous
+	// load — each rung measures the dependent-access latency of that
+	// working set, with no throughput overlap to hide it.
+	sinkIdx := 0
+	for ws := 1 << 15; ws <= probeLadderTop; ws <<= 2 {
+		slots := ws / 8
+		a := dst[:slots]
+		fillChaseCycle(a)
+		const steps = 1 << 17
+		ns := bestNs(3, steps, func() {
+			j := int64(0)
+			for i := 0; i < steps; i++ {
+				j = a[j]
+			}
+			sinkIdx += int(j)
+		})
+		p.RandomWS = append(p.RandomWS, ws)
+		p.RandomNs = append(p.RandomNs, ns)
+	}
+	_ = sinkIdx
+	p.TileBytes = deriveTileBytes(p.RandomWS, p.RandomNs)
+	return p
+}
+
+// fillChaseCycle writes a single-cycle random permutation into a:
+// following j = a[j] from 0 visits every slot (Sattolo's algorithm
+// over a deterministic xorshift stream), so the chase never settles
+// into a short loop.
+func fillChaseCycle(a []int64) {
+	for i := range a {
+		a[i] = int64(i)
+	}
+	r := uint32(2463534242)
+	for i := len(a) - 1; i > 0; i-- {
+		r ^= r << 13
+		r ^= r >> 17
+		r ^= r << 5
+		j := int(r % uint32(i))
+		a[i], a[j] = a[j], a[i]
+	}
+}
+
+// deriveTileBytes picks the per-tile budget from the ladder's knee:
+// the largest working set whose net latency stays under a quarter of
+// the worst rung's — past that the tile no longer behaves cache-
+// resident — clamped to [probeTileMin, probeTileMax].
+func deriveTileBytes(ws []int, ns []float64) int {
+	if len(ws) == 0 {
+		return DefaultTileBytes
+	}
+	minNs, maxNs := ns[0], ns[0]
+	for _, v := range ns {
+		minNs = min(minNs, v)
+		maxNs = max(maxNs, v)
+	}
+	knee := minNs + 0.25*(maxNs-minNs)
+	tile := ws[0]
+	for i := range ws {
+		if ns[i] <= knee {
+			tile = ws[i]
+		}
+	}
+	if tile < probeTileMin {
+		tile = probeTileMin
+	}
+	if tile > probeTileMax {
+		tile = probeTileMax
+	}
+	return tile
+}
+
+// bestBps times f (which moves bytes bytes) reps times and returns the
+// best observed bandwidth.
+func bestBps(reps, bytes int, f func()) float64 {
+	best := bestOf(reps, f)
+	if best <= 0 {
+		return 0
+	}
+	return float64(bytes) / best.Seconds()
+}
+
+// bestNs times f (which performs steps operations) reps times and
+// returns the best observed per-operation nanoseconds.
+func bestNs(reps, steps int, f func()) float64 {
+	best := bestOf(reps, f)
+	return float64(best.Nanoseconds()) / float64(steps)
+}
+
+var (
+	memProbeOnce sync.Once
+	memProbe     *MemProbe
+)
+
+// defaultMemProbe returns the process-wide measured probe, running it
+// on first use. MP_AUTOCAL=noprobe (alone or among other settings)
+// disables the measurement entirely — the CI determinism escape hatch
+// — in which case it returns nil and callers fall back to the pinned
+// folklore fields.
+func defaultMemProbe() *MemProbe {
+	memProbeOnce.Do(func() {
+		if _, noProbe := parseAutoCalEnv(); noProbe {
+			return
+		}
+		memProbe = MeasureMemProbe()
+	})
+	return memProbe
+}
+
+// parseAutoCalEnv parses MP_AUTOCAL: a comma-separated list of
+// "noprobe", "serialmax=N", "sortedminm=N", "tilebytes=N". Returns the
+// field overrides (applied by calibrate on top of its defaults) and
+// whether the probe is disabled. Malformed entries are ignored — a
+// broken override must not take the library down.
+func parseAutoCalEnv() (map[string]int, bool) {
+	env := os.Getenv("MP_AUTOCAL")
+	if env == "" {
+		return nil, false
+	}
+	fields := make(map[string]int)
+	noProbe := false
+	for _, part := range strings.Split(env, ",") {
+		part = strings.TrimSpace(part)
+		if part == "noprobe" {
+			noProbe = true
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil {
+			continue
+		}
+		fields[strings.TrimSpace(strings.ToLower(k))] = n
+	}
+	return fields, noProbe
+}
+
+// applyAutoCalEnv overlays MP_AUTOCAL field overrides on a measured
+// calibration.
+func applyAutoCalEnv(cal AutoCalibration) AutoCalibration {
+	fields, _ := parseAutoCalEnv()
+	if v, ok := fields["serialmax"]; ok {
+		cal.SerialMax = v
+	}
+	if v, ok := fields["sortedminm"]; ok {
+		cal.SortedMinM = v
+	}
+	if v, ok := fields["tilebytes"]; ok {
+		cal.TileBytes = v
+	}
+	return cal
+}

@@ -1,0 +1,10 @@
+//go:build !race
+
+package core
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. Exact allocation-count pins on paths that spawn goroutines
+// per call (the one-shot engines) read it: the race runtime allocates
+// shadow state per goroutine, inflating AllocsPerRun by a few
+// non-product allocations.
+const raceDetectorEnabled = false
