@@ -32,12 +32,14 @@ race:
 	$(GO) test -race ./...
 
 # Focused race pass over the engine suites: the backend and core
-# packages (worker teams, batch barriers, carry stitching) re-run under
-# the race detector with fresh scheduling (-count=2) — a small size
-# matrix lives in the tests themselves (worker counts 1..8 × the
-# carry-edge label shapes).
+# packages (worker teams, batch barriers, carry stitching) plus the
+# server's stateful-plan traffic (concurrent update/query/run/evict)
+# re-run under the race detector with fresh scheduling (-count=2) — a
+# small size matrix lives in the tests themselves (worker counts 1..8
+# × the carry-edge label shapes).
 race-matrix:
-	$(GO) test -race -count=2 -run 'Sorted|Batch|Chunk|Plan' ./internal/backend ./internal/core
+	$(GO) test -race -count=2 -run 'Sorted|Batch|Chunk|Plan|Update|Incremental' ./internal/backend ./internal/core
+	$(GO) test -race -count=2 -run 'Update|Query|Warm|Metrics|Eviction|Stateful' ./internal/server
 
 # Each fuzz target runs briefly from its seed corpus plus FUZZTIME of
 # random inputs; failures minimize and persist under testdata/fuzz.
@@ -51,6 +53,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSortedParity$$' -fuzztime $(FUZZTIME) ./internal/backend
 	$(GO) test -run '^$$' -fuzz '^FuzzBatchParity$$' -fuzztime $(FUZZTIME) ./internal/backend
 	$(GO) test -run '^$$' -fuzz '^FuzzTiledParity$$' -fuzztime $(FUZZTIME) ./internal/backend
+	$(GO) test -run '^$$' -fuzz '^FuzzIncrementalParity$$' -fuzztime $(FUZZTIME) ./internal/backend
 
 # Tier-1+: the full robustness gate: lint (vet + the mplint analyzer
 # suite), race, fuzz smoke, a one-iteration pass over every benchmark

@@ -20,6 +20,14 @@ type Backend[T any] = backend.Backend[T]
 // vectors in one call into caller-owned destinations — fused on the
 // serial, sorted, chunked and vector plans (one worker-team round for
 // the whole batch, no result copies), a plain loop elsewhere.
+//
+// A Plan is also a stateful resource: Bind installs a resident value
+// vector, after which Update mutates single points and
+// QueryPrefix/ReduceLabel/Snapshot answer against the maintained
+// state — O(log n) per point for invertible fast ops (int64/float64
+// sum) via per-label Fenwick accumulators, full re-evaluation
+// otherwise. Version reports the monotonically increasing state
+// identity that Bind and Update advance.
 type Plan[T any] = backend.Plan[T]
 
 // UnknownBackendError is returned when a backend name is not in the

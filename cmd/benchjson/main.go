@@ -129,6 +129,29 @@ type BatchEntry struct {
 	Speedup        float64 `json:"speedup"`
 }
 
+// UpdateEntry compares, on a bound stateful plan, one point update
+// plus one point query against the full re-evaluation they replace.
+// Mode records the plan's maintenance tier ("fenwick-int64",
+// "fenwick-float64", or "rerun" for non-invertible ops), Burst the
+// calibrated update budget before the Fenwick tiers fall back to a
+// full refresh. Speedup is ns_full_rerun / (ns_update +
+// ns_query_prefix): what a single dirty point costs against
+// recomputing everything.
+type UpdateEntry struct {
+	Backend       string  `json:"backend"`
+	Elem          string  `json:"elem"`
+	Op            string  `json:"op"`
+	N             int     `json:"n"`
+	M             int     `json:"m"`
+	Mode          string  `json:"mode"`
+	Burst         int     `json:"burst"`
+	NsFullRerun   float64 `json:"ns_full_rerun"`
+	NsUpdate      float64 `json:"ns_update"`
+	NsQueryPrefix float64 `json:"ns_query_prefix"`
+	NsReduceLabel float64 `json:"ns_reduce_label"`
+	Speedup       float64 `json:"speedup"`
+}
+
 // Report is the full snapshot.
 type Report struct {
 	GoVersion      string        `json:"go_version"`
@@ -142,6 +165,7 @@ type Report struct {
 	TiledVsSerial  []TiledEntry  `json:"tiled_vs_serial"`
 	Calibration    *Calibration  `json:"calibration"`
 	Batch          []BatchEntry  `json:"batch"`
+	UpdateVsRerun  []UpdateEntry `json:"update_vs_rerun"`
 	Vectorized     []VecEntry    `json:"vectorized"`
 }
 
@@ -202,6 +226,80 @@ func measureMin(fn func()) float64 {
 		best = min(best, ns)
 	}
 	return best
+}
+
+// measureUpdate times one update_vs_rerun row: bind vals on a fresh
+// plan, then measure a full re-evaluation, a single alternating point
+// update, and the point queries that read the maintained state. On the
+// Fenwick tiers a query is interleaved every 256 updates so the
+// plan's pending counter never crosses its burst budget mid-measurement
+// (the query resets it); its O(log n) cost is amortized into the
+// update number at well under 1%. On the re-run tier the update is
+// measured bare (a dirty mark, no burst machinery) and each measured
+// query is preceded by an update so it honestly pays the refresh a
+// dirty point forces.
+func measureUpdate[T any](report *Report, backendName, elem, opName string, op core.Op[T], vals []T, labels []int, m int, alt [2]T, cfg core.Config) {
+	be, err := backend.Open[T](backendName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := be.Plan(op, labels, m, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer plan.Close()
+	if err := plan.Bind(vals); err != nil {
+		log.Fatal(err)
+	}
+	check := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	n := len(vals)
+	idx := n / 2
+	lab := labels[idx]
+	fenwick := strings.HasPrefix(plan.IncStats().Mode, "fenwick")
+
+	rerunNs := measureMin(func() { _, err := plan.Run(vals); check(err) })
+
+	flip := 0
+	updNs, _, _ := measure(func() {
+		check(plan.Update(idx, alt[flip&1]))
+		flip++
+		if fenwick && flip&255 == 0 {
+			_, err := plan.QueryPrefix(idx)
+			check(err)
+		}
+	})
+	qNs, _, _ := measure(func() {
+		if !fenwick {
+			check(plan.Update(idx, alt[flip&1]))
+			flip++
+		}
+		_, err := plan.QueryPrefix(idx)
+		check(err)
+	})
+	rNs, _, _ := measure(func() {
+		if !fenwick {
+			check(plan.Update(idx, alt[flip&1]))
+			flip++
+		}
+		_, err := plan.ReduceLabel(lab)
+		check(err)
+	})
+
+	st := plan.IncStats()
+	entry := UpdateEntry{
+		Backend: backendName, Elem: elem, Op: opName, N: n, M: m,
+		Mode: st.Mode, Burst: st.Burst,
+		NsFullRerun: rerunNs, NsUpdate: updNs,
+		NsQueryPrefix: qNs, NsReduceLabel: rNs,
+		Speedup: rerunNs / (updNs + qNs),
+	}
+	report.UpdateVsRerun = append(report.UpdateVsRerun, entry)
+	fmt.Printf("%-10s update   n=%-8d m=%-5d %-15s %10.0f ns rerun %8.1f ns upd %8.1f ns query %8.0fx\n",
+		backendName+"/"+elem, n, m, st.Mode, rerunNs, updNs, qNs, entry.Speedup)
 }
 
 func main() {
@@ -492,6 +590,27 @@ func main() {
 			}
 			plan.Close()
 		}
+	}
+
+	// Update vs re-run: a bound stateful plan maintaining its answers
+	// through single-point updates, against the full re-evaluation each
+	// dirty point would otherwise force. The int64/float64 sum rows ride
+	// the O(log n) Fenwick tiers; the max row is the honest non-invertible
+	// baseline where every dirtying query pays a full re-run.
+	{
+		n, m := 1<<18, 1<<10
+		if *quick {
+			n, m = 1<<16, 1<<8
+		}
+		ivals, labels := input(n, m)
+		fvals := make([]float64, n)
+		for i, v := range ivals {
+			fvals[i] = float64(v)
+		}
+		measureUpdate(&report, "serial", "int64", "sum", core.AddInt64, ivals, labels, m, [2]int64{3, 4}, cfg)
+		measureUpdate(&report, "sorted", "int64", "sum", core.AddInt64, ivals, labels, m, [2]int64{3, 4}, cfg)
+		measureUpdate(&report, "serial", "float64", "sum", core.AddFloat64, fvals, labels, m, [2]float64{3, 4}, cfg)
+		measureUpdate(&report, "serial", "int64", "max", core.MaxInt64, ivals, labels, m, [2]int64{3, 4}, cfg)
 	}
 
 	// Simulated vectorized engine: the paper's clocks-per-element

@@ -15,6 +15,13 @@
 // backend registry, including the sorted segmented-scan engine
 // ("sorted") and the simulated machines ("vector", "pram").
 //
+// -update "i=v,i=v" switches to the stateful plan path: the stdin
+// vector is bound as resident plan state, each point update is applied
+// in order (O(log n) per point for invertible fast ops via the plan's
+// Fenwick accumulators, full re-evaluation otherwise), and the final
+// maintained multiprefix is printed. With -v the plan's maintenance
+// mode and resulting version are reported on stderr.
+//
 // -calibrate skips the computation and prints the measured memory
 // probe the auto engine calibrates against (streaming/copy bandwidth,
 // the random-access latency ladder, and the derived tile budget),
@@ -31,6 +38,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 
 	"multiprefix"
@@ -46,6 +54,7 @@ func main() {
 	flag.StringVar(backendName, "engine", "auto", "alias for -backend")
 	reduceOnly := flag.Bool("reduce", false, "print only the per-label reductions (multireduce)")
 	verbose := flag.Bool("v", false, "report the engine the auto selector picked")
+	update := flag.String("update", "", `point updates "i=v,i=v" applied to the bound plan before printing`)
 	calibrate := flag.Bool("calibrate", false, "print the measured auto-calibration probe and exit")
 	flag.Parse()
 
@@ -117,6 +126,11 @@ func main() {
 			multiprefix.AutoChoice(len(values), m, cfg), len(values), m)
 	}
 
+	if *update != "" {
+		runStateful(be, op, values, labels, m, cfg, *update, *verbose, *reduceOnly)
+		return
+	}
+
 	res, err := be.Compute(op, values, labels, m, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -131,6 +145,65 @@ func main() {
 	}
 	fmt.Fprintln(w, "# label reduction")
 	for k, r := range res.Reductions {
+		fmt.Fprintf(w, "%d %d\n", k, r)
+	}
+}
+
+// runStateful serves the -update path: build a plan, bind the stdin
+// vector as its resident state, apply each "i=v" point update in
+// order, and print the maintained multiprefix and reductions from a
+// snapshot — exercising the same incremental machinery the service's
+// /v1/update + /v1/query endpoints run on.
+func runStateful(be multiprefix.Backend[int64], op multiprefix.Op[int64], values []int64, labels []int, m int, cfg multiprefix.Config, spec string, verbose, reduceOnly bool) {
+	plan, err := be.Plan(op, labels, m, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer plan.Close()
+	if err := plan.Bind(values); err != nil {
+		log.Fatal(err)
+	}
+	applied := 0
+	for _, part := range strings.Split(spec, ",") {
+		is, vs, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			log.Fatalf("-update: %q is not i=v", part)
+		}
+		i, err := strconv.Atoi(strings.TrimSpace(is))
+		if err != nil {
+			log.Fatalf("-update: index %q: %v", is, err)
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(vs), 10, 64)
+		if err != nil {
+			log.Fatalf("-update: value %q: %v", vs, err)
+		}
+		if err := plan.Update(i, v); err != nil {
+			log.Fatalf("-update %s: %v", part, err)
+		}
+		values[i] = v
+		applied++
+	}
+	multi := make([]int64, len(values))
+	red := make([]int64, m)
+	version, err := plan.Snapshot(multi, red)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if verbose {
+		st := plan.IncStats()
+		fmt.Fprintf(os.Stderr, "mp: plan mode=%s version=%d applied=%d fenwick_updates=%d fenwick_queries=%d reruns=%d\n",
+			st.Mode, version, applied, st.FenwickUpdates, st.FenwickQueries, st.Reruns)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if !reduceOnly {
+		fmt.Fprintln(w, "# i label value multiprefix")
+		for i := range values {
+			fmt.Fprintf(w, "%d %d %d %d\n", i, labels[i], values[i], multi[i])
+		}
+	}
+	fmt.Fprintln(w, "# label reduction")
+	for k, r := range red {
 		fmt.Fprintf(w, "%d %d\n", k, r)
 	}
 }

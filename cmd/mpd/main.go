@@ -5,9 +5,12 @@
 //	POST /v1/multireduce        per-label reductions only
 //	POST /v1/multiprefix/batch  many vectors against one label set
 //	POST /v1/multireduce/batch  batch form of the reductions
+//	POST /v1/update             bind/mutate a plan's resident values
+//	POST /v1/query              point reads over resident values
 //	GET  /v1/stats              atomic counter snapshot
+//	GET  /metrics               Prometheus text exposition
 //	GET  /healthz               process liveness (stays 200 during drain)
-//	GET  /readyz                traffic readiness (503 once draining)
+//	GET  /readyz                traffic readiness (503 while warming or draining)
 //
 // Robustness is the point: admission control sheds load with 429
 // before work lands on the engine teams, per-request deadlines
@@ -62,6 +65,7 @@ func main() {
 		retryAfter   = flag.Duration("retry-after", 0, "Retry-After hint on 429/503 (0 = 1s)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "max time to wait for in-flight requests on SIGTERM")
 		chaos        = flag.String("chaos", "", `deterministic fault injection: "panic=N,cancel=N,seed=S" (0 or absent disables a point)`)
+		warm         = flag.String("warm", "", "plan-cache warm file: pre-build persisted plans before readiness, re-persist the live key set on drain")
 	)
 	flag.Parse()
 
@@ -85,6 +89,21 @@ func main() {
 
 	srv := server.New(opts)
 	hs := &http.Server{Handler: srv.Handler()}
+
+	// Warm before readiness: /readyz stays 503 {"status":"warming"}
+	// while the previous process's plan set pre-builds, so a load
+	// balancer never routes traffic into a cold cache.
+	if *warm != "" {
+		srv.BeginWarm()
+		go func() {
+			n, err := srv.WarmFromFile(*warm)
+			if err != nil {
+				log.Printf("mpd: warm: %v", err)
+				return
+			}
+			log.Printf("mpd: warm: %d plans pre-built from %s", n, *warm)
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -116,6 +135,15 @@ func main() {
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("mpd: shutdown: %v", err)
+	}
+	// Persist the live plan key set after in-flight traffic settles but
+	// before Close empties the cache, so the next process can warm it.
+	if *warm != "" {
+		if err := srv.PersistPlansToFile(*warm); err != nil {
+			log.Printf("mpd: persist plans: %v", err)
+		} else {
+			log.Printf("mpd: persisted plan key set to %s", *warm)
+		}
 	}
 	srv.Close()
 	st := srv.Stats()

@@ -13,6 +13,24 @@ package backend
 // Key identifies a plan's construction input for caching. Two plans
 // built from inputs with equal Keys *and* equal label vectors are
 // interchangeable. Key is comparable and so usable as a map key.
+//
+// Key deliberately covers only the *construction* input — it is
+// label-structure identity, not state identity. A plan is also a
+// stateful resource (Bind/Update, see incremental.go), and mutating
+// resident values must NOT move the plan to a different cache slot:
+// the whole point of an incremental update is that the expensive
+// label-derived structure is reused. The division of labor is
+//
+//   - Key: which plan serves this (backend, op, labels, m) — stable
+//     across Bind and Update;
+//   - Plan.Version: which state of that plan an answer corresponds to
+//     — bumped by every Bind and Update, pinned and compared by the
+//     service layer (and its request coalescer, which refuses to fuse
+//     requests pinned to different versions).
+//
+// Cache eviction closes the plan and discards resident state with it;
+// clients then observe ErrNotBound and must re-Bind, never a silently
+// resurrected stale vector.
 type Key struct {
 	// Backend is the registry name the plan is opened under.
 	Backend string

@@ -69,6 +69,14 @@ const (
 // write into caller-owned destinations and are therefore safe
 // end-to-end (a batch of one is the degenerate form). This is exactly
 // how the service layer drives one cached Plan from many requests.
+//
+// A Plan is also a stateful, versioned resource: Bind installs a
+// resident value vector and Update/QueryPrefix/ReduceLabel maintain
+// and query it incrementally — O(log n) Fenwick deltas for invertible
+// fast sums, dirty-set + full re-run otherwise (see incremental.go).
+// The stateful entry points hold the same lock, scalar results are
+// returned by value and Snapshot copies into caller storage, so
+// mixed Run/Update/Query traffic never observes torn state.
 type Plan[T any] struct {
 	// mu serializes every public entry point: one evaluation (or
 	// Close) at a time per Plan.
@@ -142,6 +150,44 @@ type Plan[T any] struct {
 	vreduce      func(values []T) ([]T, error)
 	vrunBatch    func(dsts, srcs [][]T) error
 	vreduceBatch func(dsts, srcs [][]T) error
+
+	// incremental (stateful) extension — see incremental.go. Built
+	// lazily at the first Bind; serialized by mu like every evaluation.
+	//mp:guarded-by mu
+	bound bool
+	//mp:guarded-by mu
+	vals []T // resident value vector (plan-owned copy)
+	//mp:guarded-by mu
+	snapMulti []T // copy-on-refresh full multiprefix over vals
+	//mp:guarded-by mu
+	snapRed []T // copy-on-refresh reductions over vals
+	//mp:guarded-by mu
+	snapClean bool // snapshot matches vals exactly
+	//mp:guarded-by mu
+	imode incMode // maintenance tier (operator + element type)
+	//mp:guarded-by mu
+	iperm []int32 // counting-sort permutation (aliases sperm on sorted plans)
+	//mp:guarded-by mu
+	istart []int32 // per-label run bounds, len m+1 (aliases sstart)
+	//mp:guarded-by mu
+	ipos []int32 // inverse permutation: sorted position of element i
+	//mp:guarded-by mu
+	ftree []T // Fenwick tree over vals in sorted order
+	//mp:guarded-by mu
+	fstale bool // tree stopped tracking vals (update burst)
+	//mp:guarded-by mu
+	fdrift bool // float64 left the exact envelope (sticky until Bind)
+	//mp:guarded-by mu
+	fbound float64 // float64 exact-envelope bound (2^52/n)
+	//mp:guarded-by mu
+	burst int // calibrated update-vs-rerun crossover
+	//mp:guarded-by mu
+	pending int // tree deltas applied since the last query/rebuild
+	//mp:guarded-by mu
+	inc IncStats
+	// version counts Bind/Update mutations; atomic so Version() is
+	// lock-free (the service pins it without serializing on mu).
+	version atomic.Uint64
 
 	//mp:guarded-by mu
 	closed bool

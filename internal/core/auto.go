@@ -42,6 +42,11 @@ type AutoCalibration struct {
 	// 0 means DefaultTileBytes. The calibration derives it from the
 	// probe's random-update ladder.
 	TileBytes int
+	// UpdateBurst, when positive, pins the incremental plans'
+	// update-vs-rerun crossover to a constant (the MP_AUTOCAL=updburst
+	// override); 0 derives it per shape from the probe's cost model
+	// (MemProbe.UpdateBurst) or the folklore n/(4·log2 n) fallback.
+	UpdateBurst int
 }
 
 // sortedWins reports whether the sorted engine is predicted to beat
@@ -90,6 +95,28 @@ func AutoTileBytes(cfg Config) int {
 		return cal.TileBytes
 	}
 	return DefaultTileBytes
+}
+
+// AutoUpdateBurst resolves an incremental plan's update-vs-rerun
+// crossover for an n-element problem under cfg: an explicit
+// Config.AutoCal / MP_AUTOCAL pin, else the measured probe's cost
+// model (one rebuild vs. log-depth tree walks), else the folklore
+// n/(4·log2 n). The burst only re-orders maintenance work, never
+// results, so plans may consult it freely — the mirror of
+// AutoTileBytes for the update path.
+func AutoUpdateBurst(n int, cfg Config) int {
+	cal := cfg.AutoCal
+	if cal == nil {
+		c := defaultAutoCal()
+		cal = &c
+	}
+	if cal.UpdateBurst > 0 {
+		return cal.UpdateBurst
+	}
+	if cal.Probe != nil {
+		return cal.Probe.UpdateBurst(n)
+	}
+	return fallbackUpdateBurst(n)
 }
 
 // DefaultCalibration returns the resolved process-wide calibration the

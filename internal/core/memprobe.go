@@ -66,15 +66,16 @@ type MemProbe struct {
 // probe model constants — first-order fits whose job is to rank the
 // two engines per shape, not to predict absolute times.
 const (
-	probeAlpha     = 0.5  // dependent-chain overlap factor
-	probeSegBlend  = 64.0 // segment length below which gathers stop streaming
-	probeSegNs     = 10.0 // per-segment startup, ns
-	probeSortedK   = 4.0  // cache lines a short-segment element touches randomly (perm + gather + scatter) vs serial's one bucket
-	probeStreamB   = 24.0 // serial streamed bytes per element
-	probeSortedB   = 20.0 // sorted streamed bytes per element (int32 perm)
-	probeTileMin   = 1 << 18
-	probeTileMax   = 1 << 20
-	probeLadderTop = 1 << 23 // top rung must fit the probe scratch buffer
+	probeAlpha       = 0.5  // dependent-chain overlap factor
+	probeSegBlend    = 64.0 // segment length below which gathers stop streaming
+	probeSegNs       = 10.0 // per-segment startup, ns
+	probeSortedK     = 4.0  // cache lines a short-segment element touches randomly (perm + gather + scatter) vs serial's one bucket
+	probeStreamB     = 24.0 // serial streamed bytes per element
+	probeSortedB     = 20.0 // sorted streamed bytes per element (int32 perm)
+	probeUpdateLvlNs = 2.0  // per-tree-level fixed cost (index math + RMW), ns
+	probeTileMin     = 1 << 18
+	probeTileMax     = 1 << 20
+	probeLadderTop   = 1 << 23 // top rung must fit the probe scratch buffer
 )
 
 // streamNs is the modeled cost of streaming b bytes.
@@ -141,6 +142,59 @@ func (p *MemProbe) SortedNs(n, m, tileBytes int) float64 {
 	ws := min(n*tiledElemBytes, tileBytes)
 	perElem := p.streamNs(probeSortedB) + probeAlpha*blend*probeSortedK*p.randNetNs(ws) + probeSegNs/segLen
 	return float64(n) * perElem
+}
+
+// UpdateNs models one O(log n) Fenwick point update on an n-element
+// tree: log2(n) dependent read-modify-writes scattered across the 8n-
+// byte tree, each paying the (overlap-discounted) random-access
+// latency of that working set plus a fixed per-level arithmetic cost.
+func (p *MemProbe) UpdateNs(n int) float64 {
+	if n < 2 {
+		n = 2
+	}
+	levels := math.Log2(float64(n)) + 1
+	return levels * (probeAlpha*p.randNetNs(8*n) + probeUpdateLvlNs)
+}
+
+// RebuildNs models the O(n) Fenwick rebuild: stream the resident
+// values in and the tree out (16 bytes per element).
+func (p *MemProbe) RebuildNs(n int) float64 {
+	return float64(n) * p.streamNs(16)
+}
+
+// UpdateBurst is the measured update-vs-rerun crossover: the number
+// of buffered point updates between queries beyond which one O(n)
+// rebuild is cheaper than continuing to pay per-update tree walks.
+// An incremental plan applies updates to its accumulator up to this
+// burst, then marks the tree stale and rebuilds at the next query.
+func (p *MemProbe) UpdateBurst(n int) int {
+	up := p.UpdateNs(n)
+	if up <= 0 {
+		return fallbackUpdateBurst(n)
+	}
+	b := int(p.RebuildNs(n) / up)
+	if b < 1 {
+		b = 1
+	}
+	if b > n {
+		b = n
+	}
+	return b
+}
+
+// fallbackUpdateBurst is the folklore crossover when no probe ran
+// (MP_AUTOCAL=noprobe): a rebuild streams n elements, an update
+// touches ~log2(n) cache lines, and a scattered touch costs a few
+// streamed elements — n / (4·log2(n)).
+func fallbackUpdateBurst(n int) int {
+	if n < 2 {
+		return 1
+	}
+	b := n / (4 * int(math.Log2(float64(n))))
+	if b < 1 {
+		b = 1
+	}
+	return b
 }
 
 // MeasureMemProbe runs the probe: a few milliseconds of timed loops,
@@ -274,7 +328,8 @@ func defaultMemProbe() *MemProbe {
 }
 
 // parseAutoCalEnv parses MP_AUTOCAL: a comma-separated list of
-// "noprobe", "serialmax=N", "sortedminm=N", "tilebytes=N". Returns the
+// "noprobe", "serialmax=N", "sortedminm=N", "tilebytes=N",
+// "updburst=N". Returns the
 // field overrides (applied by calibrate on top of its defaults) and
 // whether the probe is disabled. Malformed entries are ignored — a
 // broken override must not take the library down.
@@ -316,6 +371,9 @@ func applyAutoCalEnv(cal AutoCalibration) AutoCalibration {
 	}
 	if v, ok := fields["tilebytes"]; ok {
 		cal.TileBytes = v
+	}
+	if v, ok := fields["updburst"]; ok {
+		cal.UpdateBurst = v
 	}
 	return cal
 }

@@ -64,6 +64,94 @@ type computeRequest struct {
 	// 0 selects the server default, values above the server maximum
 	// are clamped.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// PinVersion, when nonzero, pins this request to one plan state
+	// version (see /v1/update): the coalescer never fuses requests
+	// pinned to different versions, and the round is rejected with
+	// version_conflict if the plan has moved on by execution time.
+	PinVersion uint64 `json:"pin_version,omitempty"`
+}
+
+// pointUpdate is one resident-value replacement in an updateRequest.
+type pointUpdate struct {
+	// I is the element index in [0, n).
+	I int `json:"i"`
+	// V is the new resident value at I.
+	V int64 `json:"v"`
+}
+
+// updateRequest is the JSON body of /v1/update: bind and/or mutate the
+// resident value vector of the plan identified by (backend, op, labels,
+// m) — the same identity the compute endpoints use, so updates land on
+// exactly the cached plan that serves them.
+type updateRequest struct {
+	Op      string `json:"op"`
+	Backend string `json:"backend,omitempty"`
+	M       int    `json:"m"`
+	Labels  []int  `json:"labels"`
+	// Values, when present, (re)binds the full resident vector before
+	// Updates are applied (len == len(Labels)).
+	Values []int64 `json:"values,omitempty"`
+	// Updates are point updates applied in order after any bind.
+	Updates []pointUpdate `json:"updates,omitempty"`
+	// PinVersion, when nonzero, makes the request conditional: it is
+	// rejected with version_conflict unless the plan is at exactly this
+	// version when the update begins (optimistic concurrency).
+	PinVersion uint64 `json:"pin_version,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+}
+
+// updateResponse is the success body of /v1/update.
+type updateResponse struct {
+	Backend string `json:"backend"`
+	Op      string `json:"op"`
+	N       int    `json:"n"`
+	M       int    `json:"m"`
+	// Version is the plan's state version after the request's
+	// mutations; pin it in follow-up requests for consistency.
+	Version uint64 `json:"version"`
+	// Applied counts the point updates applied (excluding the bind).
+	Applied int `json:"applied"`
+	// Bound reports whether this request installed a fresh vector.
+	Bound bool `json:"bound,omitempty"`
+	// Mode is the plan's maintenance tier: fenwick-int64,
+	// fenwick-float64 or rerun.
+	Mode string `json:"mode"`
+}
+
+// queryRequest is the JSON body of /v1/query: point reads (and full
+// snapshots) over a plan's resident values.
+type queryRequest struct {
+	Op      string `json:"op"`
+	Backend string `json:"backend,omitempty"`
+	M       int    `json:"m"`
+	Labels  []int  `json:"labels"`
+	// Indices asks for the multiprefix value at each element index.
+	Indices []int `json:"indices,omitempty"`
+	// ReduceLabels asks for the reduction of each label.
+	ReduceLabels []int `json:"reduce_labels,omitempty"`
+	// Full asks for the complete multiprefix and reduction vectors.
+	Full bool `json:"full,omitempty"`
+	// PinVersion, when nonzero, demands the answers correspond to
+	// exactly this state version; concurrent mutation yields
+	// version_conflict instead of a torn multi-point read.
+	PinVersion uint64 `json:"pin_version,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+}
+
+// queryResponse is the success body of /v1/query. Prefix and Reduce
+// are parallel to the request's Indices and ReduceLabels.
+type queryResponse struct {
+	Backend string  `json:"backend"`
+	Op      string  `json:"op"`
+	N       int     `json:"n"`
+	M       int     `json:"m"`
+	Version uint64  `json:"version"`
+	Prefix  []int64 `json:"prefix,omitempty"`
+	Reduce  []int64 `json:"reduce,omitempty"`
+	// Multi and Reductions carry the full vectors when Full is set.
+	Multi      []int64 `json:"multi,omitempty"`
+	Reductions []int64 `json:"reductions,omitempty"`
+	Mode       string  `json:"mode"`
 }
 
 // computeResponse is the success body of the single-vector endpoints.
@@ -134,7 +222,18 @@ const (
 	kindEnginePanic = "engine_panic"
 	kindInternal    = "internal"
 	kindMethod      = "method_not_allowed"
+	// kindVersionConflict (409): the request pinned a plan state
+	// version the plan is no longer at. Re-read and retry.
+	kindVersionConflict = "version_conflict"
+	// kindNotBound (409): the plan has no resident value vector —
+	// never bound, or its cache entry was evicted (eviction discards
+	// resident state). Re-bind via /v1/update with values.
+	kindNotBound = "not_bound"
 )
+
+// errVersionConflict is the pipeline's optimistic-concurrency
+// rejection: the plan's version moved past the request's pin.
+var errVersionConflict = errors.New("plan version conflict")
 
 // classify maps an engine or pipeline error to its HTTP status and
 // typed kind — the single place the degradation ladder's outcomes
@@ -145,6 +244,12 @@ func classify(err error) (int, string) {
 	switch {
 	case errors.As(err, &ub):
 		return http.StatusBadRequest, kindUnknownBack
+	case errors.Is(err, errVersionConflict):
+		return http.StatusConflict, kindVersionConflict
+	case errors.Is(err, backend.ErrNotBound):
+		// Checked before the general ErrBadInput class it wraps: the
+		// remedy is different (re-bind, not fix the request).
+		return http.StatusConflict, kindNotBound
 	case errors.Is(err, core.ErrBadInput):
 		return http.StatusBadRequest, kindBadInput
 	case errors.Is(err, context.DeadlineExceeded):

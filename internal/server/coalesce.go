@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -34,9 +35,13 @@ type outcome struct {
 
 // groupKey identifies a coalescing group: every pending vector on the
 // same plan with the same result shape can share one fused batch.
+// Version-pinned requests group by their pin as well — requests pinned
+// to different plan state versions must never fuse, since at most one
+// of the pins can match the plan at execution time (pin 0 = unpinned).
 type groupKey struct {
 	plan   *backend.Plan[int64]
 	reduce bool
+	pin    uint64
 }
 
 type group struct {
@@ -65,8 +70,8 @@ func newCoalescer(s *Server) *coalescer {
 // submit queues one vector. The caller must hold a pin on entry until
 // it has received on it.done — that pin is what keeps entry.plan's
 // team alive while the group uses it.
-func (c *coalescer) submit(entry *planEntry, reduce bool, it *pending) {
-	k := groupKey{plan: entry.plan, reduce: reduce}
+func (c *coalescer) submit(entry *planEntry, reduce bool, pin uint64, it *pending) {
+	k := groupKey{plan: entry.plan, reduce: reduce, pin: pin}
 	c.mu.Lock()
 	g := c.groups[k]
 	if g == nil {
@@ -103,7 +108,7 @@ func (c *coalescer) run(k groupKey, g *group) {
 			g.items = nil
 		}
 		c.mu.Unlock()
-		c.s.execute(g.entry, k.reduce, batch)
+		c.s.execute(g.entry, k.reduce, k.pin, batch)
 	}
 }
 
@@ -123,7 +128,13 @@ func (c *coalescer) run(k groupKey, g *group) {
 //     panic) is retried once, hook-free, on a cached serial plan —
 //     core.Fallback's semantics lifted to the service.
 //  5. What remains is a typed error for exactly the affected request.
-func (s *Server) execute(e *planEntry, reduce bool, batch []*pending) {
+//
+// A version-pinned batch (pin != 0) additionally checks the plan's
+// state version at round start: if an update moved the plan past the
+// pin while the batch was queued, every member fails typed with
+// version_conflict instead of computing against state the caller did
+// not ask about.
+func (s *Server) execute(e *planEntry, reduce bool, pin uint64, batch []*pending) {
 	live := make([]*pending, 0, len(batch))
 	for _, it := range batch {
 		if err := it.ctx.Err(); err != nil {
@@ -135,6 +146,16 @@ func (s *Server) execute(e *planEntry, reduce bool, batch []*pending) {
 	}
 	if len(live) == 0 {
 		return
+	}
+	if pin != 0 {
+		if cur := e.plan.Version(); cur != pin {
+			err := fmt.Errorf("%w: plan is at version %d, request pinned %d", errVersionConflict, cur, pin)
+			s.st.versionConflicts.Add(uint64(len(live)))
+			for _, it := range live {
+				it.done <- outcome{err: err}
+			}
+			return
+		}
 	}
 
 	s.st.fusedRounds.Add(1)

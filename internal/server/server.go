@@ -3,7 +3,6 @@ package server
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -120,6 +119,12 @@ type stats struct {
 	chaosPanics      atomic.Uint64
 	chaosCancels     atomic.Uint64
 	inFlight         atomic.Int64
+	updateRequests   atomic.Uint64
+	queryRequests    atomic.Uint64
+	updatesApplied   atomic.Uint64
+	versionConflicts atomic.Uint64
+	notBound         atomic.Uint64
+	warmedPlans      atomic.Uint64
 }
 
 // StatsSnapshot is the JSON shape of /v1/stats.
@@ -145,6 +150,13 @@ type StatsSnapshot struct {
 	ChaosCancels     uint64 `json:"chaos_cancels"`
 	InFlight         int64  `json:"in_flight"`
 	Draining         bool   `json:"draining"`
+	UpdateRequests   uint64 `json:"update_requests"`
+	QueryRequests    uint64 `json:"query_requests"`
+	UpdatesApplied   uint64 `json:"updates_applied"`
+	VersionConflicts uint64 `json:"version_conflicts"`
+	NotBound         uint64 `json:"not_bound"`
+	WarmedPlans      uint64 `json:"warmed_plans"`
+	Warming          bool   `json:"warming"`
 }
 
 // Server is the multiprefix service. Construct with New, mount
@@ -159,8 +171,11 @@ type Server struct {
 	base     context.Context
 	stop     context.CancelFunc
 	draining atomic.Bool
-	seq      atomic.Uint64
-	mux      *http.ServeMux
+	// warming holds /readyz at 503 while BeginWarm/WarmFromFile
+	// pre-build persisted plans (see warm.go).
+	warming atomic.Bool
+	seq     atomic.Uint64
+	mux     *http.ServeMux
 }
 
 // New builds a Server from opts (zero value = defaults).
@@ -175,7 +190,10 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/v1/multireduce", s.handleCompute(true, false))
 	s.mux.HandleFunc("/v1/multiprefix/batch", s.handleCompute(false, true))
 	s.mux.HandleFunc("/v1/multireduce/batch", s.handleCompute(true, true))
+	s.mux.HandleFunc("/v1/update", s.handleUpdate)
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/readyz", s.handleReady)
 	return s
@@ -227,6 +245,13 @@ func (s *Server) Stats() StatsSnapshot {
 		ChaosCancels:     s.st.chaosCancels.Load(),
 		InFlight:         s.st.inFlight.Load(),
 		Draining:         s.draining.Load(),
+		UpdateRequests:   s.st.updateRequests.Load(),
+		QueryRequests:    s.st.queryRequests.Load(),
+		UpdatesApplied:   s.st.updatesApplied.Load(),
+		VersionConflicts: s.st.versionConflicts.Load(),
+		NotBound:         s.st.notBound.Load(),
+		WarmedPlans:      s.st.warmedPlans.Load(),
+		Warming:          s.warming.Load(),
 	}
 }
 
@@ -241,67 +266,24 @@ func (s *Server) handleCompute(reduce, batchEP bool) http.HandlerFunc {
 			s.writeError(w, http.StatusMethodNotAllowed, kindMethod, "POST only")
 			return
 		}
-		if s.draining.Load() {
-			s.st.rejectedDraining.Add(1)
-			s.retryAfter(w)
-			s.writeError(w, http.StatusServiceUnavailable, kindDraining, "server is draining")
-			return
-		}
 		// Admission: a bounded in-flight pool, shedding instead of
 		// queueing — an overloaded multiprefix service must say so
 		// before the work lands on the teams, not time out after.
-		select {
-		case s.slots <- struct{}{}:
-		default:
-			s.st.shed.Add(1)
-			s.retryAfter(w)
-			s.writeError(w, http.StatusTooManyRequests, kindOverloaded,
-				fmt.Sprintf("in-flight limit %d reached", s.opts.MaxInFlight))
-			return
-		}
-		s.st.inFlight.Add(1)
-		defer func() {
-			s.st.inFlight.Add(-1)
-			<-s.slots
-		}()
-
-		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBody)
-		var req computeRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			var mbe *http.MaxBytesError
-			if errors.As(err, &mbe) {
-				s.writeError(w, http.StatusRequestEntityTooLarge, kindTooLarge,
-					fmt.Sprintf("body exceeds %d bytes", s.opts.MaxBody))
-				return
-			}
-			s.writeError(w, http.StatusBadRequest, kindBadInput, "malformed JSON: "+err.Error())
-			return
-		}
-		op, ok := ops[req.Op]
+		release, ok := s.admit(w)
 		if !ok {
-			s.writeError(w, http.StatusBadRequest, kindBadInput, fmt.Sprintf("unknown op %q", req.Op))
 			return
 		}
-		backendName := req.Backend
-		if backendName == "" {
-			backendName = s.opts.Backend
+		defer release()
+
+		var req computeRequest
+		if !s.decodeJSON(w, r, &req) {
+			return
 		}
-		if !serviceBackends[backendName] {
-			s.writeError(w, http.StatusBadRequest, kindUnknownBack,
-				fmt.Sprintf("backend %q is not served (want auto, serial, sorted, chunked, parallel or spinetree)", backendName))
+		op, backendName, ok := s.resolvePlanIdent(w, req.Op, req.Backend, req.Labels, req.M)
+		if !ok {
 			return
 		}
 		n := len(req.Labels)
-		if n > s.opts.MaxN {
-			s.writeError(w, http.StatusBadRequest, kindBadInput,
-				fmt.Sprintf("n=%d exceeds limit %d", n, s.opts.MaxN))
-			return
-		}
-		if req.M > s.opts.MaxM {
-			s.writeError(w, http.StatusBadRequest, kindBadInput,
-				fmt.Sprintf("m=%d exceeds limit %d", req.M, s.opts.MaxM))
-			return
-		}
 		var vectors [][]int64
 		if batchEP {
 			if len(req.Batch) == 0 {
@@ -322,14 +304,7 @@ func (s *Server) handleCompute(reduce, batchEP bool) http.HandlerFunc {
 
 		// Per-request deadline, propagated into the engines via the
 		// plan Call context.
-		d := s.opts.DefaultDeadline
-		if req.DeadlineMS > 0 {
-			d = time.Duration(req.DeadlineMS) * time.Millisecond
-		}
-		if d > s.opts.MaxDeadline {
-			d = s.opts.MaxDeadline
-		}
-		ctx, cancel := context.WithTimeout(r.Context(), d)
+		ctx, cancel := s.requestCtx(r.Context(), req.DeadlineMS)
 		defer cancel()
 		deadline, _ := ctx.Deadline()
 
@@ -356,7 +331,7 @@ func (s *Server) handleCompute(reduce, batchEP bool) http.HandlerFunc {
 				deadline: deadline,
 				done:     make(chan outcome, 1),
 			}
-			s.coal.submit(entry, reduce, items[i])
+			s.coal.submit(entry, reduce, req.PinVersion, items[i])
 		}
 		outs := make([]outcome, len(items))
 		for i, it := range items {
@@ -462,6 +437,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	if s.warming.Load() {
+		// Cache warming in progress: traffic admitted now would pay the
+		// cold plan builds the warm pass exists to absorb.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "warming"})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})

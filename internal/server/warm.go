@@ -1,0 +1,132 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+)
+
+// Plan-cache warming: a fresh process serves its first requests at
+// cold-cache cost — every distinct label vector pays a full plan build
+// while traffic waits. The previous process knew exactly which plans
+// were worth having: its cache survived the LRU. So on drain the
+// server persists its live key set (PersistPlansToFile), and the next
+// process pre-builds those plans before /readyz flips
+// (BeginWarm + WarmFromFile), turning restart cold-start into a
+// bounded offline cost.
+//
+// The file holds construction inputs only — backend, wire op name,
+// label vector, m. Resident state (Bind/Update) is deliberately NOT
+// persisted: versions are process-local and a restart is an eviction
+// writ large, so clients observe not_bound and re-bind, never a
+// silently stale vector.
+
+// warmKey is one persisted plan identity.
+type warmKey struct {
+	Backend string `json:"backend"`
+	Op      string `json:"op"` // wire name: sum, max, ...
+	M       int    `json:"m"`
+	Labels  []int  `json:"labels"`
+}
+
+// opWireNames maps core operator names back to their wire names,
+// inverting the ops table (construction keys store core names).
+var opWireNames = func() map[string]string {
+	w := make(map[string]string, len(ops))
+	for wire, op := range ops {
+		w[op.Name] = wire
+	}
+	return w
+}()
+
+// BeginWarm flips the server into warming: /readyz answers 503
+// {"status":"warming"} until WarmFromFile completes. Call before
+// serving so a load balancer holds traffic during the pre-build.
+func (s *Server) BeginWarm() { s.warming.Store(true) }
+
+// WarmFromFile pre-builds every plan recorded in the persisted key set
+// at path, then ends warming (even on error — a bad warm file must not
+// wedge readiness forever). A missing file is a clean first boot:
+// (0, nil). Entries that no longer validate (unknown backend or op,
+// shape over the server limits) are skipped, not fatal: the file may
+// come from a different configuration.
+func (s *Server) WarmFromFile(path string) (warmed int, err error) {
+	defer s.warming.Store(false)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("reading warm file: %w", err)
+	}
+	var keys []warmKey
+	if err := json.Unmarshal(data, &keys); err != nil {
+		return 0, fmt.Errorf("parsing warm file %s: %w", path, err)
+	}
+	for _, k := range keys {
+		op, ok := ops[k.Op]
+		if !ok || !serviceBackends[k.Backend] {
+			continue
+		}
+		if len(k.Labels) > s.opts.MaxN || k.M > s.opts.MaxM {
+			continue
+		}
+		entry, err := s.cache.acquire(k.Backend, op, k.Labels, k.M)
+		if err != nil {
+			continue // a plan that won't build now won't build for traffic either
+		}
+		s.cache.release(entry)
+		warmed++
+		s.st.warmedPlans.Add(1)
+	}
+	return warmed, nil
+}
+
+// PersistPlansToFile writes the cache's live key set to path, most
+// recently used first, for the next process's WarmFromFile. Call
+// between Drain/Shutdown and Close (Close empties the cache).
+func (s *Server) PersistPlansToFile(path string) error {
+	keys := s.cache.warmKeys()
+	data, err := json.MarshalIndent(keys, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// warmKeys snapshots the cache's live construction inputs in LRU order
+// (most recently used first, so a capacity-trimmed warm pass keeps the
+// hottest plans).
+func (c *planCache) warmKeys() []warmKey {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]warmKey, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*planEntry)
+		select {
+		case <-e.ready:
+		default:
+			continue // still building; the builder records it next drain
+		}
+		if e.err != nil || e.dead {
+			continue
+		}
+		wire, ok := opWireNames[e.op.Name]
+		if !ok {
+			continue
+		}
+		keys = append(keys, warmKey{
+			Backend: e.key.Backend,
+			Op:      wire,
+			M:       e.key.M,
+			Labels:  e.labels,
+		})
+	}
+	return keys
+}

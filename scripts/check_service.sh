@@ -8,8 +8,14 @@
 #   3. a chaos-panicked request is still answered (degradation ladder:
 #      200 + "fallback":"serial"),
 #   4. a malformed request gets a typed 400,
-#   5. draining rejects new work with 503 + Retry-After while SIGTERM
+#   5. stateful plans work end to end: bind resident values over
+#      /v1/update, point-update, pinned /v1/query reads the maintained
+#      answer, a stale pin is rejected 409 version_conflict, and
+#      /metrics exposes the counters in Prometheus text format,
+#   6. draining rejects new work with 503 + Retry-After while SIGTERM
 #      exits cleanly with zero dropped in-flight requests,
+#   7. the drain persisted the plan key set (-warm) and a second boot
+#      pre-builds it before readiness,
 # and builds cmd/mpload so the load generator cannot rot.
 set -euo pipefail
 
@@ -26,7 +32,7 @@ URL="http://127.0.0.1:$PORT"
 # panic=2: every second request hits an engine panic, so the ladder is
 # exercised by the smoke traffic itself.
 "$BIN/mpd" -addr "127.0.0.1:$PORT" -backend chunked -chaos "panic=2,seed=9" \
-  >"$BIN/mpd.log" 2>&1 &
+  -warm "$BIN/warm.json" >"$BIN/mpd.log" 2>&1 &
 MPD_PID=$!
 
 for i in $(seq 1 100); do
@@ -67,6 +73,33 @@ if [ "$CODE" != 400 ] || [ "$(jq -r .error.kind "$BIN/err.json")" != bad_input ]
   echo "check-service: bad op not rejected typed (code $CODE)"; exit 1
 fi
 
+# Stateful plans: bind resident values, point-update, then a query
+# pinned to the returned version must read the maintained answer; a
+# stale pin must be rejected typed.
+VER=$(curl -sf -X POST "$URL/v1/update" -d "$BODY" | jq .version)
+if [ "$VER" -lt 1 ]; then
+  echo "check-service: bind returned version $VER"; exit 1
+fi
+VER2=$(curl -sf -X POST "$URL/v1/update" \
+  -d '{"op":"sum","m":2,"labels":[0,1,0,1,0],"updates":[{"i":0,"v":9}]}' | jq .version)
+QRESP=$(curl -sf -X POST "$URL/v1/query" -d "{\"op\":\"sum\",\"m\":2,\"labels\":[0,1,0,1,0],\"indices\":[4],\"reduce_labels\":[0],\"pin_version\":$VER2}")
+# values [1,2,3,4,5] with element 0 updated to 9: label-0 prefix at
+# i=4 is 9+3=12, label-0 reduction 9+3+5=17.
+if [ "$(echo "$QRESP" | jq -c .prefix)" != '[12]' ] ||
+   [ "$(echo "$QRESP" | jq -c .reduce)" != '[17]' ]; then
+  echo "check-service: stateful query wrong: $QRESP"; exit 1
+fi
+CODE=$(curl -s -o "$BIN/pin.json" -w '%{http_code}' -X POST "$URL/v1/query" \
+  -d '{"op":"sum","m":2,"labels":[0,1,0,1,0],"indices":[4],"pin_version":1}')
+if [ "$CODE" != 409 ] || [ "$(jq -r .error.kind "$BIN/pin.json")" != version_conflict ]; then
+  echo "check-service: stale pin not rejected typed (code $CODE)"; exit 1
+fi
+curl -sf "$URL/metrics" >"$BIN/metrics.txt"
+grep -q '^mp_updates_applied_total 1$' "$BIN/metrics.txt" ||
+  { echo "check-service: /metrics missing updates counter"; exit 1; }
+grep -q '^mp_bound_plans 1$' "$BIN/metrics.txt" ||
+  { echo "check-service: /metrics missing bound-plans gauge"; exit 1; }
+
 # Drain: SIGTERM, then new work must see 503 (draining) or connection
 # refused (listener closed) — never a hang or a 5xx crash page.
 kill -TERM "$MPD_PID"
@@ -91,4 +124,28 @@ fi
 wait "$MPD_PID" || { echo "check-service: mpd exited nonzero"; cat "$BIN/mpd.log"; exit 1; }
 grep -q "drained:" "$BIN/mpd.log" || { echo "check-service: no drain summary"; cat "$BIN/mpd.log"; exit 1; }
 
-echo "check-service: ok (smoke, chaos ladder, typed errors, drain)"
+# Warm round-trip: the drain must have persisted the plan key set, and
+# a second boot must pre-build it before turning ready.
+[ -s "$BIN/warm.json" ] || { echo "check-service: drain left no warm file"; exit 1; }
+"$BIN/mpd" -addr "127.0.0.1:$PORT" -backend chunked -warm "$BIN/warm.json" \
+  >"$BIN/mpd2.log" 2>&1 &
+MPD_PID=$!
+for i in $(seq 1 100); do
+  if curl -sf "$URL/readyz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$MPD_PID" 2>/dev/null; then
+    echo "check-service: warmed mpd died on startup"; cat "$BIN/mpd2.log"; exit 1
+  fi
+  sleep 0.1
+done
+WARMED=$(curl -sf "$URL/v1/stats" | jq .warmed_plans)
+if [ "$WARMED" -lt 1 ]; then
+  echo "check-service: second boot warmed $WARMED plans"; cat "$BIN/mpd2.log"; exit 1
+fi
+kill -TERM "$MPD_PID"
+for i in $(seq 1 100); do
+  kill -0 "$MPD_PID" 2>/dev/null || break
+  sleep 0.1
+done
+wait "$MPD_PID" || { echo "check-service: warmed mpd exited nonzero"; cat "$BIN/mpd2.log"; exit 1; }
+
+echo "check-service: ok (smoke, chaos ladder, typed errors, stateful plans, metrics, drain, warm)"
