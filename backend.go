@@ -34,6 +34,13 @@ type Plan[T any] = backend.Plan[T]
 // registry; it wraps ErrBadInput and lists the known names.
 type UnknownBackendError = backend.UnknownBackendError
 
+// ShardStats describes a sharded plan's carry-exchange communication
+// schedule: shard count, the ⌈log₂S⌉ round bound, the rounds a run
+// actually executed, and the bytes each round moves between shards.
+// Its SimNs method prices the schedule on a modeled interconnect.
+// Populated by plans on the "sharded" backend; see Plan.ShardStats.
+type ShardStats = backend.ShardStats
+
 // Backends lists the registered backend names: "auto" (adaptive,
 // default), "serial", "sorted" (segmented scan over a stable
 // counting-sort permutation; best planned), "spinetree", "chunked",

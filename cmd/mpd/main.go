@@ -51,7 +51,7 @@ import (
 func main() {
 	var (
 		addr         = flag.String("addr", ":8722", "listen address (host:port; :0 picks a free port)")
-		backendName  = flag.String("backend", "auto", "default plan backend: auto, serial, sorted, chunked, parallel, spinetree")
+		backendName  = flag.String("backend", "auto", "default plan backend: auto, serial, sorted, sharded, chunked, parallel, spinetree")
 		workers      = flag.Int("workers", 0, "engine workers per plan (0 = GOMAXPROCS)")
 		maxInFlight  = flag.Int("max-inflight", 0, "max concurrently admitted compute requests (0 = 4x GOMAXPROCS); excess is shed with 429")
 		maxBody      = flag.Int64("max-body", 0, "max request body bytes (0 = 64 MiB)")
@@ -63,6 +63,8 @@ func main() {
 		batchCap     = flag.Int("batch-cap", 0, "max request vectors fused into one engine round (0 = 16)")
 		planCache    = flag.Int("plan-cache", 0, "plan cache capacity, LRU beyond it (0 = 64)")
 		retryAfter   = flag.Duration("retry-after", 0, "Retry-After hint on 429/503 (0 = 1s)")
+		clientRPS    = flag.Float64("client-rps", 0, "per-client fairness quota in requests/s, keyed by X-Client-ID (0 = no per-client limit)")
+		clientBurst  = flag.Int("client-burst", 0, "per-client token-bucket burst (0 = 2x -client-rps)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "max time to wait for in-flight requests on SIGTERM")
 		chaos        = flag.String("chaos", "", `deterministic fault injection: "panic=N,cancel=N,seed=S" (0 or absent disables a point)`)
 		warm         = flag.String("warm", "", "plan-cache warm file: pre-build persisted plans before readiness, re-persist the live key set on drain")
@@ -82,6 +84,8 @@ func main() {
 		BatchCap:        *batchCap,
 		PlanCacheCap:    *planCache,
 		RetryAfter:      *retryAfter,
+		ClientRPS:       *clientRPS,
+		ClientBurst:     *clientBurst,
 	}
 	if err := parseChaos(*chaos, &opts); err != nil {
 		log.Fatalf("mpd: bad -chaos: %v", err)

@@ -122,6 +122,12 @@ func (p *Plan[T]) runBatch(dsts, srcs [][]T, withMulti bool) error {
 			return p.sortedSerialBatch(dsts, srcs, withMulti)
 		}
 		return p.teamBatch(p.sortedBatchBody, dsts, srcs, withMulti)
+	case planSharded:
+		p.shMeasured = 0
+		if p.team == nil {
+			return p.sortedSerialBatch(dsts, srcs, withMulti)
+		}
+		return p.teamBatch(p.shBatchBody, dsts, srcs, withMulti)
 	case planChunked:
 		return p.teamBatch(p.chunkBatchBody, dsts, srcs, withMulti)
 	case planVector:

@@ -46,6 +46,12 @@ const (
 	// allocates its machine per run; Plan here only amortizes
 	// validation.
 	planPram
+	// planSharded: the scale-out decomposition — S contiguous element
+	// ranges each counting-sorted at plan time, scanned reduce-only per
+	// shard, carries combined in ⌈log₂S⌉ exclusive-prefix exchange
+	// rounds, then a seeded per-shard rescan for the prefixes (see
+	// sharded.go).
+	planSharded
 )
 
 // Plan is a prepared multiprefix pipeline over one fixed label
@@ -132,6 +138,26 @@ type Plan[T any] struct {
 	// n within one tile window); runs with a FaultHook skip it at
 	// dispatch since fast demotes to FastNone.
 	tiles []core.TileSegs
+
+	// sharded state (see sharded.go): S contiguous element ranges, each
+	// with its own counting-sort row over the shared full-length sperm;
+	// the flat S×m ping-pong carry buffers of the exclusive-prefix
+	// exchange; and the consistent-hash placement ring assigning each
+	// label's reduction write to exactly one owning shard
+	shardsN     int       // shard count S (== p.workers for the team)
+	shLo, shHi  []int     // element range per shard
+	shStart     [][]int32 // per-shard run-bound rows, each len m+1
+	shCarryA    []T       // flat S×m totals / exchange buffer (pass-1 target)
+	shCarryB    []T       // flat S×m exchange ping-pong partner
+	shRounds    int       // ⌈log₂S⌉
+	shRing      *hashRing // label → owning shard
+	shOwned     [][]int32 // ring-owned labels per shard
+	shBody      func(w int, bar *par.Barrier)
+	shBatchBody func(w int, bar *par.Barrier)
+	// shMeasured counts the exchange rounds the last evaluation actually
+	// executed (the simnet round assertion's ground truth).
+	//mp:guarded-by mu
+	shMeasured int // written by worker 0 between barriers
 
 	// batched execution state (read by the batch team bodies)
 	//mp:guarded-by mu
@@ -261,13 +287,15 @@ func (b impl[T]) Plan(op core.Op[T], labels []int, m int, cfg core.Config) (*Pla
 		// fallback-to-serial degradation of the one-shot Auto engine
 		// is preserved per run.
 		p.fallback = true
-		switch core.AutoChoice(p.n, m, cfg) {
+		switch core.AutoPlanChoice(p.n, m, cfg) {
 		case "chunked":
 			k = kindChunked
 		case "parallel":
 			k = kindParallel
 		case "sorted":
 			k = kindSorted
+		case "sharded":
+			k = kindSharded
 		default:
 			k = kindSerial
 		}
@@ -298,6 +326,10 @@ func (b impl[T]) Plan(op core.Op[T], labels []int, m int, cfg core.Config) (*Pla
 		p.red = make([]T, m)
 	case kindSorted:
 		if err := p.prepareSorted(); err != nil {
+			return nil, err
+		}
+	case kindSharded:
+		if err := p.prepareSharded(); err != nil {
 			return nil, err
 		}
 	case kindChunked:
@@ -545,6 +577,9 @@ func (p *Plan[T]) run(values []T) (core.Result[T], error) {
 	case planSorted:
 		err = p.runSorted(values, true)
 		res = core.Result[T]{Multi: p.multi, Reductions: p.red}
+	case planSharded:
+		err = p.runSharded(values, true)
+		res = core.Result[T]{Multi: p.multi, Reductions: p.red}
 	case planChunked:
 		err = p.runChunked(values, true)
 		res = core.Result[T]{Multi: p.multi, Reductions: p.red}
@@ -605,6 +640,10 @@ func (p *Plan[T]) reduce(values []T) ([]T, error) {
 		}
 	case planSorted:
 		if err = p.runSorted(values, false); err == nil {
+			red = p.red
+		}
+	case planSharded:
+		if err = p.runSharded(values, false); err == nil {
 			red = p.red
 		}
 	case planChunked:

@@ -1,0 +1,92 @@
+package backend
+
+import "sort"
+
+// hashRing is the consistent-hash label→shard placement ring of the
+// sharded engine. Each shard projects ringVnodes virtual points onto a
+// 32-bit circle; a label is owned by the shard whose next point
+// clockwise from the label's hash is nearest. Ownership decides which
+// shard writes a label's reduction after the carry exchange (one writer
+// per label keeps the extraction step EREW) and gives an even,
+// stable-under-resize placement: changing the shard count moves only
+// ~1/S of the labels, so a cluster deployment that resizes its shard
+// set invalidates only the moved labels' placements.
+type hashRing struct {
+	points []ringPoint
+	shards int
+}
+
+type ringPoint struct {
+	hash  uint32
+	shard int32
+}
+
+// ringVnodes is the virtual-point count per shard. 64 points keeps the
+// max/mean ownership skew under ~15% for the shard counts the engine
+// allows while the whole ring for 256 shards still fits in L2.
+const ringVnodes = 64
+
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// fnvU64 is FNV-1a over the 8 little-endian bytes of x.
+func fnvU64(x uint64) uint32 {
+	h := uint32(fnvOffset32)
+	for i := 0; i < 8; i++ {
+		h ^= uint32(x & 0xff)
+		h *= fnvPrime32
+		x >>= 8
+	}
+	return h
+}
+
+func newHashRing(shards int) *hashRing {
+	r := &hashRing{
+		points: make([]ringPoint, 0, shards*ringVnodes),
+		shards: shards,
+	}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < ringVnodes; v++ {
+			h := fnvU64(uint64(s)<<32 | uint64(v))
+			r.points = append(r.points, ringPoint{hash: h, shard: int32(s)})
+		}
+	}
+	// Ties broken by shard id so the ring is deterministic regardless of
+	// insertion order.
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.shard < b.shard
+	})
+	return r
+}
+
+// Lookup returns the shard owning label: the shard of the first ring
+// point at or clockwise of the label's hash, wrapping to the first
+// point past the top of the circle.
+func (r *hashRing) Lookup(label int) int {
+	h := fnvU64(uint64(label))
+	i := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].hash >= h
+	})
+	if i == len(r.points) {
+		i = 0
+	}
+	return int(r.points[i].shard)
+}
+
+// ownedLabels builds the per-shard owned-label lists for labels
+// 0..m−1. Every label appears in exactly one list; lists are ascending
+// (labels are visited in order).
+func (r *hashRing) ownedLabels(m int) [][]int32 {
+	owned := make([][]int32, r.shards)
+	for l := 0; l < m; l++ {
+		s := r.Lookup(l)
+		owned[s] = append(owned[s], int32(l))
+	}
+	return owned
+}

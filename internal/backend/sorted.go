@@ -77,12 +77,7 @@ func (p *Plan[T]) prepareSorted() error {
 //
 //mp:locked
 func (p *Plan[T]) prepareTiles() {
-	if p.op.Fast != core.FastAdd && p.op.Fast != core.FastMax {
-		return
-	}
-	switch any(p.multi).(type) {
-	case []int64, []float64:
-	default:
+	if !core.FastScans[T](p.op.Fast) {
 		return
 	}
 	window := core.TileWindow(p.n, core.AutoTileBytes(p.cfg))
@@ -123,7 +118,7 @@ func (p *Plan[T]) Tiled() bool {
 //
 //mp:locked
 func (p *Plan[T]) tiledRun(fast core.FastOp) bool {
-	return p.tiles != nil && (fast == core.FastAdd || fast == core.FastMax)
+	return p.tiles != nil && core.FastScans[T](fast)
 }
 
 // runSorted evaluates one value vector through the planned sorted

@@ -35,7 +35,7 @@ func TestTiledPlanParity(t *testing.T) {
 		for i := range values {
 			values[i] = int64(rng.Intn(200) - 100)
 		}
-		for _, op := range []core.Op[int64]{core.AddInt64, core.MaxInt64} {
+		for _, op := range []core.Op[int64]{core.AddInt64, core.MaxInt64, core.MinInt64, core.AndInt64, core.OrInt64, core.XorInt64} {
 			want, err := core.Serial(op, values, shape.labels, shape.m)
 			if err != nil {
 				t.Fatal(err)
@@ -374,7 +374,7 @@ func FuzzTiledParity(f *testing.F) {
 				labels[i] = i
 			}
 		}
-		for _, op := range []core.Op[int64]{core.AddInt64, core.MaxInt64} {
+		for _, op := range []core.Op[int64]{core.AddInt64, core.MaxInt64, core.MinInt64, core.AndInt64, core.OrInt64, core.XorInt64} {
 			values := make([]int64, n)
 			for i := range values {
 				if rng.Intn(8) == 0 {

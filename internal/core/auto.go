@@ -47,6 +47,14 @@ type AutoCalibration struct {
 	// override); 0 derives it per shape from the probe's cost model
 	// (MemProbe.UpdateBurst) or the folklore n/(4·log2 n) fallback.
 	UpdateBurst int
+	// ShardedMinN governs the planned engines' chunked-vs-sharded
+	// crossover (AutoPlanChoice; one-shot Auto never picks sharded —
+	// its plan-time per-shard counting sorts don't amortize in a single
+	// evaluation). Positive pins it: auto plans in the parallel regime
+	// go sharded at n ≥ ShardedMinN. 0 derives the decision from the
+	// probe's cost model (sharded wherever ShardedNs prices below
+	// ChunkedNs); negative disables sharded selection entirely.
+	ShardedMinN int
 }
 
 // sortedWins reports whether the sorted engine is predicted to beat
@@ -72,6 +80,35 @@ func (cal AutoCalibration) sortedWins(n, m int) bool {
 		return p.SortedNs(n, m, tile) < p.SerialNs(n, m)
 	}
 	return cal.SortedMinM > 0 && m >= cal.SortedMinM
+}
+
+// shardedWins reports whether a planned sharded decomposition is
+// predicted to beat the chunked engine at shape (n, m) with the given
+// worker count. The chunked engine pays a random bucket update per
+// element in an 8m-byte working set twice (accumulate + apply); the
+// sharded engine streams sorted runs twice plus the logarithmic
+// exchange — so sharded wins where the label count pushes the bucket
+// array out of cache and the per-shard runs stay long enough to
+// stream.
+func (cal AutoCalibration) shardedWins(n, m, workers int) bool {
+	if cal.ShardedMinN < 0 || m > n || n > maxSortedN {
+		return false
+	}
+	if cal.ShardedMinN > 0 {
+		return n >= cal.ShardedMinN
+	}
+	p := cal.Probe
+	if p == nil {
+		return false
+	}
+	tile := cal.TileBytes
+	if tile <= 0 {
+		tile = p.TileBytes
+	}
+	if tile <= 0 {
+		tile = DefaultTileBytes
+	}
+	return p.ShardedNs(n, m, workers, tile) < p.ChunkedNs(n, m, workers)
 }
 
 // AutoTileBytes resolves the sorted engine's per-tile budget for cfg:
@@ -294,6 +331,27 @@ func autoKind(n, m int, cfg Config) engineKind {
 // planning.
 func AutoChoice(n, m int, cfg Config) string {
 	return autoKind(n, m, cfg).String()
+}
+
+// AutoPlanChoice reports which engine an auto Plan builds for a
+// problem shape under cfg. It extends AutoChoice with the planned-only
+// sharded engine: a plan evaluates many vectors against one label
+// structure, so in the parallel regime the choice falls to the cheaper
+// of the chunked and sharded cost models (an explicit Config.Shards
+// forces sharded decompositions regardless — that knob belongs to the
+// sharded backend, not auto).
+func AutoPlanChoice(n, m int, cfg Config) string {
+	cal := cfg.AutoCal
+	if cal == nil {
+		c := defaultAutoCal()
+		cal = &c
+	}
+	workers := par.ClampWorkers(cfg.Workers)
+	k := autoPick(n, m, workers, *cal)
+	if (k == kindChunked || k == kindParallel) && cal.shardedWins(n, m, workers) {
+		return "sharded"
+	}
+	return k.String()
 }
 
 // AutoEngine returns the adaptive engine: it picks

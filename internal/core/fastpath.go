@@ -31,7 +31,48 @@ const (
 	// comparison, which fixes tie and NaN behavior — with Identity the
 	// type's minimum (math.MinInt64, -Inf).
 	FastMax
+	// FastMin means Combine(a, b) == (a if a < b else b) — again exactly
+	// that comparison, fixing tie and NaN behavior — with Identity the
+	// type's maximum (math.MaxInt64, +Inf).
+	FastMin
+	// FastAnd, FastOr and FastXor are the int64 bitwise families
+	// (Identity -1, 0 and 0 respectively). float64 has no bitwise
+	// operators, so these have kernels only at []int64; a float64 run
+	// with a bitwise declaration (which would already violate the Fast
+	// contract — no float64 Combine can equal a bitwise op) degrades to
+	// the generic path at dispatch.
+	FastAnd
+	FastOr
+	FastXor
 )
+
+// fastSegI64 reports whether the sorted/tiled segmented-scan kernel
+// family implements fast monomorphically over []int64: every declared
+// family (add/max/min directly, the bitwise families through the
+// int64-only kernels).
+func fastSegI64(fast FastOp) bool {
+	return fast >= FastAdd && fast <= FastXor
+}
+
+// fastSegF64 is the []float64 counterpart: the comparison and additive
+// families only — bitwise does not exist for float64.
+func fastSegF64(fast FastOp) bool {
+	return fast == FastAdd || fast == FastMax || fast == FastMin
+}
+
+// FastScans reports whether the sorted/tiled scan kernels implement
+// fast monomorphically for element type T — the plan-time gate for
+// building tile structures (and the per-run tiled-dispatch test).
+func FastScans[T any](fast FastOp) bool {
+	var probe []T
+	switch any(probe).(type) {
+	case []int64:
+		return fastSegI64(fast)
+	case []float64:
+		return fastSegF64(fast)
+	}
+	return false
+}
 
 // fastElem are the element types with monomorphic kernels.
 type fastElem interface{ int64 | float64 }
@@ -111,6 +152,22 @@ func bucketKernel[E fastElem](fast FastOp, values []E, labels []int, multi, buck
 				buckets[l] = v
 			}
 		}
+	case fast == FastMin && multi == nil:
+		for i, v := range values {
+			l := labels[i]
+			if s := buckets[l]; !(s < v) {
+				buckets[l] = v
+			}
+		}
+	case fast == FastMin:
+		for i, v := range values {
+			l := labels[i]
+			s := buckets[l]
+			multi[i] = s
+			if !(s < v) {
+				buckets[l] = v
+			}
+		}
 	default:
 		return false
 	}
@@ -169,6 +226,22 @@ func chunkLocalKernel[E fastElem](fast FastOp, ident E, values []E, labels []int
 				buckets[l] = v
 			}
 		}
+	case FastMin:
+		for i := lo; i < hi; i++ {
+			l := labels[i]
+			if !seen[l] {
+				seen[l] = true
+				buckets[l] = ident
+				order = append(order, l) //mp:nolint at most m first-touches per run; warm pooled runs reuse the grown capacity (TestPooledZeroAllocs pins 0 allocs)
+			}
+			s := buckets[l]
+			if multi != nil {
+				multi[i] = s
+			}
+			if v := values[i]; !(s < v) {
+				buckets[l] = v
+			}
+		}
 	default:
 		return order, false
 	}
@@ -200,6 +273,12 @@ func chunkApplyKernel[E fastElem](fast FastOp, labels []int, offsets, multi []E,
 	case FastMax:
 		for i := lo; i < hi; i++ {
 			if o := offsets[labels[i]]; o > multi[i] {
+				multi[i] = o
+			}
+		}
+	case FastMin:
+		for i := lo; i < hi; i++ {
+			if o := offsets[labels[i]]; o < multi[i] {
 				multi[i] = o
 			}
 		}

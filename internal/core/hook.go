@@ -19,6 +19,14 @@ const (
 	PhaseSortedScan   = "sorted-scan"
 	PhaseSortedStitch = "sorted-stitch"
 	PhaseSortedApply  = "sorted-apply"
+	// The sharded engine's passes: the per-shard reduce-only scan that
+	// produces each shard's per-label totals row, the ⌈log₂S⌉-round
+	// exclusive-prefix carry exchange over those rows, and the seeded
+	// full rescan that folds each shard's carry-in back into its
+	// elements.
+	PhaseShardedScan     = "sharded-scan"
+	PhaseShardedExchange = "sharded-exchange"
+	PhaseShardedApply    = "sharded-apply"
 )
 
 // FaultHook receives engine-internal events so tests can inject faults

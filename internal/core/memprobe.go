@@ -76,6 +76,7 @@ const (
 	probeTileMin     = 1 << 18
 	probeTileMax     = 1 << 20
 	probeLadderTop   = 1 << 23 // top rung must fit the probe scratch buffer
+	probeBarrierNs   = 2000.0  // one team barrier round (wake + arrive), ns
 )
 
 // streamNs is the modeled cost of streaming b bytes.
@@ -142,6 +143,38 @@ func (p *MemProbe) SortedNs(n, m, tileBytes int) float64 {
 	ws := min(n*tiledElemBytes, tileBytes)
 	perElem := p.streamNs(probeSortedB) + probeAlpha*blend*probeSortedK*p.randNetNs(ws) + probeSegNs/segLen
 	return float64(n) * perElem
+}
+
+// ChunkedNs models the planned chunked engine over shape (n, m) with
+// the given worker count: two bucket passes over n/W elements each
+// (local accumulate, then offset apply), the O(W·m) serial merge, and
+// two barrier rounds. The random component is the same 8m-byte bucket
+// update the serial model prices — each worker owns a private bucket
+// array.
+func (p *MemProbe) ChunkedNs(n, m, workers int) float64 {
+	if workers < 1 {
+		workers = 1
+	}
+	per := p.streamNs(probeStreamB) + probeAlpha*p.randNetNs(8*m)
+	return 2*float64(n)/float64(workers)*per +
+		float64(workers)*float64(m)*probeUpdateLvlNs +
+		2*probeBarrierNs
+}
+
+// ShardedNs models the planned sharded engine over shape (n, m) with
+// the given shard count and tile budget: two tiled sorted passes over
+// each shard's n/W elements (the reduce-only scan and the seeded
+// rescan) plus ⌈log₂W⌉ exchange rounds, each streaming one m-element
+// row per shard and paying a barrier.
+func (p *MemProbe) ShardedNs(n, m, workers, tileBytes int) float64 {
+	if workers < 1 {
+		workers = 1
+	}
+	perShard := (n + workers - 1) / workers
+	rounds := float64(ShardedRounds(workers))
+	return 2*p.SortedNs(perShard, m, tileBytes) +
+		rounds*(float64(m)*p.streamNs(16)+probeBarrierNs) +
+		probeBarrierNs
 }
 
 // UpdateNs models one O(log n) Fenwick point update on an n-element
@@ -329,7 +362,7 @@ func defaultMemProbe() *MemProbe {
 
 // parseAutoCalEnv parses MP_AUTOCAL: a comma-separated list of
 // "noprobe", "serialmax=N", "sortedminm=N", "tilebytes=N",
-// "updburst=N". Returns the
+// "updburst=N", "shardedminn=N". Returns the
 // field overrides (applied by calibrate on top of its defaults) and
 // whether the probe is disabled. Malformed entries are ignored — a
 // broken override must not take the library down.
@@ -374,6 +407,9 @@ func applyAutoCalEnv(cal AutoCalibration) AutoCalibration {
 	}
 	if v, ok := fields["updburst"]; ok {
 		cal.UpdateBurst = v
+	}
+	if v, ok := fields["shardedminn"]; ok {
+		cal.ShardedMinN = v
 	}
 	return cal
 }

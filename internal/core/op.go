@@ -74,6 +74,7 @@ var (
 			return b
 		},
 		IsIdentity: func(x int64) bool { return x == maxInt64 },
+		Fast:       FastMin,
 	}
 	// OrInt64 is bitwise OR over int64.
 	OrInt64 = Op[int64]{
@@ -81,6 +82,7 @@ var (
 		Identity:   0,
 		Combine:    func(a, b int64) int64 { return a | b },
 		IsIdentity: func(x int64) bool { return x == 0 },
+		Fast:       FastOr,
 	}
 	// AndInt64 is bitwise AND over int64.
 	AndInt64 = Op[int64]{
@@ -88,6 +90,7 @@ var (
 		Identity:   -1,
 		Combine:    func(a, b int64) int64 { return a & b },
 		IsIdentity: func(x int64) bool { return x == -1 },
+		Fast:       FastAnd,
 	}
 	// XorInt64 is bitwise XOR over int64.
 	XorInt64 = Op[int64]{
@@ -95,6 +98,7 @@ var (
 		Identity:   0,
 		Combine:    func(a, b int64) int64 { return a ^ b },
 		IsIdentity: func(x int64) bool { return x == 0 },
+		Fast:       FastXor,
 	}
 )
 
@@ -137,6 +141,7 @@ var (
 			return b
 		},
 		IsIdentity: func(x float64) bool { return x == posInfFloat64 },
+		Fast:       FastMin,
 	}
 )
 

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestShardedKernelZeroAllocs pins the warm steady state of the
+// sharded carry-exchange and seeded-rescan kernels at zero heap
+// allocations — the dynamic half of the //mp:hotpath contract for
+// ShardedExchangeRound and ShardedTiledSeedScan. All plan-shaped
+// storage (per-shard index rows, the flat S×m carry buffers, tile
+// segments, the seed rows) is built once outside the measured region,
+// exactly as a sharded backend Plan holds it.
+func TestShardedKernelZeroAllocs(t *testing.T) {
+	const n, m, shards = 1 << 13, 128, 4
+	rng := rand.New(rand.NewSource(53))
+	values := make([]int64, n)
+	labels := make([]int, n)
+	for i := range values {
+		values[i] = int64(rng.Intn(100))
+		labels[i] = rng.Intn(m)
+	}
+	perm := make([]int32, n)
+	starts := make([][]int32, shards)
+	tiles := make([]TileSegs, shards)
+	window := TileWindow(n, 1<<12) // 256-element window: many tiles
+	if window == 0 {
+		t.Fatalf("no tile window at n=%d", n)
+	}
+	for s := 0; s < shards; s++ {
+		lo, hi := s*n/shards, (s+1)*n/shards
+		starts[s] = make([]int32, m+1)
+		BuildShardedIndexInto(perm, starts[s], labels, lo, hi)
+		tiles[s] = BuildTileSegs(perm, starts[s], lo, hi, window)
+	}
+	curBuf := make([]int64, shards*m)
+	nextBuf := make([]int64, shards*m)
+	multi := make([]int64, n)
+	seed := make([]int64, m)
+	rounds := ShardedRounds(shards)
+
+	for _, op := range []Op[int64]{AddInt64, MaxInt64} {
+		for s := 0; s < shards; s++ {
+			SortedScanLabels(op, op.Fast, values, perm, starts[s], nil, curBuf[s*m:(s+1)*m], 0, m, nil, nil)
+		}
+		exchange := func() {
+			cur, next := curBuf, nextBuf
+			for r := 0; r < rounds; r++ {
+				for s := 0; s < shards; s++ {
+					ShardedExchangeRound(op, op.Fast, cur, next, m, s, 1<<r, nil)
+				}
+				cur, next = next, cur
+			}
+		}
+		tiledSeed := func() {
+			for s := 0; s < shards; s++ {
+				copy(seed, curBuf[:m])
+				if !ShardedTiledSeedScan(op, op.Fast, values, perm, starts[s], multi, seed, &tiles[s], nil, nil) {
+					t.Fatal("tiled seed scan stopped unexpectedly")
+				}
+			}
+		}
+		untiledSeed := func() {
+			for s := 0; s < shards; s++ {
+				copy(seed, curBuf[:m])
+				if !ShardedSeedScan(op, op.Fast, values, perm, starts[s], multi, seed, nil, nil) {
+					t.Fatal("seed scan stopped unexpectedly")
+				}
+			}
+		}
+		exchange()
+		tiledSeed()
+		untiledSeed() // warm: nothing to build, but keep the plan tests' shape
+		if allocs := testing.AllocsPerRun(5, exchange); allocs != 0 {
+			t.Errorf("%s: ShardedExchangeRound %.1f allocs/run, want 0", op.Name, allocs)
+		}
+		if allocs := testing.AllocsPerRun(5, tiledSeed); allocs != 0 {
+			t.Errorf("%s: ShardedTiledSeedScan %.1f allocs/run, want 0", op.Name, allocs)
+		}
+		if allocs := testing.AllocsPerRun(5, untiledSeed); allocs != 0 {
+			t.Errorf("%s: ShardedSeedScan %.1f allocs/run, want 0", op.Name, allocs)
+		}
+	}
+}

@@ -127,19 +127,84 @@ func SortedShards(start []int32, n, workers int) []SortedShard {
 }
 
 // fastIdent is the identity the monomorphic kernels scan from: 0 for
-// FastAdd, the type minimum for FastMax — by the FastOp contract these
-// equal the operator's declared Identity.
+// FastAdd/FastOr/FastXor, the type extremes for FastMax/FastMin, all
+// ones for FastAnd — by the FastOp contract these equal the operator's
+// declared Identity.
 func fastIdent[E fastElem](fast FastOp) E {
 	var id E
-	if fast == FastMax {
+	switch fast {
+	case FastMax:
 		switch p := any(&id).(type) {
 		case *int64:
 			*p = math.MinInt64
 		case *float64:
 			*p = math.Inf(-1)
 		}
+	case FastMin:
+		switch p := any(&id).(type) {
+		case *int64:
+			*p = math.MaxInt64
+		case *float64:
+			*p = math.Inf(1)
+		}
+	case FastAnd:
+		if p, ok := any(&id).(*int64); ok {
+			*p = -1
+		}
 	}
 	return id
+}
+
+// segKernelBits is the int64-only innermost loop of the bitwise
+// families. float64 has no bitwise operators, so unlike the other
+// kernels this one cannot be generic over fastElem; the generic
+// kernels bridge to it through segKernelBitsOf.
+func segKernelBits(fast FastOp, values []int64, perm []int32, multi []int64, s, e int, acc int64) int64 {
+	switch {
+	case fast == FastAnd && multi == nil:
+		for _, p := range perm[s:e] {
+			acc &= values[p]
+		}
+	case fast == FastAnd:
+		for _, p := range perm[s:e] {
+			multi[p] = acc
+			acc &= values[p]
+		}
+	case fast == FastOr && multi == nil:
+		for _, p := range perm[s:e] {
+			acc |= values[p]
+		}
+	case fast == FastOr:
+		for _, p := range perm[s:e] {
+			multi[p] = acc
+			acc |= values[p]
+		}
+	case fast == FastXor && multi == nil:
+		for _, p := range perm[s:e] {
+			acc ^= values[p]
+		}
+	case fast == FastXor:
+		for _, p := range perm[s:e] {
+			multi[p] = acc
+			acc ^= values[p]
+		}
+	}
+	return acc
+}
+
+// segKernelBitsOf routes a generic segment scan into segKernelBits.
+// The dispatch gates admit the bitwise families only at []int64, so
+// the float64 instantiation is unreachable; it returns acc unchanged
+// rather than panicking so a gating mistake stays visible as a parity
+// failure, not a crash.
+func segKernelBitsOf[E fastElem](fast FastOp, values []E, perm []int32, multi []E, s, e int, acc E) E {
+	vs := asI64(values)
+	if vs == nil {
+		return acc
+	}
+	ai, _ := any(acc).(int64)
+	out, _ := any(segKernelBits(fast, vs, perm, asI64(multi), s, e, ai)).(E)
+	return out
 }
 
 // sortedSegKernel is the innermost monomorphic loop: scan sorted
@@ -169,6 +234,21 @@ func sortedSegKernel[E fastElem](fast FastOp, values []E, perm []int32, multi []
 				acc = v
 			}
 		}
+	case fast == FastMin && multi == nil:
+		for _, p := range perm[s:e] {
+			if v := values[p]; !(acc < v) {
+				acc = v
+			}
+		}
+	case fast == FastMin:
+		for _, p := range perm[s:e] {
+			multi[p] = acc
+			if v := values[p]; !(acc < v) {
+				acc = v
+			}
+		}
+	default:
+		acc = segKernelBitsOf(fast, values, perm, multi, s, e, acc)
 	}
 	return acc
 }
@@ -243,11 +323,13 @@ func sortedSegGeneric[T any](op Op[T], phase string, values []T, perm []int32, m
 // CancelStride elements; a true return aborts the scan (the caller
 // discards the partial output) and SortedScanLabels reports false.
 func SortedScanLabels[T any](op Op[T], fast FastOp, values []T, perm, start []int32, multi, red []T, l0, l1 int, hook FaultHook, stop func() bool) bool {
-	if fast == FastAdd || fast == FastMax {
-		switch vs := any(values).(type) {
-		case []int64:
+	switch vs := any(values).(type) {
+	case []int64:
+		if fastSegI64(fast) {
 			return sortedScanLabelsKernel(fast, vs, perm, start, asI64(multi), asI64(red), l0, l1, stop)
-		case []float64:
+		}
+	case []float64:
+		if fastSegF64(fast) {
 			return sortedScanLabelsKernel(fast, vs, perm, start, asF64(multi), asF64(red), l0, l1, stop)
 		}
 	}
@@ -312,11 +394,13 @@ func sortedShardKernel[E fastElem](fast FastOp, values []E, perm, start []int32,
 // stitched carry. Results land in the w-indexed slices so the
 // monomorphic kernels can write them without boxing.
 func SortedShardScan[T any](op Op[T], fast FastOp, values []T, perm, start []int32, multi, red []T, sh SortedShard, w int, leadTotal, carryOut []T, leadClosed, hasTrail []bool, hook FaultHook, stop func() bool) bool {
-	if fast == FastAdd || fast == FastMax {
-		switch vs := any(values).(type) {
-		case []int64:
+	switch vs := any(values).(type) {
+	case []int64:
+		if fastSegI64(fast) {
 			return sortedShardKernel(fast, vs, perm, start, asI64(multi), asI64(red), sh, w, asI64(leadTotal), asI64(carryOut), leadClosed, hasTrail, stop)
-		case []float64:
+		}
+	case []float64:
+		if fastSegF64(fast) {
 			return sortedShardKernel(fast, vs, perm, start, asF64(multi), asF64(red), sh, w, asF64(leadTotal), asF64(carryOut), leadClosed, hasTrail, stop)
 		}
 	}
@@ -398,12 +482,14 @@ func SortedLeadApply[T any](op Op[T], fast FastOp, values []T, perm, start []int
 	}
 	e := min(int(start[sh.OwnLo+1]), sh.Hi)
 	credit := cancelStride
-	if fast == FastAdd || fast == FastMax {
-		switch vs := any(values).(type) {
-		case []int64:
+	switch vs := any(values).(type) {
+	case []int64:
+		if fastSegI64(fast) {
 			_, ok := sortedSegScan(fast, vs, perm, asI64(multi), sh.Lo, e, asI64(carryIn)[w], stop, &credit)
 			return ok
-		case []float64:
+		}
+	case []float64:
+		if fastSegF64(fast) {
 			_, ok := sortedSegScan(fast, vs, perm, asF64(multi), sh.Lo, e, asF64(carryIn)[w], stop, &credit)
 			return ok
 		}

@@ -106,7 +106,7 @@ func TestSortedMatchesSerial(t *testing.T) {
 	b := ws.Acquire()
 	defer ws.Release(b)
 	for _, tc := range genCases(rng) {
-		for _, op := range []Op[int64]{AddInt64, MaxInt64} {
+		for _, op := range []Op[int64]{AddInt64, MaxInt64, MinInt64, AndInt64, OrInt64, XorInt64} {
 			want := mustSerialOp(t, op, tc.values, tc.labels, tc.m)
 			got, err := Sorted(op, tc.values, tc.labels, tc.m, Config{})
 			if err != nil {
@@ -185,7 +185,7 @@ func TestSortedShardScanParity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, op := range []Op[int64]{AddInt64, MaxInt64} {
+		for _, op := range []Op[int64]{AddInt64, MaxInt64, MinInt64, AndInt64, OrInt64, XorInt64} {
 			want := mustSerialOp(t, op, tc.values, tc.labels, tc.m)
 			for workers := 2; workers <= 5; workers++ {
 				multi := make([]int64, len(tc.values))

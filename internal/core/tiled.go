@@ -175,11 +175,11 @@ func walkTileSegs(perm, start []int32, lo, hi int, shift uint, emit func(l int32
 //
 //mp:hotpath
 func fillFastIdent[E fastElem](s []E, fast FastOp) {
-	if fast != FastMax {
+	id := fastIdent[E](fast)
+	if id == 0 {
 		clear(s)
 		return
 	}
-	id := fastIdent[E](fast)
 	for i := range s {
 		s[i] = id
 	}
@@ -244,7 +244,7 @@ func tiledGroup4[E fastElem](fast FastOp, values []E, perm []int32, multi []E, s
 			multi[p] = a3
 			a3 += values[p]
 		}
-	case multi == nil:
+	case fast == FastMax && multi == nil:
 		for i := 0; i < q; i++ {
 			if v := values[perm[s0+i]]; !(a0 > v) {
 				a0 = v
@@ -279,7 +279,7 @@ func tiledGroup4[E fastElem](fast FastOp, values []E, perm []int32, multi []E, s
 				a3 = v
 			}
 		}
-	default:
+	case fast == FastMax:
 		for i := 0; i < q; i++ {
 			p0, p1, p2, p3 := perm[s0+i], perm[s1+i], perm[s2+i], perm[s3+i]
 			multi[p0] = a0
@@ -323,6 +323,95 @@ func tiledGroup4[E fastElem](fast FastOp, values []E, perm []int32, multi []E, s
 				a3 = v
 			}
 		}
+	case fast == FastMin && multi == nil:
+		for i := 0; i < q; i++ {
+			if v := values[perm[s0+i]]; !(a0 < v) {
+				a0 = v
+			}
+			if v := values[perm[s1+i]]; !(a1 < v) {
+				a1 = v
+			}
+			if v := values[perm[s2+i]]; !(a2 < v) {
+				a2 = v
+			}
+			if v := values[perm[s3+i]]; !(a3 < v) {
+				a3 = v
+			}
+		}
+		for _, p := range perm[s0+q : e0] {
+			if v := values[p]; !(a0 < v) {
+				a0 = v
+			}
+		}
+		for _, p := range perm[s1+q : e1] {
+			if v := values[p]; !(a1 < v) {
+				a1 = v
+			}
+		}
+		for _, p := range perm[s2+q : e2] {
+			if v := values[p]; !(a2 < v) {
+				a2 = v
+			}
+		}
+		for _, p := range perm[s3+q : e3] {
+			if v := values[p]; !(a3 < v) {
+				a3 = v
+			}
+		}
+	case fast == FastMin:
+		for i := 0; i < q; i++ {
+			p0, p1, p2, p3 := perm[s0+i], perm[s1+i], perm[s2+i], perm[s3+i]
+			multi[p0] = a0
+			if v := values[p0]; !(a0 < v) {
+				a0 = v
+			}
+			multi[p1] = a1
+			if v := values[p1]; !(a1 < v) {
+				a1 = v
+			}
+			multi[p2] = a2
+			if v := values[p2]; !(a2 < v) {
+				a2 = v
+			}
+			multi[p3] = a3
+			if v := values[p3]; !(a3 < v) {
+				a3 = v
+			}
+		}
+		for _, p := range perm[s0+q : e0] {
+			multi[p] = a0
+			if v := values[p]; !(a0 < v) {
+				a0 = v
+			}
+		}
+		for _, p := range perm[s1+q : e1] {
+			multi[p] = a1
+			if v := values[p]; !(a1 < v) {
+				a1 = v
+			}
+		}
+		for _, p := range perm[s2+q : e2] {
+			multi[p] = a2
+			if v := values[p]; !(a2 < v) {
+				a2 = v
+			}
+		}
+		for _, p := range perm[s3+q : e3] {
+			multi[p] = a3
+			if v := values[p]; !(a3 < v) {
+				a3 = v
+			}
+		}
+	default:
+		// Bitwise families: the chains run sequentially through the
+		// int64-only kernel — same combines in the same per-run order,
+		// so still bit-identical; they keep the tile locality but skip
+		// the interleave (bitwise combines are pure ALU, so the chains
+		// have no latency worth hiding).
+		a0 = segKernelBitsOf(fast, values, perm, multi, s0, e0, a0)
+		a1 = segKernelBitsOf(fast, values, perm, multi, s1, e1, a1)
+		a2 = segKernelBitsOf(fast, values, perm, multi, s2, e2, a2)
+		a3 = segKernelBitsOf(fast, values, perm, multi, s3, e3, a3)
 	}
 	return a0, a1, a2, a3
 }
@@ -424,17 +513,19 @@ func tiledScanLabelsKernel[E fastElem](fast FastOp, values []E, perm []int32, mu
 // over the full index: same inputs, bit-identical outputs (prefixes
 // into multi through perm, run totals into red), with the traffic
 // re-ordered tile-major by the plan-time ts. Callers gate on a
-// monomorphic fast op (plans only build TileSegs for int64/float64
-// Add/Max); any other shape falls through to the untiled scan so a
+// monomorphic fast op (plans only build TileSegs for shapes FastScans
+// admits); any other shape falls through to the untiled scan so a
 // gating mistake degrades to correct-but-slower.
 //
 //mp:hotpath
 func SortedTiledScanLabels[T any](op Op[T], fast FastOp, values []T, perm, start []int32, multi, red []T, ts *TileSegs, stop func() bool) bool {
-	if fast == FastAdd || fast == FastMax {
-		switch vs := any(values).(type) {
-		case []int64:
+	switch vs := any(values).(type) {
+	case []int64:
+		if fastSegI64(fast) {
 			return tiledScanLabelsKernel(fast, vs, perm, asI64(multi), asI64(red), ts, stop)
-		case []float64:
+		}
+	case []float64:
+		if fastSegF64(fast) {
 			return tiledScanLabelsKernel(fast, vs, perm, asF64(multi), asF64(red), ts, stop)
 		}
 	}
@@ -496,11 +587,13 @@ func tiledShardKernel[E fastElem](fast FastOp, values []E, perm, start []int32, 
 //
 //mp:hotpath
 func SortedTiledShardScan[T any](op Op[T], fast FastOp, values []T, perm, start []int32, multi, red []T, ts *TileSegs, sh SortedShard, w int, leadTotal, carryOut []T, leadClosed, hasTrail []bool, stop func() bool) bool {
-	if fast == FastAdd || fast == FastMax {
-		switch vs := any(values).(type) {
-		case []int64:
+	switch vs := any(values).(type) {
+	case []int64:
+		if fastSegI64(fast) {
 			return tiledShardKernel(fast, vs, perm, start, asI64(multi), asI64(red), ts, sh, w, asI64(leadTotal), asI64(carryOut), leadClosed, hasTrail, stop)
-		case []float64:
+		}
+	case []float64:
+		if fastSegF64(fast) {
 			return tiledShardKernel(fast, vs, perm, start, asF64(multi), asF64(red), ts, sh, w, asF64(leadTotal), asF64(carryOut), leadClosed, hasTrail, stop)
 		}
 	}

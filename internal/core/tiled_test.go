@@ -99,7 +99,7 @@ func TestTiledScanLabelsParity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, op := range []Op[int64]{AddInt64, MaxInt64} {
+		for _, op := range []Op[int64]{AddInt64, MaxInt64, MinInt64, AndInt64, OrInt64, XorInt64} {
 			want := mustSerialOp(t, op, tc.values, tc.labels, tc.m)
 			for _, window := range []int{8, 64, 1024} {
 				ts := buildTiles(idx.Perm, idx.Start, 0, len(tc.labels), window)
@@ -146,7 +146,7 @@ func TestTiledScanLabelsFloat64(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, op := range []Op[float64]{AddFloat64, MaxFloat64} {
+	for _, op := range []Op[float64]{AddFloat64, MaxFloat64, MinFloat64} {
 		vals := values
 		if op.Fast == FastAdd {
 			// Keep sums exact: -Inf is a max-identity probe only.
@@ -198,7 +198,7 @@ func TestTiledShardScanParity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, op := range []Op[int64]{AddInt64, MaxInt64} {
+		for _, op := range []Op[int64]{AddInt64, MaxInt64, MinInt64, AndInt64, OrInt64, XorInt64} {
 			want := mustSerialOp(t, op, tc.values, tc.labels, tc.m)
 			for workers := 2; workers <= 5; workers++ {
 				for _, window := range []int{8, 64} {

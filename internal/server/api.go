@@ -40,6 +40,7 @@ var serviceBackends = map[string]bool{
 	"auto":      true,
 	"serial":    true,
 	"sorted":    true,
+	"sharded":   true,
 	"chunked":   true,
 	"parallel":  true,
 	"spinetree": true,
@@ -216,6 +217,10 @@ const (
 	kindUnknownBack = "unknown_backend"
 	kindTooLarge    = "payload_too_large"
 	kindOverloaded  = "overloaded"
+	// kindQuota (429): the per-client fairness bucket ran dry — this
+	// client is over its rate, the server itself has headroom. Back off
+	// for Retry-After and resend.
+	kindQuota       = "client_quota"
 	kindDraining    = "draining"
 	kindDeadline    = "deadline_exceeded"
 	kindCanceled    = "canceled"

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// This file is per-client fairness: a token-bucket quota keyed by
+// client identity, checked at admission before any work is accepted.
+// The global in-flight pool protects the server from aggregate
+// overload; the quota protects clients from each other — one chatty
+// client exhausts its own bucket and is shed with 429 + Retry-After
+// while everyone else's requests keep flowing. Disabled by default
+// (Options.ClientRPS == 0): single-tenant deployments pay nothing.
+
+// clientIDHeader identifies the caller for quota accounting. Absent
+// the header, the remote address's host is the identity — per-IP
+// fairness behind nothing, per-proxy fairness behind one.
+const clientIDHeader = "X-Client-ID"
+
+// maxQuotaClients bounds the bucket map. At the cap, fully refilled
+// (idle) buckets are swept; a full map of active clients admits new
+// identities unthrottled rather than collapsing distinct clients into
+// one bucket — fairness degrades open, not closed.
+const maxQuotaClients = 4096
+
+// clientLimiter is a token-bucket set keyed by client id. Each bucket
+// refills at rps tokens per second up to burst; one request spends one
+// token.
+type clientLimiter struct {
+	rps   float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*clientBucket
+	now     func() time.Time // test seam
+}
+
+type clientBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newClientLimiter(rps float64, burst int) *clientLimiter {
+	return &clientLimiter{
+		rps:     rps,
+		burst:   float64(burst),
+		buckets: make(map[string]*clientBucket),
+		now:     time.Now,
+	}
+}
+
+// allow spends one token from id's bucket, reporting whether the
+// request is within quota. New identities start with a full burst.
+func (l *clientLimiter) allow(id string) bool {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[id]
+	if b == nil {
+		if len(l.buckets) >= maxQuotaClients {
+			l.sweepLocked()
+			if len(l.buckets) >= maxQuotaClients {
+				return true // degrade open: never collapse distinct clients
+			}
+		}
+		b = &clientBucket{tokens: l.burst, last: now}
+		l.buckets[id] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rps
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// sweepLocked drops buckets that have fully refilled — clients idle
+// long enough that forgetting them is indistinguishable from
+// remembering them.
+func (l *clientLimiter) sweepLocked() {
+	now := l.now()
+	for id, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rps >= l.burst {
+			delete(l.buckets, id)
+		}
+	}
+}
+
+// clientID extracts the quota identity from a request: the
+// X-Client-ID header, else the remote host.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get(clientIDHeader); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}

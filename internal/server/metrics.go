@@ -47,6 +47,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("mp_requests_ok_total", "Requests answered 200.", snap.OK)
 	counter("mp_requests_error_total", "Requests answered with a typed error.", snap.Errors)
 	counter("mp_shed_total", "Requests shed by admission control (429).", snap.Shed)
+	counter("mp_quota_shed_total", "Requests shed by the per-client fairness quota (429).", snap.QuotaShed)
 	counter("mp_rejected_draining_total", "Requests rejected while draining (503).", snap.RejectedDraining)
 	counter("mp_bad_input_total", "Requests rejected as bad input.", snap.BadInput)
 	counter("mp_deadline_exceeded_total", "Request vectors that ran out of deadline.", snap.DeadlineExceeded)

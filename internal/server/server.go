@@ -44,6 +44,15 @@ type Options struct {
 	PlanCacheCap int
 	// RetryAfter is the hint returned with 429/503 responses.
 	RetryAfter time.Duration
+	// ClientRPS > 0 arms per-client fairness: each client (X-Client-ID
+	// header, else the remote host) gets a token bucket refilling at
+	// ClientRPS requests per second; requests beyond it are shed with
+	// 429 + Retry-After before any work is admitted, independently of
+	// the global in-flight pool. 0 disables the quota.
+	ClientRPS float64
+	// ClientBurst is the bucket capacity when ClientRPS is armed;
+	// 0 = 2x ClientRPS (minimum 1).
+	ClientBurst int
 	// ChaosPanicEvery > 0 arms chaos mode: every Nth request carries a
 	// fault hook that panics inside one engine combine, exercising the
 	// degradation ladder in production traffic shape. ChaosCancelEvery
@@ -95,6 +104,12 @@ func (o Options) withDefaults() Options {
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
 	}
+	if o.ClientRPS > 0 && o.ClientBurst <= 0 {
+		o.ClientBurst = int(2 * o.ClientRPS)
+		if o.ClientBurst < 1 {
+			o.ClientBurst = 1
+		}
+	}
 	return o
 }
 
@@ -104,6 +119,7 @@ type stats struct {
 	ok               atomic.Uint64
 	errored          atomic.Uint64
 	shed             atomic.Uint64
+	quotaShed        atomic.Uint64
 	rejectedDraining atomic.Uint64
 	badInput         atomic.Uint64
 	deadlineExceeded atomic.Uint64
@@ -133,6 +149,7 @@ type StatsSnapshot struct {
 	OK               uint64 `json:"ok"`
 	Errors           uint64 `json:"errors"`
 	Shed             uint64 `json:"shed"`
+	QuotaShed        uint64 `json:"quota_shed"`
 	RejectedDraining uint64 `json:"rejected_draining"`
 	BadInput         uint64 `json:"bad_input"`
 	DeadlineExceeded uint64 `json:"deadline_exceeded"`
@@ -163,11 +180,13 @@ type StatsSnapshot struct {
 // Handler on an http.Server, call Drain when shutting down (before
 // http.Server.Shutdown) and Close after in-flight requests finish.
 type Server struct {
-	opts     Options
-	st       stats
-	cache    *planCache
-	coal     *coalescer
-	slots    chan struct{}
+	opts  Options
+	st    stats
+	cache *planCache
+	coal  *coalescer
+	slots chan struct{}
+	// limiter is the per-client quota; nil when ClientRPS is 0.
+	limiter  *clientLimiter
 	base     context.Context
 	stop     context.CancelFunc
 	draining atomic.Bool
@@ -184,6 +203,9 @@ func New(opts Options) *Server {
 	s.cache = newPlanCache(s.opts.PlanCacheCap, s.opts.Workers, &s.st)
 	s.coal = newCoalescer(s)
 	s.slots = make(chan struct{}, s.opts.MaxInFlight)
+	if s.opts.ClientRPS > 0 {
+		s.limiter = newClientLimiter(s.opts.ClientRPS, s.opts.ClientBurst)
+	}
 	s.base, s.stop = context.WithCancel(context.Background()) //mp:nolint process-lifetime base context; per-request ctx derives from it and Shutdown cancels it
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/multiprefix", s.handleCompute(false, false))
@@ -228,6 +250,7 @@ func (s *Server) Stats() StatsSnapshot {
 		OK:               s.st.ok.Load(),
 		Errors:           s.st.errored.Load(),
 		Shed:             s.st.shed.Load(),
+		QuotaShed:        s.st.quotaShed.Load(),
 		RejectedDraining: s.st.rejectedDraining.Load(),
 		BadInput:         s.st.badInput.Load(),
 		DeadlineExceeded: s.st.deadlineExceeded.Load(),
@@ -269,7 +292,7 @@ func (s *Server) handleCompute(reduce, batchEP bool) http.HandlerFunc {
 		// Admission: a bounded in-flight pool, shedding instead of
 		// queueing — an overloaded multiprefix service must say so
 		// before the work lands on the teams, not time out after.
-		release, ok := s.admit(w)
+		release, ok := s.admit(w, r)
 		if !ok {
 			return
 		}

@@ -28,13 +28,21 @@ import (
 // error goes back typed.
 
 // admit runs the drain gate and admission control shared by every
-// compute-class endpoint. When it returns ok, the request holds an
+// compute-class endpoint: the drain check, the per-client quota, then
+// the global in-flight pool. When it returns ok, the request holds an
 // in-flight slot and the caller must call release exactly once.
-func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
 	if s.draining.Load() {
 		s.st.rejectedDraining.Add(1)
 		s.retryAfter(w)
 		s.writeError(w, http.StatusServiceUnavailable, kindDraining, "server is draining")
+		return nil, false
+	}
+	if s.limiter != nil && !s.limiter.allow(clientID(r)) {
+		s.st.quotaShed.Add(1)
+		s.retryAfter(w)
+		s.writeError(w, http.StatusTooManyRequests, kindQuota,
+			fmt.Sprintf("client exceeded %g requests/s (burst %d)", s.opts.ClientRPS, s.opts.ClientBurst))
 		return nil, false
 	}
 	select {
@@ -84,7 +92,7 @@ func (s *Server) resolvePlanIdent(w http.ResponseWriter, opName, backendName str
 	}
 	if !serviceBackends[backendName] {
 		s.writeError(w, http.StatusBadRequest, kindUnknownBack,
-			fmt.Sprintf("backend %q is not served (want auto, serial, sorted, chunked, parallel or spinetree)", backendName))
+			fmt.Sprintf("backend %q is not served (want auto, serial, sorted, sharded, chunked, parallel or spinetree)", backendName))
 		return core.Op[int64]{}, "", false
 	}
 	if n := len(labels); n > s.opts.MaxN {
@@ -143,7 +151,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, kindMethod, "POST only")
 		return
 	}
-	release, ok := s.admit(w)
+	release, ok := s.admit(w, r)
 	if !ok {
 		return
 	}
@@ -240,7 +248,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, kindMethod, "POST only")
 		return
 	}
-	release, ok := s.admit(w)
+	release, ok := s.admit(w, r)
 	if !ok {
 		return
 	}

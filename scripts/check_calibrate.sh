@@ -46,7 +46,7 @@ if [ "${RUNGS:-0}" -lt 3 ]; then
   echo "calibrate-smoke: latency ladder too short ($RUNGS rungs)"; cat "$BIN/probe.out"; exit 1
 fi
 # Every auto decision must resolve to a registered engine name.
-if awk '$1 == "auto" && $NF !~ /^(serial|sorted|chunked|parallel)$/ { exit 1 }' "$BIN/probe.out"; then :; else
+if awk '$1 == "auto" && $NF !~ /^(serial|sorted|sharded|chunked|parallel)$/ { exit 1 }' "$BIN/probe.out"; then :; else
   echo "calibrate-smoke: unresolved auto decision"; cat "$BIN/probe.out"; exit 1
 fi
 
